@@ -1,0 +1,28 @@
+"""Shared helpers for the figure/table benchmarks.
+
+Every benchmark regenerates one paper artefact (table or figure) as ASCII
+rows; besides printing, the rendered table is written to
+``benchmarks/results/<artefact>.txt`` so the output survives pytest's
+capture and feeds EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(artefact: str, table: str) -> None:
+    """Print the table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    print()
+    print(table)
+    (RESULTS_DIR / f"{artefact}.txt").write_text(table + "\n")
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark (training runs are far
+    too expensive to repeat for statistics; the benchmark clock still
+    records the single-run duration)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,180 @@
+"""ABLATIONS — design choices DESIGN.md calls out.
+
+1. Flat (Algorithm 1) vs hierarchical (§V-F) exchange on an oversubscribed
+   two-level tree, via the max-min-fair flow simulator: the hierarchical
+   scheme cuts the number of network messages by an order of magnitude (it
+   aggregates per node) at the price of serialising traffic through the
+   leader links — so it wins when per-message overhead dominates (small
+   samples) and loses when bandwidth dominates (large samples).  This is
+   the quantified version of the paper's "map the exchange to the network
+   hierarchy" suggestion.
+2. Seed-synchronised balanced destinations vs independent uniform
+   destinations: Algorithm 1's permutation construction guarantees every
+   rank receives exactly k samples per epoch; naive uniform choice skews
+   shard sizes epoch over epoch.
+3. Overlapped vs blocking exchange (Figure 4's design point) in the
+   analytic model.
+"""
+
+import numpy as np
+
+from repro.cluster import ABCI, IMAGENET1K
+from repro.perfmodel import epoch_breakdown, get_profile
+from repro.simnet import (
+    flat_exchange_flows,
+    hierarchical_exchange_flows,
+    simulate_flows,
+    two_level_tree,
+)
+from repro.utils import render_table
+
+from _common import emit, once
+
+PER_MESSAGE_LATENCY = 1.0e-3
+
+
+def run_flat_vs_hier():
+    topo = two_level_tree(8, 4, injection_bw=1.25e9, uplink_bw=2.5e9)
+    rows = []
+    for sample_bytes in (1e3, 117e3, 1e6):
+        flat = flat_exchange_flows(topo, rounds=16, sample_bytes=sample_bytes)
+        hier = hierarchical_exchange_flows(topo, rounds=16, sample_bytes=sample_bytes)
+        rf = simulate_flows(topo, list(flat))
+        rh = simulate_flows(topo, list(hier))
+        # Total time ~ bandwidth makespan + per-message software overhead of
+        # the busiest endpoint (flat: k messages per rank; hier: leaders
+        # handle the aggregated node-level messages).
+        flat_msgs = 16  # every rank sends k messages
+        hier_msgs = max(
+            sum(1 for f in hier if f.src == leader) for leader in range(0, 32, 4)
+        )
+        t_flat = rf.makespan + flat_msgs * PER_MESSAGE_LATENCY
+        t_hier = rh.makespan + hier_msgs * PER_MESSAGE_LATENCY
+        rows.append(
+            [
+                f"{int(sample_bytes):,}",
+                len(flat),
+                len(hier),
+                f"{t_flat * 1e3:.2f}",
+                f"{t_hier * 1e3:.2f}",
+                "hier" if t_hier < t_flat else "flat",
+            ]
+        )
+    return rows
+
+
+def test_ablation_flat_vs_hierarchical(benchmark):
+    rows = once(benchmark, run_flat_vs_hier)
+    table = render_table(
+        ["sample bytes", "flat flows", "hier flows", "flat (ms)", "hier (ms)", "winner"],
+        rows,
+        title="Ablation — flat vs hierarchical exchange (flow simulation, 8 nodes x 4 ranks)",
+    )
+    emit("ablation_flat_vs_hier", table)
+    # Hierarchical always needs far fewer network flows.
+    for r in rows:
+        assert r[2] < r[1]
+
+
+def run_torus_ablation():
+    """Same flat-vs-hier comparison on a 2-D torus (the Fugaku family):
+    multi-hop routing makes distant flat traffic consume bandwidth on every
+    traversed mesh link, amplifying the case for topology-aware exchange."""
+    from repro.simnet.topology import torus_2d
+
+    topo = torus_2d(4, 4, 2, injection_bw=1.25e9, link_bw=1.25e9)
+    rows = []
+    for sample_bytes in (1e3, 117e3):
+        flat = flat_exchange_flows(topo, rounds=8, sample_bytes=sample_bytes)
+        hier = hierarchical_exchange_flows(topo, rounds=8, sample_bytes=sample_bytes)
+        rf = simulate_flows(topo, list(flat))
+        rh = simulate_flows(topo, list(hier))
+        mesh_util_flat = max(
+            u for e, u in rf.max_link_utilization.items()
+            if all(n.startswith("sw") for n in e)
+        )
+        rows.append(
+            [f"{int(sample_bytes):,}", f"{rf.makespan * 1e3:.2f}",
+             f"{rh.makespan * 1e3:.2f}", f"{mesh_util_flat:.2f}"]
+        )
+    return rows
+
+
+def test_ablation_torus_topology(benchmark):
+    rows = once(benchmark, run_torus_ablation)
+    table = render_table(
+        ["sample bytes", "flat (ms)", "hier (ms)", "peak mesh-link util (flat)"],
+        rows,
+        title="Ablation — exchange patterns on a 4x4 2-D torus (32 ranks)",
+    )
+    emit("ablation_torus", table)
+    # The flat personalised all-to-all saturates at least one mesh link.
+    assert all(float(r[3]) > 0.5 for r in rows)
+
+
+def run_balance_ablation():
+    """Compare per-epoch receive-count spread: Algorithm 1 vs naive uniform."""
+    from repro.shuffle import ExchangePlan
+
+    size, rounds, epochs = 32, 16, 20
+    rng = np.random.default_rng(0)
+    plan_recv = np.zeros(size, dtype=int)
+    naive_recv = np.zeros(size, dtype=int)
+    for e in range(epochs):
+        plan = ExchangePlan.for_epoch(seed=1, epoch=e, size=size, rounds=rounds)
+        for r in range(size):
+            for d in plan.sends_for(r):
+                plan_recv[d] += 1
+        for r in range(size):
+            for _ in range(rounds):
+                naive_recv[int(rng.integers(0, size))] += 1
+    return plan_recv, naive_recv
+
+
+def test_ablation_balanced_vs_uniform_destinations(benchmark):
+    plan_recv, naive_recv = once(benchmark, run_balance_ablation)
+    rows = [
+        ["Algorithm 1 (balanced)", int(plan_recv.min()), int(plan_recv.max()),
+         f"{plan_recv.std():.2f}"],
+        ["independent uniform", int(naive_recv.min()), int(naive_recv.max()),
+         f"{naive_recv.std():.2f}"],
+    ]
+    table = render_table(
+        ["destination scheme", "min recv", "max recv", "std"],
+        rows,
+        title="Ablation — receive-count balance over 20 epochs, 32 workers, k=16",
+    )
+    emit("ablation_balance", table)
+    assert plan_recv.std() == 0.0  # perfectly balanced by construction
+    assert naive_recv.std() > 0.0
+
+
+def run_overlap_ablation():
+    prof = get_profile("resnet50")
+    rows = []
+    for workers in (128, 512, 2048):
+        over = epoch_breakdown(
+            strategy="partial", machine=ABCI, dataset=IMAGENET1K, profile=prof,
+            workers=workers, batch_size=32, q=0.4, overlap=True,
+        )
+        block = epoch_breakdown(
+            strategy="partial", machine=ABCI, dataset=IMAGENET1K, profile=prof,
+            workers=workers, batch_size=32, q=0.4, overlap=False,
+        )
+        rows.append(
+            [workers, f"{over.exchange:.2f}", f"{block.exchange:.2f}",
+             f"{block.total / over.total:.3f}"]
+        )
+    return rows
+
+
+def test_ablation_overlap_vs_blocking(benchmark):
+    rows = once(benchmark, run_overlap_ablation)
+    table = render_table(
+        ["workers", "overlapped exchange (s)", "blocking exchange (s)", "blocking/overlap total"],
+        rows,
+        title="Ablation — Figure 4 overlap vs blocking exchange (partial-0.4)",
+    )
+    emit("ablation_overlap", table)
+    for r in rows:
+        assert float(r[2]) >= float(r[1])

@@ -1,0 +1,72 @@
+"""FIG10 — Figure 10: epoch-time breakdown vs exchange rate (512 GPUs).
+
+ResNet50 and DenseNet161 on ImageNet-1K/ABCI: average per-worker time in
+I/O, EXCHANGE, FW+BW and GE+WU as the partial exchange rate grows, plus
+the global and local endpoints.  Anchors from the paper: DenseNet GS I/O
+19.6 s vs LS 8 s; slowest GS reader 142 s; straggler-inflated GE+WU ~70 s;
+partial degradation bounded by ~1.37x; FW+BW flat across strategies.
+"""
+
+import pytest
+
+from repro.cluster import ABCI, IMAGENET1K
+from repro.perfmodel import epoch_breakdown, get_profile
+from repro.utils import render_table
+
+from _common import emit, once
+
+WORKERS = 512
+QS = [0.1, 0.2, 0.4, 0.6, 0.8, 1.0]
+
+
+def build_rows(profile_name):
+    prof = get_profile(profile_name)
+
+    def make(strategy, q=None):
+        return epoch_breakdown(
+            strategy=strategy, machine=ABCI, dataset=IMAGENET1K, profile=prof,
+            workers=WORKERS, batch_size=32, q=q,
+        )
+
+    entries = [("local", make("local"))]
+    entries += [(f"partial-{q:g}", make("partial", q=q)) for q in QS]
+    entries.append(("global", make("global")))
+    rows = []
+    for name, b in entries:
+        rows.append(
+            [name, f"{b.io:.1f}", f"{b.exchange:.1f}", f"{b.fw_bw:.1f}",
+             f"{b.ge_wu:.1f}", f"{b.total:.1f}"]
+        )
+    return rows, entries
+
+
+@pytest.mark.parametrize("profile_name", ["resnet50", "densenet161"])
+def test_fig10_breakdown(benchmark, profile_name):
+    rows, entries = once(benchmark, build_rows, profile_name)
+    table = render_table(
+        ["strategy", "I/O (s)", "EXCHANGE (s)", "FW+BW (s)", "GE+WU (s)", "total (s)"],
+        rows,
+        title=f"Figure 10 — breakdown at {WORKERS} workers, {profile_name} (analytic model)",
+    )
+    emit(f"fig10_breakdown_{profile_name}", table)
+
+    by = dict(entries)
+    local, global_ = by["local"], by["global"]
+    # FW+BW constant across all strategies.
+    fwbws = {round(b.fw_bw, 6) for _, b in entries}
+    assert len(fwbws) == 1
+    # GS I/O well above LS I/O; GE+WU inflated by stragglers.
+    assert global_.io > 2 * local.io
+    assert global_.ge_wu > 5 * local.ge_wu
+    # EXCHANGE grows with the exchange rate; partial degradation bounded.
+    exchanges = [by[f"partial-{q:g}"].exchange for q in QS]
+    assert exchanges == sorted(exchanges)
+    worst = max(by[f"partial-{q:g}"].total for q in QS)
+    assert worst / local.total < 1.6
+
+    if profile_name == "densenet161":
+        # Paper anchors (±20%): I/O 19.6 vs 8 s; slowest reader 142 s; GE 70 s.
+        assert global_.io == pytest.approx(19.6, rel=0.2)
+        assert local.io == pytest.approx(8.0, rel=0.2)
+        assert global_.io_slowest == pytest.approx(142.0, rel=0.2)
+        assert global_.ge_wu == pytest.approx(70.0, rel=0.3)

@@ -1,0 +1,64 @@
+"""FIG1 — node-local storage of TOP500 systems vs dataset sizes.
+
+Regenerates the Figure 1 comparison: for each of the fifteen systems, the
+dedicated node-local (or per-node share of network-attached) flash
+capacity, against the nine dataset sizes; plus the paper's conclusion that
+most datasets cannot be replicated to node-local storage.
+"""
+
+from repro.cluster import FIG1_DATASETS, TOP500_MACHINES
+from repro.utils import format_size, render_table
+
+from _common import emit, once
+
+
+def build_fig1_rows():
+    machines = sorted(
+        TOP500_MACHINES.values(), key=lambda m: m.local_bytes_per_node, reverse=True
+    )
+    rows = []
+    for m in machines:
+        fits = sum(1 for d in FIG1_DATASETS if m.fits_dataset(d.nbytes))
+        kind = (
+            "network-attached share"
+            if m.network_attached
+            else ("node-local SSD" if m.has_local_storage() else "none")
+        )
+        star = " *" if m.dl_designed else ""
+        rows.append(
+            [
+                m.name + star,
+                format_size(m.local_bytes_per_node) if m.local_bytes_per_node else "0",
+                kind,
+                f"{fits}/{len(FIG1_DATASETS)}",
+            ]
+        )
+    return rows
+
+
+def test_fig1_storage_vs_datasets(benchmark):
+    rows = once(benchmark, build_fig1_rows)
+    table = render_table(
+        ["system (* = DL-designed)", "per-node flash", "kind", "datasets that fit"],
+        rows,
+        title="Figure 1 — node-local storage vs DL dataset sizes",
+    )
+    ds_rows = [
+        [d.name, format_size(d.nbytes), f"{d.samples:,}", format_size(int(d.sample_bytes))]
+        for d in FIG1_DATASETS
+    ]
+    table += "\n" + render_table(
+        ["dataset", "size", "samples", "bytes/sample"],
+        ds_rows,
+        title="Datasets (red lines of Figure 1)",
+    )
+    emit("fig1_storage_gap", table)
+
+    # The paper's motivating claim must hold in the regenerated data.
+    no_fit = sum(
+        1
+        for m in TOP500_MACHINES.values()
+        for d in FIG1_DATASETS
+        if not m.fits_dataset(d.nbytes)
+    )
+    assert no_fit > 0.5 * len(TOP500_MACHINES) * len(FIG1_DATASETS)

@@ -1,0 +1,74 @@
+"""FIG5 (CNN) — the shuffling comparison on a convolutional/BatchNorm2d model.
+
+The MLP panels of ``bench_fig5_local_vs_global.py`` cover the paper's
+feature-scale story; this bench exercises the *image* path the paper's
+actual models use — Conv2d + BatchNorm2d + pooling over (C, H, W) inputs —
+end-to-end through the distributed trainer, on class-skewed shards where
+the per-channel batch statistics are the degradation mechanism.
+"""
+
+import numpy as np
+
+from repro.data import SyntheticSpec, TensorDataset, make_image_classification
+from repro.mpi import run_spmd
+from repro.shuffle import strategy_from_name
+from repro.train import TrainConfig, train_worker
+from repro.utils import render_table
+
+from _common import emit, once
+
+WORKERS = 4
+EPOCHS = 10
+STRATEGIES = ["global", "local", "partial-0.3"]
+
+
+def run():
+    spec = SyntheticSpec(
+        n_samples=768, n_classes=6, n_features=0, intra_modes=4,
+        separation=2.6, noise=1.0, seed=5,
+    )
+    X, y = make_image_classification(spec, channels=1, height=8, width=8)
+    order = np.random.default_rng(0).permutation(len(X))
+    X, y = X[order], y[order]
+    val_X, val_y = X[:128], y[:128]
+    train_ds = TensorDataset(X[128:], y[128:])
+    labels = y[128:]
+    config = TrainConfig(
+        model="cnn", epochs=EPOCHS, batch_size=8, base_lr=0.05,
+        in_shape=(1, 8, 8), num_classes=6, partition="class_sorted", seed=1,
+    )
+    histories = {}
+    for name in STRATEGIES:
+        def worker(comm):
+            return train_worker(
+                comm, config, strategy_from_name(name), train_ds, labels,
+                val_X, val_y,
+            )
+
+        histories[name] = run_spmd(worker, WORKERS, copy_on_send=False,
+                                   deadline_s=900)[0]
+    return histories
+
+
+def test_fig5_cnn_batchnorm2d(benchmark):
+    histories = once(benchmark, run)
+    rows = [
+        [name, f"{h.best_accuracy:.3f}", f"{h.final_accuracy:.3f}"]
+        for name, h in histories.items()
+    ]
+    table = render_table(
+        ["strategy", "best top-1", "final top-1"],
+        rows,
+        title=(
+            f"Figure 5 (CNN/BatchNorm2d) — Conv model on (1,8,8) images, "
+            f"{WORKERS} workers, class-sorted shards"
+        ),
+    )
+    emit("fig5_cnn_batchnorm", table)
+
+    g = histories["global"].best_accuracy
+    l = histories["local"].best_accuracy
+    p = histories["partial-0.3"].best_accuracy
+    assert g > 0.6, "global CNN baseline failed to learn"
+    assert g - l > 0.03, "class skew should open a gap on BatchNorm2d"
+    assert p > l, "partial exchange should recover accuracy"

@@ -1,0 +1,55 @@
+"""FIG9 — Figure 9: training time per epoch vs worker count (ABCI).
+
+ResNet50/ImageNet-1K with global, local and partial-0.1 shuffling, from
+the calibrated analytic model.  The paper's shape: GS is ~5x slower than
+LS at 128 workers (PFS congestion + stragglers) and the gap widens with
+scale; partial-0.1 tracks LS up to 512 workers and visibly degrades at
+1,024-2,048 (too few iterations to hide the exchange).
+"""
+
+from repro.cluster import ABCI, IMAGENET1K
+from repro.perfmodel import epoch_breakdown, get_profile
+from repro.utils import render_table
+
+from _common import emit, once
+
+WORKER_COUNTS = [128, 256, 512, 1024, 2048]
+
+
+def build_rows():
+    prof = get_profile("resnet50")
+    rows = []
+    for m in WORKER_COUNTS:
+        g = epoch_breakdown(strategy="global", machine=ABCI, dataset=IMAGENET1K,
+                            profile=prof, workers=m, batch_size=32)
+        l = epoch_breakdown(strategy="local", machine=ABCI, dataset=IMAGENET1K,
+                            profile=prof, workers=m, batch_size=32)
+        p = epoch_breakdown(strategy="partial", machine=ABCI, dataset=IMAGENET1K,
+                            profile=prof, workers=m, batch_size=32, q=0.1)
+        rows.append(
+            [m, f"{g.total:.1f}", f"{l.total:.1f}", f"{p.total:.1f}",
+             f"{g.total / l.total:.2f}", f"{p.total / l.total:.2f}"]
+        )
+    return rows
+
+
+def test_fig9_epoch_time_vs_workers(benchmark):
+    rows = once(benchmark, build_rows)
+    table = render_table(
+        ["workers", "global (s)", "local (s)", "partial-0.1 (s)", "G/L", "P/L"],
+        rows,
+        title="Figure 9 — epoch time, ResNet50/ImageNet-1K on ABCI (analytic model)",
+    )
+    emit("fig9_epoch_time", table)
+
+    by_m = {int(r[0]): r for r in rows}
+    # ~5x at 128 workers (paper's headline ratio).
+    assert 3.5 < float(by_m[128][4]) < 6.5
+    # partial-0.1 ~ local up to 512...
+    for m in (128, 256, 512):
+        assert float(by_m[m][5]) < 1.15
+    # ...degrading at extreme scale.
+    assert float(by_m[2048][5]) > 1.5
+    # Local epoch time scales down with workers.
+    locals_ = [float(by_m[m][2]) for m in WORKER_COUNTS]
+    assert locals_ == sorted(locals_, reverse=True)

@@ -1,0 +1,71 @@
+"""LANDSCAPE — accuracy over the full (workers, Q) grid.
+
+The paper's evaluation explores slices of one surface: validation accuracy
+as a function of worker count M and exchange fraction Q (Figure 5 fixes M
+and sweeps Q; Figure 6 fixes the global batch and sweeps M).  This bench
+regenerates the whole surface at bench scale on the skewed-shard problem,
+so the two headline claims are visible in one table:
+
+* along Q at fixed M: accuracy rises from the local-shuffling floor to the
+  global-shuffling ceiling, most of the recovery arriving by small Q;
+* along M at fixed Q=0: the local-shuffling floor sinks with scale.
+"""
+
+import numpy as np
+
+from repro.data import SyntheticSpec
+from repro.train import TrainConfig, run_comparison
+from repro.utils import render_table
+
+from _common import emit, once
+
+SPEC = SyntheticSpec(
+    n_samples=1024, n_classes=8, n_features=32, intra_modes=4,
+    separation=2.2, noise=1.0, seed=3,
+)
+SCALES = [4, 8, 16, 32]
+QS = ["local", "partial-0.1", "partial-0.3", "partial-1", "global"]
+
+
+def run_grid():
+    grid = {}
+    for workers in SCALES:
+        config = TrainConfig(
+            model="mlp", epochs=8, batch_size=8, base_lr=0.05,
+            partition="class_sorted", seed=1,
+        )
+        result = run_comparison(
+            spec=SPEC, config=config, workers=workers, strategies=QS,
+        )
+        grid[workers] = {name: result.best(name) for name in QS}
+    return grid
+
+
+def test_q_landscape(benchmark):
+    grid = once(benchmark, run_grid)
+    rows = [
+        [m] + [f"{grid[m][name]:.3f}" for name in QS]
+        for m in SCALES
+    ]
+    table = render_table(
+        ["workers \\ Q"] + QS,
+        rows,
+        title="Accuracy landscape over (workers, Q) — class-sorted shards",
+    )
+    emit("q_landscape", table)
+
+    for m in SCALES:
+        vals = [grid[m][name] for name in QS]
+        # Monotone-ish recovery along Q (allow small non-monotonic noise).
+        assert vals[-1] >= vals[0] - 0.02
+        assert max(vals[1:]) >= vals[0]
+        # Q=0.3 already recovers most of the local->global gap at scale.
+        gap = grid[m]["global"] - grid[m]["local"]
+        if gap > 0.1:
+            assert grid[m]["partial-0.3"] >= grid[m]["local"] + 0.5 * gap
+    # The local floor sinks as workers grow (scale effect).
+    floors = [grid[m]["local"] for m in SCALES]
+    assert floors[-1] < floors[0]
+    # The global ceiling is comparatively stable.
+    ceilings = [grid[m]["global"] for m in SCALES]
+    assert (max(ceilings) - min(ceilings)) < 2 * (max(floors) - min(floors))

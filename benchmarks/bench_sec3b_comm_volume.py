@@ -1,0 +1,63 @@
+"""SEC3B — §III-B worked example: per-worker storage and traffic volumes.
+
+"When using a partial shuffling scheme with Q = 10% on 512 workers that
+load the ImageNet-21K dataset, each worker sends (and receives)
+0.1 x 1.1TiB/512 = 225 MiB and reads 0.9 x 1.1TiB/512 = 2 GiB locally.
+It is to be compared with global shuffling where each worker reads
+1.1TiB/512 = 2.2 GiB from the PFS."
+"""
+
+import pytest
+
+from repro.shuffle import compute_volumes
+from repro.utils import format_size, render_table
+from repro.utils.units import GIB, MIB, TIB
+
+from _common import emit, once
+
+DATASET_BYTES = int(1.1 * TIB)
+SAMPLES = 9_300_000
+WORKERS = 512
+
+
+def build_rows():
+    rows = []
+    for scheme, q in [("global", None), ("local", None)] + [
+        ("partial", q) for q in (0.01, 0.1, 0.3, 0.5, 1.0)
+    ]:
+        v = compute_volumes(
+            scheme, workers=WORKERS, dataset_bytes=DATASET_BYTES,
+            dataset_samples=SAMPLES, q=q,
+        )
+        rows.append(
+            [
+                v.scheme,
+                format_size(v.storage_bytes),
+                f"{v.storage_fraction:.4%}",
+                format_size(v.network_send_bytes),
+                format_size(v.local_read_bytes),
+                format_size(v.pfs_read_bytes),
+            ]
+        )
+    return rows
+
+
+def test_sec3b_comm_volume(benchmark):
+    rows = once(benchmark, build_rows)
+    table = render_table(
+        ["scheme", "peak storage", "of dataset", "sent/epoch", "local read", "PFS read"],
+        rows,
+        title=(
+            f"SEC3B — per-worker volumes, ImageNet-21K (1.1 TiB), {WORKERS} workers"
+        ),
+    )
+    emit("sec3b_comm_volume", table)
+
+    pls = compute_volumes("partial", workers=WORKERS, dataset_bytes=DATASET_BYTES,
+                          dataset_samples=SAMPLES, q=0.1)
+    gs = compute_volumes("global", workers=WORKERS, dataset_bytes=DATASET_BYTES,
+                         dataset_samples=SAMPLES)
+    # The paper's numbers.
+    assert pls.network_send_bytes / MIB == pytest.approx(225, rel=0.05)
+    assert pls.local_read_bytes / GIB == pytest.approx(2.0, rel=0.05)
+    assert gs.pfs_read_bytes / GIB == pytest.approx(2.2, rel=0.05)

@@ -1,0 +1,72 @@
+"""SEC4B — §IV-B: the shuffling error dominates the convergence bound.
+
+Evaluates Eq. 8-11 for the paper's ImageNet example (N = 1.2e6, workers
+from 4 to 100,000, total minibatch < 100K): epsilon(A, h, N) ~= 1 in the
+practical regime, so the Eq. 6 bound is dominated by the shuffling-error
+term — the paper's argument that existing theory cannot explain why
+(partial) local shuffling works, motivating the empirical study.
+
+Also prints the Monte-Carlo ground truth for tiny n (where Eq. 9's
+product-form sigma is verifiably an overcount) showing the error decreases
+monotonically with the exchange fraction Q.
+"""
+
+from repro.theory import (
+    convergence_bound,
+    error_table,
+    is_overcounted,
+    shuffling_error_monte_carlo,
+)
+from repro.utils import render_table
+
+from _common import emit, once
+
+N = 1_200_000
+WORKERS = [4, 16, 100, 512, 1024, 4096, 100_000]
+Q = 0.1
+B = 32
+
+
+def build_tables():
+    rows = []
+    for pt in error_table(N, WORKERS, q=Q, b=B):
+        bound = convergence_bound(n=N, m=pt.m, b=B, epochs=90, epsilon=pt.epsilon)
+        rows.append(
+            [
+                pt.m,
+                f"{pt.epsilon:.6f}",
+                f"{pt.threshold:.4f}",
+                "yes" if pt.dominates else "no",
+                "(degenerate)" if is_overcounted(N, pt.m, Q) else "",
+                bound.dominant_term,
+            ]
+        )
+    mc_rows = []
+    for q in (0.0, 1 / 3, 2 / 3, 1.0):
+        eps = shuffling_error_monte_carlo(6, 2, q, trials=20000, seed=3)
+        mc_rows.append([f"{q:.2f}", f"{eps:.3f}"])
+    return rows, mc_rows
+
+
+def test_sec4b_shuffling_error(benchmark):
+    rows, mc_rows = once(benchmark, build_tables)
+    table = render_table(
+        ["workers M", "epsilon (Eq.11)", "sqrt(bM/N)", "dominates?", "note", "Eq.6 dominant term"],
+        rows,
+        title=f"SEC4B — shuffling error, ImageNet N={N:,}, Q={Q}, b={B}",
+    )
+    table += "\n" + render_table(
+        ["Q", "epsilon (Monte-Carlo, n=6, M=2)"],
+        mc_rows,
+        title="Ground-truth TV error for tiny n: monotone in Q",
+    )
+    emit("sec4b_shuffling_error", table)
+
+    by_m = {int(r[0]): r for r in rows}
+    # The paper's conclusion for the practical mid-range.
+    for m in (100, 512, 1024, 4096):
+        assert float(by_m[m][1]) > 0.999
+        assert by_m[m][3] == "yes"
+    # Monte-Carlo ground truth is monotone decreasing in Q.
+    eps_values = [float(r[1]) for r in mc_rows]
+    assert eps_values == sorted(eps_values, reverse=True)

@@ -1,0 +1,86 @@
+"""The §III-D deployment loop, automated.
+
+Given a (synthetic) workload and a worker count, find the smallest
+exchange fraction Q whose validation accuracy is within tolerance of
+global shuffling — then report what that choice costs in storage and
+per-epoch traffic, and what it saves in wall-clock time to the target
+accuracy on the ABCI model.
+
+Run:  python examples/deployment_tuning.py [workers] [tolerance]
+e.g.  python examples/deployment_tuning.py 16 0.05
+"""
+
+import sys
+
+from repro.cluster import ABCI, IMAGENET1K
+from repro.data import SyntheticSpec
+from repro.perfmodel import epoch_breakdown, get_profile, time_to_accuracy
+from repro.train import TrainConfig, tune_exchange_fraction
+from repro.utils import print_table
+
+SPEC = SyntheticSpec(
+    n_samples=1024, n_classes=8, n_features=32, intra_modes=4,
+    separation=2.2, noise=1.0, seed=3,
+)
+
+
+def main():
+    workers = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    tolerance = float(sys.argv[2]) if len(sys.argv) > 2 else 0.05
+
+    config = TrainConfig(
+        model="mlp", epochs=10, batch_size=8, base_lr=0.05,
+        partition="class_sorted", seed=1,
+    )
+    print(f"\ntuning Q for {workers} workers (class-skewed shards), "
+          f"tolerance {tolerance:.0%} of global accuracy ...")
+    result = tune_exchange_fraction(
+        spec=SPEC, config=config, workers=workers, tolerance=tolerance,
+    )
+
+    rows = [[f"{q:g}", f"{acc:.3f}", f"{result.global_accuracy - acc:+.3f}"]
+            for q, acc in result.evaluated.items()]
+    print_table(
+        ["Q", "best top-1", "deficit vs global"],
+        rows,
+        title=f"\nevaluated grid (global = {result.global_accuracy:.3f})",
+    )
+    print(
+        f"\nrecommendation: Q = {result.recommended_q:g} "
+        f"(storage {result.storage_factor:.2f}x the local footprint, "
+        f"deficit {result.deficit:+.3f})"
+    )
+
+    # What the recommendation buys on the modelled machine.
+    prof = get_profile("resnet50")
+    target = 0.95 * result.global_accuracy
+    rows = []
+    for name, history in result.histories.items():
+        if name == "global":
+            b = epoch_breakdown(strategy="global", machine=ABCI,
+                                dataset=IMAGENET1K, profile=prof,
+                                workers=512, batch_size=32)
+        elif name == "local":
+            b = epoch_breakdown(strategy="local", machine=ABCI,
+                                dataset=IMAGENET1K, profile=prof,
+                                workers=512, batch_size=32)
+        else:
+            q = float(name.split("-")[1])
+            b = epoch_breakdown(strategy="partial", machine=ABCI,
+                                dataset=IMAGENET1K, profile=prof,
+                                workers=512, batch_size=32, q=q)
+        t = time_to_accuracy(history, b, target=target)
+        rows.append(
+            [name, t.epochs_needed if t.reached else "never",
+             f"{b.total:.1f}",
+             f"{t.total_seconds:.0f}" if t.reached else "-"]
+        )
+    print_table(
+        ["strategy", f"epochs to {target:.3f}", "epoch time (s)", "time to target (s)"],
+        rows,
+        title="\nwall-clock implication on the ABCI model (512 workers)",
+    )
+
+
+if __name__ == "__main__":
+    main()

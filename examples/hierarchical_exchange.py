@@ -1,0 +1,77 @@
+"""The §V-F hierarchical exchange, end to end.
+
+Runs the same balanced sample exchange two ways on a simulated 8-node x
+4-rank machine — flat (Algorithm 1: every worker messages random peers
+machine-wide) and hierarchical (funnel to node leaders, node-level
+exchange, scatter) — then compares message counts, and uses the flow-level
+network simulator to show where each wins on an oversubscribed fabric.
+
+Run:  python examples/hierarchical_exchange.py
+"""
+
+import numpy as np
+
+from repro.mpi import run_spmd
+from repro.shuffle import ExchangePlan, hierarchical_exchange
+from repro.simnet import (
+    flat_exchange_flows,
+    hierarchical_exchange_flows,
+    simulate_flows,
+    two_level_tree,
+)
+from repro.utils import print_table
+
+NODES, RPN, K = 8, 4, 8  # 32 ranks, 8 samples exchanged each
+
+
+def main():
+    # --- functional comparison over the in-process MPI -------------------
+    def worker(comm):
+        items = [(comm.rank, i) for i in range(K)]
+        result = hierarchical_exchange(
+            comm, items, ranks_per_node=RPN, seed=3, epoch=0
+        )
+        received_from_other_nodes = sum(
+            1 for (src, _) in result.received if src // RPN != comm.rank // RPN
+        )
+        return (len(result.received), received_from_other_nodes)
+
+    out = run_spmd(worker, NODES * RPN, deadline_s=120)
+    counts = [r[0] for r in out]
+    cross = sum(r[1] for r in out)
+    print(
+        f"hierarchical exchange on {NODES}x{RPN} ranks: every rank received "
+        f"exactly {counts[0]} samples (balanced: {len(set(counts)) == 1}); "
+        f"{cross} samples crossed node boundaries"
+    )
+
+    plan = ExchangePlan.for_epoch(seed=3, epoch=0, size=NODES * RPN, rounds=K)
+    flat_msgs = NODES * RPN * K
+    print(f"flat Algorithm 1 would send {flat_msgs} point-to-point messages "
+          f"(plan balanced: {plan.is_balanced()})")
+
+    # --- congestion comparison on an oversubscribed tree ------------------
+    topo = two_level_tree(NODES, RPN, injection_bw=1.25e9, uplink_bw=2.5e9)
+    rows = []
+    for sample_bytes in (1_000, 117_000, 1_000_000):
+        flat = flat_exchange_flows(topo, rounds=K, sample_bytes=sample_bytes)
+        hier = hierarchical_exchange_flows(topo, rounds=K, sample_bytes=sample_bytes)
+        rf, rh = simulate_flows(topo, flat), simulate_flows(topo, hier)
+        rows.append(
+            [f"{sample_bytes:,}", len(flat), len(hier),
+             f"{rf.makespan * 1e3:.2f}", f"{rh.makespan * 1e3:.2f}"]
+        )
+    print_table(
+        ["bytes/sample", "flat flows", "hier flows", "flat (ms)", "hier (ms)"],
+        rows,
+        title="\nflow-simulated exchange time (2:1 oversubscribed fat-tree)",
+    )
+    print(
+        "\nhierarchy wins when per-message overhead dominates (small samples)"
+        " and loses when leader links serialise bulk bytes (large samples) —"
+        " the quantified version of the paper's SV-F suggestion."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Accuracy vs worker count for the three shuffling strategies.
+
+Reproduces the shape of Figures 5/6 at laptop scale: with diverse
+(randomly partitioned) shards local shuffling tracks global shuffling at
+every scale; with class-skewed shards the local-shuffling gap opens as the
+worker count grows, and a partial exchange of Q=0.3 closes most of it.
+
+Run:  python examples/imagenet_scaling.py
+"""
+
+from repro.data import SyntheticSpec
+from repro.train import TrainConfig, run_comparison
+from repro.utils import print_table
+
+SPEC = SyntheticSpec(
+    n_samples=1024, n_classes=8, n_features=32, intra_modes=4,
+    separation=2.2, noise=1.0, seed=3,
+)
+STRATEGIES = ["global", "local", "partial-0.3"]
+SCALES = [2, 8, 16]
+
+
+def sweep(partition: str):
+    rows = []
+    for workers in SCALES:
+        config = TrainConfig(
+            model="mlp", epochs=8, batch_size=8, base_lr=0.05,
+            partition=partition, seed=1,
+        )
+        res = run_comparison(
+            spec=SPEC, config=config, workers=workers, strategies=STRATEGIES,
+        )
+        rows.append(
+            [workers]
+            + [f"{res.best(s):.3f}" for s in STRATEGIES]
+            + [f"{res.best('global') - res.best('local'):+.3f}"]
+        )
+    return rows
+
+
+def main():
+    for partition, story in [
+        ("random", "diverse shards: local ~= global at every scale (Fig. 5a-d)"),
+        ("class_sorted", "skewed shards: the gap opens with scale; Q=0.3 closes it (Fig. 5e-f, 6)"),
+    ]:
+        rows = sweep(partition)
+        print_table(
+            ["workers"] + STRATEGIES + ["GS-LS gap"],
+            rows,
+            title=f"\npartition={partition} — {story}",
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Epoch-time model sweep: Figure 9/10-style tables for any configuration.
+
+Prints (a) epoch time vs worker count for the three schemes and (b) the
+per-phase breakdown across exchange rates at a fixed scale, using the
+calibrated analytic model over the ABCI or Fugaku preset.
+
+Run:  python examples/perf_model_sweep.py [machine] [profile]
+e.g.  python examples/perf_model_sweep.py ABCI densenet161
+"""
+
+import sys
+
+from repro.cluster import IMAGENET1K, get_machine
+from repro.perfmodel import epoch_breakdown, get_profile
+from repro.utils import print_table
+
+
+def main():
+    machine = get_machine(sys.argv[1] if len(sys.argv) > 1 else "ABCI")
+    profile = get_profile(sys.argv[2] if len(sys.argv) > 2 else "resnet50")
+    dataset = IMAGENET1K
+
+    rows = []
+    for workers in (128, 256, 512, 1024, 2048):
+        g = epoch_breakdown(strategy="global", machine=machine, dataset=dataset,
+                            profile=profile, workers=workers, batch_size=32)
+        l = epoch_breakdown(strategy="local", machine=machine, dataset=dataset,
+                            profile=profile, workers=workers, batch_size=32)
+        p = epoch_breakdown(strategy="partial", machine=machine, dataset=dataset,
+                            profile=profile, workers=workers, batch_size=32, q=0.1)
+        rows.append(
+            [workers, f"{g.total:.1f}", f"{l.total:.1f}", f"{p.total:.1f}",
+             f"{g.total / l.total:.2f}x"]
+        )
+    print_table(
+        ["workers", "global (s)", "local (s)", "partial-0.1 (s)", "GS slowdown"],
+        rows,
+        title=f"\nEpoch time vs scale — {profile.name}/{dataset.name} on {machine.name}",
+    )
+
+    rows = []
+    for q in (0.1, 0.3, 0.5, 0.7, 0.9):
+        b = epoch_breakdown(strategy="partial", machine=machine, dataset=dataset,
+                            profile=profile, workers=512, batch_size=32, q=q)
+        rows.append(
+            [f"partial-{q}", f"{b.io:.1f}", f"{b.exchange:.1f}",
+             f"{b.fw_bw:.1f}", f"{b.ge_wu:.1f}", f"{b.total:.1f}"]
+        )
+    print_table(
+        ["strategy", "I/O", "EXCHANGE", "FW+BW", "GE+WU", "total (s)"],
+        rows,
+        title="\nBreakdown at 512 workers vs exchange rate (Fig. 10 shape)",
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Storage planner: which shuffling scheme fits your machine and dataset?
+
+Given a TOP500 machine preset, a dataset and a worker count, this prints
+the per-worker storage each scheme requires, whether it fits the node-local
+flash, and the per-epoch traffic — the §II/§III decision the paper's
+deployment guideline is about ("start with local shuffling; if accuracy is
+dissatisfactory, treat the shuffling factor as a hyper-parameter").
+
+Run:  python examples/storage_planning.py [machine] [workers]
+e.g.  python examples/storage_planning.py Fugaku 4096
+"""
+
+import sys
+
+from repro.cluster import FIG1_DATASETS, get_machine
+from repro.shuffle import compute_volumes
+from repro.utils import format_size, print_table
+
+
+def plan(machine_name: str, workers: int) -> None:
+    machine = get_machine(machine_name)
+    print(
+        f"\n{machine.name}: {format_size(machine.local_bytes_per_node)} node-local"
+        f" flash, {machine.ranks_per_node} ranks/node, planning for {workers} workers"
+    )
+    per_rank_budget = machine.local_bytes_per_node // machine.ranks_per_node
+
+    for dataset in FIG1_DATASETS:
+        rows = []
+        schemes = [("global", None), ("local", None)] + [
+            ("partial", q) for q in (0.1, 0.3, 1.0)
+        ]
+        for scheme, q in schemes:
+            v = compute_volumes(
+                scheme, workers=workers, dataset_bytes=dataset.nbytes,
+                dataset_samples=dataset.samples, q=q,
+            )
+            # GS needs full replication per *node* to avoid the PFS.
+            need = v.storage_bytes
+            fits = need <= per_rank_budget
+            rows.append(
+                [
+                    v.scheme,
+                    format_size(need),
+                    "yes" if fits else "NO",
+                    format_size(v.network_send_bytes),
+                    format_size(v.pfs_read_bytes),
+                ]
+            )
+        print_table(
+            ["scheme", "per-worker storage", "fits local flash?", "sent/epoch", "PFS read/epoch"],
+            rows,
+            title=f"\n{dataset.name} ({format_size(dataset.nbytes)}, {dataset.samples:,} samples)",
+        )
+
+
+def main():
+    machine = sys.argv[1] if len(sys.argv) > 1 else "Fugaku"
+    workers = int(sys.argv[2]) if len(sys.argv) > 2 else 4096
+    plan(machine, workers)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setup shim for environments without the `wheel` package (offline).
+
+`pip install -e . --no-build-isolation` works where wheel is available;
+`python setup.py develop` is the offline fallback.
+"""
+from setuptools import setup
+
+setup()

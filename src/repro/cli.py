@@ -1,0 +1,280 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands
+-----------
+``train``
+    Run a shuffling-strategy comparison on a synthetic dataset and print
+    the accuracy table (the Figure 5/6 primitive).
+``plan``
+    Storage planning: which schemes fit a machine's node-local flash for
+    each Figure-1 dataset (the §II decision).
+``perf``
+    Epoch-time model sweep over worker counts (Figure 9 shape).
+``theory``
+    Shuffling-error and convergence-bound table (§IV-B).
+``volumes``
+    Per-worker storage/traffic volumes for one configuration (§III-B).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.utils import format_size, print_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction toolkit for 'Why Globally Re-shuffle?' (IPDPS 2022)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_train = sub.add_parser("train", help="compare shuffling strategies on synthetic data")
+    p_train.add_argument("--samples", type=int, default=1024)
+    p_train.add_argument("--classes", type=int, default=8)
+    p_train.add_argument("--features", type=int, default=32)
+    p_train.add_argument("--workers", type=int, default=8)
+    p_train.add_argument("--epochs", type=int, default=8)
+    p_train.add_argument("--batch-size", type=int, default=8)
+    p_train.add_argument("--lr", type=float, default=0.05)
+    p_train.add_argument(
+        "--partition", choices=["random", "contiguous", "strided", "class_sorted", "dirichlet"],
+        default="class_sorted",
+    )
+    p_train.add_argument("--norm", choices=["batch", "group", "none"], default="batch")
+    p_train.add_argument("--seed", type=int, default=0)
+    p_train.add_argument(
+        "--strategies", nargs="+", default=["global", "local", "partial-0.3"],
+        help="global | local | partial-<q>",
+    )
+
+    p_plan = sub.add_parser("plan", help="storage planning for a TOP500 machine")
+    p_plan.add_argument("machine", nargs="?", default="Fugaku")
+    p_plan.add_argument("workers", nargs="?", type=int, default=4096)
+
+    p_perf = sub.add_parser("perf", help="epoch-time model sweep (Figure 9 shape)")
+    p_perf.add_argument("--machine", default="ABCI")
+    p_perf.add_argument("--profile", default="resnet50")
+    p_perf.add_argument("--batch-size", type=int, default=32)
+    p_perf.add_argument("--q", type=float, default=0.1)
+    p_perf.add_argument(
+        "--workers", type=int, nargs="+", default=[128, 256, 512, 1024, 2048]
+    )
+
+    p_theory = sub.add_parser("theory", help="shuffling-error table (SIV-B)")
+    p_theory.add_argument("--n", type=int, default=1_200_000)
+    p_theory.add_argument("--q", type=float, default=0.1)
+    p_theory.add_argument("--batch-size", type=int, default=32)
+    p_theory.add_argument(
+        "--workers", type=int, nargs="+", default=[4, 100, 1024, 4096, 100_000]
+    )
+
+    p_vol = sub.add_parser("volumes", help="per-worker volumes (SIII-B)")
+    p_vol.add_argument("--dataset-bytes", type=str, default="1.1TiB")
+    p_vol.add_argument("--samples", type=int, default=9_300_000)
+    p_vol.add_argument("--workers", type=int, default=512)
+    p_vol.add_argument("--q", type=float, nargs="+", default=[0.1, 0.3, 1.0])
+
+    p_rep = sub.add_parser(
+        "report", help="collate benchmarks/results/*.txt into one REPORT.md"
+    )
+    p_rep.add_argument("--results-dir", default="benchmarks/results")
+    p_rep.add_argument("--output", default="REPORT.md")
+
+    return parser
+
+
+def _cmd_train(args) -> int:
+    from repro.data import SyntheticSpec
+    from repro.train import TrainConfig, run_comparison
+
+    spec = SyntheticSpec(
+        n_samples=args.samples, n_classes=args.classes, n_features=args.features,
+        seed=args.seed,
+    )
+    config = TrainConfig(
+        model="mlp", epochs=args.epochs, batch_size=args.batch_size,
+        base_lr=args.lr, partition=args.partition, seed=args.seed,
+        norm=None if args.norm == "none" else args.norm,
+    )
+    result = run_comparison(
+        spec=spec, config=config, workers=args.workers, strategies=args.strategies,
+    )
+    rows = [
+        [name, f"{h.best_accuracy:.3f}", f"{h.final_accuracy:.3f}",
+         h.stats.get("storage_samples", "-")]
+        for name, h in result.histories.items()
+    ]
+    print_table(
+        ["strategy", "best top-1", "final top-1", "storage (samples)"],
+        rows,
+        title=(
+            f"{args.workers} workers, partition={args.partition}, "
+            f"norm={args.norm}, {args.epochs} epochs"
+        ),
+    )
+    return 0
+
+
+def _cmd_perf(args) -> int:
+    from repro.cluster import IMAGENET1K, get_machine
+    from repro.perfmodel import epoch_breakdown, get_profile
+
+    machine = get_machine(args.machine)
+    profile = get_profile(args.profile)
+    rows = []
+    for workers in args.workers:
+        g = epoch_breakdown(strategy="global", machine=machine, dataset=IMAGENET1K,
+                            profile=profile, workers=workers, batch_size=args.batch_size)
+        l = epoch_breakdown(strategy="local", machine=machine, dataset=IMAGENET1K,
+                            profile=profile, workers=workers, batch_size=args.batch_size)
+        p = epoch_breakdown(strategy="partial", machine=machine, dataset=IMAGENET1K,
+                            profile=profile, workers=workers, batch_size=args.batch_size,
+                            q=args.q)
+        rows.append(
+            [workers, f"{g.total:.1f}", f"{l.total:.1f}", f"{p.total:.1f}",
+             f"{g.total / l.total:.2f}x"]
+        )
+    print_table(
+        ["workers", "global (s)", "local (s)", f"partial-{args.q} (s)", "GS slowdown"],
+        rows,
+        title=f"{args.profile} on {machine.name} (analytic epoch model)",
+    )
+    return 0
+
+
+def _cmd_theory(args) -> int:
+    from repro.theory import error_table
+
+    rows = [
+        [pt.m, f"{pt.epsilon:.6f}", f"{pt.threshold:.4f}", "yes" if pt.dominates else "no"]
+        for pt in error_table(args.n, args.workers, q=args.q, b=args.batch_size)
+    ]
+    print_table(
+        ["workers", "epsilon (Eq.11)", "sqrt(bM/N)", "error dominates bound?"],
+        rows,
+        title=f"shuffling error: N={args.n:,}, Q={args.q}, b={args.batch_size}",
+    )
+    return 0
+
+
+def _cmd_volumes(args) -> int:
+    from repro.shuffle import compute_volumes
+    from repro.utils import parse_size
+
+    nbytes = parse_size(args.dataset_bytes)
+    rows = []
+    for scheme, q in [("global", None), ("local", None)] + [("partial", q) for q in args.q]:
+        v = compute_volumes(scheme, workers=args.workers, dataset_bytes=nbytes,
+                            dataset_samples=args.samples, q=q)
+        rows.append(
+            [v.scheme, format_size(v.storage_bytes), f"{v.storage_fraction:.4%}",
+             format_size(v.network_send_bytes), format_size(v.pfs_read_bytes)]
+        )
+    print_table(
+        ["scheme", "peak storage/worker", "of dataset", "sent/epoch", "PFS read/epoch"],
+        rows,
+        title=f"{format_size(nbytes)} dataset over {args.workers} workers",
+    )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "train":
+        return _cmd_train(args)
+    if args.command == "plan":
+        from repro.cluster import FIG1_DATASETS, get_machine
+        from repro.shuffle import compute_volumes
+
+        machine = get_machine(args.machine)
+        per_rank = machine.local_bytes_per_node // machine.ranks_per_node
+        rows = []
+        for ds in FIG1_DATASETS:
+            fits = {}
+            for scheme, q in [("global", None), ("local", None), ("partial", 0.3)]:
+                v = compute_volumes(scheme, workers=args.workers,
+                                    dataset_bytes=ds.nbytes,
+                                    dataset_samples=ds.samples, q=q)
+                fits[v.scheme] = "yes" if v.storage_bytes <= per_rank else "NO"
+            rows.append([ds.name, format_size(ds.nbytes), fits["global"],
+                         fits["local"], fits["partial-0.3"]])
+        print_table(
+            ["dataset", "size", "global fits?", "local fits?", "partial-0.3 fits?"],
+            rows,
+            title=(
+                f"{machine.name}: {format_size(per_rank)} flash per rank, "
+                f"{args.workers} workers"
+            ),
+        )
+        return 0
+    if args.command == "perf":
+        return _cmd_perf(args)
+    if args.command == "theory":
+        return _cmd_theory(args)
+    if args.command == "volumes":
+        return _cmd_volumes(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+# Presentation order for the collated report: paper artefacts first, then
+# validation and ablations.
+_REPORT_ORDER = (
+    "fig1_", "table1_", "fig5_", "fig5ef_", "fig6_", "fig7a_", "fig7b_",
+    "fig8_", "fig9_", "fig10_", "sec3b_", "sec4b_", "time_to_accuracy",
+    "robustness", "validation_", "ablation_",
+)
+
+
+def _cmd_report(args) -> int:
+    from pathlib import Path
+
+    results = Path(args.results_dir)
+    if not results.is_dir():
+        print(
+            f"no results at {results}; run "
+            "`pytest benchmarks/ --benchmark-only` first",
+            file=sys.stderr,
+        )
+        return 1
+    files = sorted(
+        results.glob("*.txt"),
+        key=lambda f: next(
+            (i for i, prefix in enumerate(_REPORT_ORDER) if f.stem.startswith(prefix)),
+            len(_REPORT_ORDER),
+        ),
+    )
+    if not files:
+        print(f"no .txt artefacts under {results}", file=sys.stderr)
+        return 1
+    parts = [
+        "# Reproduction report",
+        "",
+        "Collated benchmark artefacts (regenerate with "
+        "`pytest benchmarks/ --benchmark-only`; see EXPERIMENTS.md for "
+        "paper-vs-measured commentary).",
+        "",
+    ]
+    for f in files:
+        parts.append(f"## {f.stem}")
+        parts.append("")
+        parts.append("```")
+        parts.append(f.read_text().rstrip())
+        parts.append("```")
+        parts.append("")
+    Path(args.output).write_text("\n".join(parts))
+    print(f"wrote {args.output} ({len(files)} artefacts)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

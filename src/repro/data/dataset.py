@@ -1,0 +1,166 @@
+"""Dataset primitives mirroring ``torch.utils.data``.
+
+The paper deliberately builds on PyTorch's two data primitives — a
+``Dataset`` storing samples+labels and a ``DataLoader`` iterating batches —
+so its shuffling layer drops into existing scripts with six changed lines
+(Figure 3).  We reproduce that API surface over NumPy.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Dataset",
+    "TensorDataset",
+    "Subset",
+    "ConcatDataset",
+    "TransformedDataset",
+    "CachedDataset",
+]
+
+
+class Dataset:
+    """Abstract map-style dataset: index -> ``(sample, label)``."""
+
+    def __getitem__(self, index: int) -> tuple[Any, Any]:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def with_transform(self, transform: Callable[[Any], Any]) -> "TransformedDataset":
+        """Return a view applying ``transform`` to each sample."""
+        return TransformedDataset(self, transform)
+
+
+class TensorDataset(Dataset):
+    """In-memory dataset over parallel arrays ``(features, labels)``."""
+
+    def __init__(self, features: np.ndarray, labels: np.ndarray):
+        features = np.asarray(features)
+        labels = np.asarray(labels)
+        if len(features) != len(labels):
+            raise ValueError(
+                f"features ({len(features)}) and labels ({len(labels)}) length mismatch"
+            )
+        self.features = features
+        self.labels = labels
+
+    def __getitem__(self, index: int) -> tuple[np.ndarray, Any]:
+        if not -len(self) <= index < len(self):
+            raise IndexError(f"index {index} out of range for dataset of {len(self)}")
+        return self.features[index], self.labels[index]
+
+    def __len__(self) -> int:
+        return len(self.features)
+
+
+class Subset(Dataset):
+    """A view of ``dataset`` restricted to ``indices`` — the building block of
+    worker-local shards in local/partial-local shuffling."""
+
+    def __init__(self, dataset: Dataset, indices: Sequence[int]):
+        self.dataset = dataset
+        self.indices = np.asarray(indices, dtype=np.int64)
+        if len(self.indices) and (
+            self.indices.min() < 0 or self.indices.max() >= len(dataset)
+        ):
+            raise IndexError("subset indices out of parent dataset range")
+
+    def __getitem__(self, index: int) -> tuple[Any, Any]:
+        return self.dataset[int(self.indices[index])]
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+
+class ConcatDataset(Dataset):
+    """Concatenation of several datasets (used to merge kept-local samples
+    with newly received ones)."""
+
+    def __init__(self, datasets: Sequence[Dataset]):
+        if not datasets:
+            raise ValueError("ConcatDataset needs at least one dataset")
+        self.datasets = list(datasets)
+        self.cumulative = np.cumsum([len(d) for d in self.datasets]).tolist()
+
+    def __getitem__(self, index: int) -> tuple[Any, Any]:
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError(f"index {index} out of range for {len(self)} samples")
+        ds_idx = bisect_right(self.cumulative, index)
+        prev = 0 if ds_idx == 0 else self.cumulative[ds_idx - 1]
+        return self.datasets[ds_idx][index - prev]
+
+    def __len__(self) -> int:
+        return self.cumulative[-1]
+
+
+class TransformedDataset(Dataset):
+    """Applies ``transform`` to the sample (not the label) on access."""
+
+    def __init__(self, dataset: Dataset, transform: Callable[[Any], Any]):
+        self.dataset = dataset
+        self.transform = transform
+
+    def __getitem__(self, index: int) -> tuple[Any, Any]:
+        sample, label = self.dataset[index]
+        return self.transform(sample), label
+
+    def __len__(self) -> int:
+        return len(self.dataset)
+
+
+class CachedDataset(Dataset):
+    """LRU-cached view over a slow (e.g. on-disk) dataset.
+
+    Models the I/O-cache line of related work (FanStore, Quiver, Yang &
+    Cong's data-loader cache, §VI-C): repeated epochs hit memory instead of
+    storage.  ``capacity`` bounds the number of cached samples; ``hits`` /
+    ``misses`` counters make cache behaviour observable in experiments.
+    """
+
+    def __init__(self, dataset: Dataset, *, capacity: int | None = None):
+        from collections import OrderedDict
+
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.dataset = dataset
+        self.capacity = capacity
+        self._cache: "OrderedDict[int, tuple[Any, Any]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __getitem__(self, index: int) -> tuple[Any, Any]:
+        if index < 0:
+            index += len(self.dataset)
+        if index in self._cache:
+            self.hits += 1
+            self._cache.move_to_end(index)
+            return self._cache[index]
+        self.misses += 1
+        item = self.dataset[index]
+        self._cache[index] = item
+        if self.capacity is not None and len(self._cache) > self.capacity:
+            self._cache.popitem(last=False)
+        return item
+
+    def __len__(self) -> int:
+        return len(self.dataset)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of accesses served from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        """Drop all cached entries and reset the counters."""
+        self._cache.clear()
+        self.hits = 0
+        self.misses = 0

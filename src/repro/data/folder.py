@@ -1,0 +1,111 @@
+"""On-disk folder dataset: one file per sample, class sub-directories.
+
+The paper's solution "supports datasets that manage each data sample in a
+single distinct physical file" (§III-E) and wraps PyTorch's ``ImageFolder``.
+:class:`FolderDataset` is the equivalent substrate here: a directory tree
+
+.. code-block:: text
+
+    root/
+      class_000/sample_000000.npy
+      class_000/sample_000001.npy
+      class_001/...
+
+where each ``.npy`` holds one sample array.  It also provides the
+``save_sample`` / ``remove_sample`` hooks the PLS wrapper needs to persist
+received samples and evict transmitted ones (§III-C).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Iterable
+
+import numpy as np
+
+from .dataset import Dataset
+
+__all__ = ["FolderDataset", "materialize_folder_dataset"]
+
+
+class FolderDataset(Dataset):
+    """Map-style dataset over per-sample ``.npy`` files in class sub-dirs."""
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = Path(root)
+        if not self.root.is_dir():
+            raise FileNotFoundError(f"dataset root {self.root} is not a directory")
+        self.classes = sorted(p.name for p in self.root.iterdir() if p.is_dir())
+        if not self.classes:
+            raise ValueError(f"no class sub-directories under {self.root}")
+        self.class_to_idx = {name: i for i, name in enumerate(self.classes)}
+        self._entries: list[tuple[Path, int]] = []
+        for cls in self.classes:
+            for f in sorted((self.root / cls).glob("*.npy")):
+                self._entries.append((f, self.class_to_idx[cls]))
+        if not self._entries:
+            raise ValueError(f"no .npy samples under {self.root}")
+
+    def __getitem__(self, index: int) -> tuple[np.ndarray, int]:
+        path, label = self._entries[index]
+        return np.load(path), label
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -------------------------------------------------- PLS storage hooks
+    def sample_path(self, index: int) -> Path:
+        """Path of the sample's file on disk."""
+        return self._entries[index][0]
+
+    def sample_label(self, index: int) -> int:
+        """Class label of the sample at this index."""
+        return self._entries[index][1]
+
+    def save_sample(self, sample: np.ndarray, label: int, name: str) -> int:
+        """Persist a received sample; returns its new index."""
+        cls = self.classes[label] if 0 <= label < len(self.classes) else None
+        if cls is None:
+            raise ValueError(f"label {label} unknown to this dataset")
+        path = self.root / cls / f"{name}.npy"
+        if path.exists():
+            raise FileExistsError(f"sample file {path} already exists")
+        np.save(path, sample)
+        self._entries.append((path, label))
+        return len(self._entries) - 1
+
+    def remove_sample(self, index: int) -> None:
+        """Evict a transmitted sample from local storage (file + entry)."""
+        path, _ = self._entries.pop(index)
+        path.unlink(missing_ok=False)
+
+    def nbytes(self) -> int:
+        """Total bytes of sample files currently stored (capacity accounting)."""
+        return sum(p.stat().st_size for p, _ in self._entries)
+
+
+def materialize_folder_dataset(
+    root: str | os.PathLike,
+    features: np.ndarray,
+    labels: Iterable[int],
+    *,
+    num_classes: int | None = None,
+    prefix: str = "sample",
+) -> FolderDataset:
+    """Write ``(features, labels)`` to disk in FolderDataset layout.
+
+    Creates every class directory (even empty ones) so all ranks agree on
+    the ``class_to_idx`` mapping — the role the paper's ``class_file`` plays
+    in ``PLS.ImageFolder(train_dir, class_file, ...)``.
+    """
+    root = Path(root)
+    labels = np.asarray(list(labels))
+    if num_classes is None:
+        num_classes = int(labels.max()) + 1 if len(labels) else 0
+    width = max(3, len(str(num_classes - 1)))
+    for c in range(num_classes):
+        (root / f"class_{c:0{width}d}").mkdir(parents=True, exist_ok=True)
+    for i, (x, y) in enumerate(zip(features, labels)):
+        np.save(root / f"class_{int(y):0{width}d}" / f"{prefix}_{i:06d}.npy", x)
+    return FolderDataset(root)

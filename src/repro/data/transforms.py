@@ -1,0 +1,112 @@
+"""Sample transforms (the ``transformations`` argument of Figure 3).
+
+These operate on NumPy arrays and cover the augmentation shapes the paper's
+training regimes use: normalisation, random crops-with-padding, horizontal
+flips and additive noise.  Random transforms take an explicit ``rng`` to
+stay reproducible inside SPMD workers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Compose",
+    "Normalize",
+    "ToFloat32",
+    "RandomHorizontalFlip",
+    "RandomCrop",
+    "GaussianNoise",
+]
+
+
+class Compose:
+    """Apply transforms in order."""
+
+    def __init__(self, transforms: Sequence[Callable[[np.ndarray], np.ndarray]]):
+        self.transforms = list(transforms)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        for t in self.transforms:
+            x = t(x)
+        return x
+
+
+class ToFloat32:
+    """Cast to float32 (model input dtype)."""
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return np.asarray(x, dtype=np.float32)
+
+
+class Normalize:
+    """``(x - mean) / std`` with broadcasting (per-channel or scalar)."""
+
+    def __init__(self, mean, std):
+        self.mean = np.asarray(mean, dtype=np.float32)
+        self.std = np.asarray(std, dtype=np.float32)
+        if np.any(self.std == 0):
+            raise ValueError("std must be non-zero")
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float32)
+        if x.ndim == 3 and self.mean.ndim == 1:
+            # (C, H, W) with per-channel stats.
+            return (x - self.mean[:, None, None]) / self.std[:, None, None]
+        return (x - self.mean) / self.std
+
+
+class RandomHorizontalFlip:
+    """Flip the last axis with probability ``p`` (images: (C,H,W))."""
+
+    def __init__(self, p: float = 0.5, *, rng: np.random.Generator | None = None):
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"p must be in [0,1], got {p}")
+        self.p = p
+        self.rng = rng or np.random.default_rng(0)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        if self.rng.random() < self.p:
+            return x[..., ::-1].copy()
+        return x
+
+
+class RandomCrop:
+    """Pad-and-crop augmentation for (C,H,W) images (the CIFAR recipe)."""
+
+    def __init__(self, size: int, padding: int = 4, *, rng: np.random.Generator | None = None):
+        self.size = size
+        self.padding = padding
+        self.rng = rng or np.random.default_rng(0)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 3:
+            raise ValueError(f"RandomCrop expects (C,H,W), got shape {x.shape}")
+        c, h, w = x.shape
+        if h < self.size or w < self.size:
+            raise ValueError(f"image {h}x{w} smaller than crop size {self.size}")
+        padded = np.pad(
+            x,
+            ((0, 0), (self.padding, self.padding), (self.padding, self.padding)),
+            mode="constant",
+        )
+        top = int(self.rng.integers(0, padded.shape[1] - self.size + 1))
+        left = int(self.rng.integers(0, padded.shape[2] - self.size + 1))
+        return padded[:, top : top + self.size, left : left + self.size]
+
+
+class GaussianNoise:
+    """Additive N(0, sigma^2) noise — generic augmentation for feature data."""
+
+    def __init__(self, sigma: float = 0.01, *, rng: np.random.Generator | None = None):
+        if sigma < 0:
+            raise ValueError(f"sigma must be >= 0, got {sigma}")
+        self.sigma = sigma
+        self.rng = rng or np.random.default_rng(0)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        if self.sigma == 0:
+            return x
+        return x + self.rng.normal(0.0, self.sigma, size=x.shape).astype(x.dtype)

@@ -1,0 +1,46 @@
+"""In-process MPI substrate.
+
+The paper implements its sample exchange with mpi4py (``MPI_Isend`` /
+``MPI_Irecv`` / collectives).  This package provides the same semantics
+without an MPI installation: ranks are threads sharing a
+:class:`~repro.mpi.world.World` of mailboxes, and
+:func:`~repro.mpi.launcher.run_spmd` plays the role of ``mpiexec``.
+
+Quick example::
+
+    from repro.mpi import run_spmd
+
+    def main(comm):
+        token = comm.allreduce(comm.rank)   # sum of ranks
+        return token
+
+    results = run_spmd(main, size=4)
+    assert list(results) == [6, 6, 6, 6]
+"""
+
+from .communicator import ANY_SOURCE, ANY_TAG, Communicator
+from .errors import MPIAbort, MPIError, MPITimeout, RankFailed
+from .launcher import SpmdResult, run_spmd
+from .message import Message, Status
+from .request import RecvRequest, Request, SendRequest, testall, waitall
+from .world import World
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Communicator",
+    "MPIAbort",
+    "MPIError",
+    "MPITimeout",
+    "RankFailed",
+    "SpmdResult",
+    "run_spmd",
+    "Message",
+    "Status",
+    "RecvRequest",
+    "Request",
+    "SendRequest",
+    "testall",
+    "waitall",
+    "World",
+]

@@ -1,0 +1,294 @@
+"""The rank-facing communicator object.
+
+Each SPMD rank receives its own :class:`Communicator` bound to the shared
+:class:`~repro.mpi.world.World`.  The API mirrors mpi4py's lowercase
+(generic-object) interface — ``send``/``recv``/``isend``/``irecv`` plus the
+collectives the training stack needs (barrier, bcast, allreduce, alltoall,
+gather, allgather, scatter, reduce) — because that is the surface the
+paper's Algorithm 1 and PyTorch-side scheduler consume.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from .message import ANY_SOURCE, ANY_TAG, Message, Status, copy_payload
+from .request import RecvRequest, Request, SendRequest
+from .world import World
+
+__all__ = ["Communicator", "ANY_SOURCE", "ANY_TAG"]
+
+_context_counter = itertools.count(1)
+
+
+class Communicator:
+    """One rank's endpoint in a simulated MPI world.
+
+    Point-to-point matching is scoped by a *context id* so that messages on
+    a ``split()`` or ``dup()`` communicator can never match receives posted
+    on the parent — the same isolation real MPI communicators give.
+
+    Zero-copy contract: when the world was created with
+    ``copy_on_send=False``, payloads and collective contributions are shared
+    by reference.  A rank must not mutate a buffer it sent or contributed
+    until the matching receive/collective has completed *on every peer* —
+    exactly the aliasing rule real MPI imposes on its buffers.  Contribute a
+    ``.copy()`` when in doubt (cheap relative to the op it protects).
+    """
+
+    def __init__(
+        self,
+        world: World,
+        rank: int,
+        *,
+        context_id: int = 0,
+        group: Sequence[int] | None = None,
+    ) -> None:
+        if not 0 <= rank < world.size:
+            raise ValueError(f"rank {rank} out of range for world of size {world.size}")
+        self.world = world
+        self._world_rank = rank
+        self.context_id = context_id
+        # ``group`` maps communicator-local rank -> world rank.
+        self.group: tuple[int, ...] = tuple(group) if group is not None else tuple(
+            range(world.size)
+        )
+        if rank not in self.group:
+            raise ValueError(f"world rank {rank} not in communicator group {self.group}")
+        self._local_rank = self.group.index(rank)
+        self._coll_gen = itertools.count()
+
+    # ----------------------------------------------------------------- identity
+    @property
+    def rank(self) -> int:
+        """Rank within this communicator."""
+        return self._local_rank
+
+    @property
+    def size(self) -> int:
+        """Total number of elements."""
+        return len(self.group)
+
+    def Get_rank(self) -> int:  # mpi4py spelling
+        """mpi4py-compatible spelling of ``rank``."""
+        return self._local_rank
+
+    def Get_size(self) -> int:
+        """mpi4py-compatible spelling of ``size``."""
+        return len(self.group)
+
+    def _to_world(self, local: int) -> int:
+        if local == ANY_SOURCE:
+            return ANY_SOURCE
+        if not 0 <= local < self.size:
+            raise ValueError(f"peer rank {local} out of range [0,{self.size})")
+        return self.group[local]
+
+    def _from_world(self, world_rank: int) -> int:
+        return self.group.index(world_rank)
+
+    #: Exclusive upper bound on user tags; the context id occupies the bits
+    #: above it, so larger tags would alias across communicators.
+    MAX_TAG = 1 << 24
+
+    def _wire_tag(self, tag: int) -> int:
+        # Tags are non-negative in MPI; fold the context id into the wire tag
+        # so cross-communicator matches are impossible.
+        if tag == ANY_TAG:
+            return ANY_TAG
+        if tag < 0:
+            raise ValueError(f"tag must be non-negative (or ANY_TAG), got {tag}")
+        if tag >= self.MAX_TAG:
+            raise ValueError(f"tag must be < {self.MAX_TAG}, got {tag}")
+        return self.context_id * self.MAX_TAG + tag
+
+    # ------------------------------------------------------------ point-to-point
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Blocking (buffered) send."""
+        self.isend(obj, dest, tag)
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        """Non-blocking send; completes immediately (buffered semantics)."""
+        payload = copy_payload(obj) if self.world.copy_on_send else obj
+        world_dest = self._to_world(dest)
+        self.world.post(
+            Message(source=self._world_rank, dest=world_dest, tag=self._wire_tag(tag), payload=payload)
+        )
+        return SendRequest(dest=dest, tag=tag)
+
+    def recv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        status: Status | None = None,
+    ) -> Any:
+        """Blocking receive; returns the payload."""
+        msg = self.world.take_blocking(
+            self._world_rank, self._to_world(source), self._wire_tag(tag)
+        )
+        if status is not None:
+            status.source = self._from_world(msg.source)
+            status.tag = msg.tag - self.context_id * (1 << 24)
+            status.count = 1
+        return msg.payload
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> RecvRequest:
+        """Non-blocking receive; complete it with ``.wait()`` / ``.test()``."""
+        return RecvRequest(
+            self.world, self._world_rank, self._to_world(source), self._wire_tag(tag)
+        )
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Status:
+        """Blocking probe: wait until a matching message exists, return its status
+        without consuming it."""
+        box = self.world.mailboxes[self._world_rank]
+        wsource, wtag = self._to_world(source), self._wire_tag(tag)
+        while True:
+            self.world.check_alive()
+            msg = box.peek(wsource, wtag)
+            if msg is not None:
+                return Status(
+                    source=self._from_world(msg.source),
+                    tag=msg.tag - self.context_id * (1 << 24),
+                    count=1,
+                )
+            with box.cond:
+                box.cond.wait(timeout=0.05)
+
+    def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
+        """Non-blocking probe."""
+        self.world.check_alive()
+        msg = self.world.mailboxes[self._world_rank].peek(
+            self._to_world(source), self._wire_tag(tag)
+        )
+        return msg is not None
+
+    # --------------------------------------------------------------- collectives
+    def _rendezvous(self, op: str, contribution: Any) -> dict[int, Any]:
+        gen = next(self._coll_gen)
+        key = (self.context_id, op, gen, self.size)
+        return self.world.rendezvous(key, self._local_rank, contribution)
+
+    def barrier(self) -> None:
+        """Block until every rank in the communicator has entered."""
+        self._rendezvous("barrier", None)
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Broadcast ``obj`` from ``root``; every rank returns root's value."""
+        slots = self._rendezvous("bcast", obj if self._local_rank == root else None)
+        value = slots[root]
+        if self._local_rank == root:
+            return value
+        return copy_payload(value) if self.world.copy_on_send else value
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        """Gather one value per rank to ``root`` (rank order); None elsewhere."""
+        slots = self._rendezvous("gather", obj)
+        if self._local_rank != root:
+            return None
+        return [slots[r] for r in range(self.size)]
+
+    def allgather(self, obj: Any) -> list[Any]:
+        """Gather one value per rank to every rank (rank order)."""
+        slots = self._rendezvous("allgather", obj)
+        return [slots[r] for r in range(self.size)]
+
+    def scatter(self, objs: Sequence[Any] | None, root: int = 0) -> Any:
+        """Scatter ``objs[i]`` from ``root`` to rank ``i``."""
+        if self._local_rank == root:
+            if objs is None or len(objs) != self.size:
+                raise ValueError(
+                    f"root must provide exactly {self.size} items, got "
+                    f"{None if objs is None else len(objs)}"
+                )
+        slots = self._rendezvous("scatter", list(objs) if self._local_rank == root else None)
+        value = slots[root][self._local_rank]
+        if self._local_rank == root:
+            return value
+        return copy_payload(value) if self.world.copy_on_send else value
+
+    def reduce(
+        self,
+        obj: Any,
+        op: Callable[[Any, Any], Any] | None = None,
+        root: int = 0,
+    ) -> Any:
+        """Reduce one value per rank to ``root`` with ``op`` (default: sum)."""
+        slots = self._rendezvous("reduce", obj)
+        if self._local_rank != root:
+            return None
+        return _fold([slots[r] for r in range(self.size)], op)
+
+    def allreduce(self, obj: Any, op: Callable[[Any, Any], Any] | None = None) -> Any:
+        """Reduce one value per rank and distribute the result to every rank.
+
+        This is the gradient-averaging primitive of synchronous SGD
+        (Equation 1 of the paper): every rank contributes its local gradient
+        and receives the sum.
+        """
+        slots = self._rendezvous("allreduce", obj)
+        return _fold([slots[r] for r in range(self.size)], op)
+
+    def alltoall(self, objs: Sequence[Any]) -> list[Any]:
+        """Personalised all-to-all: rank ``r`` sends ``objs[d]`` to rank ``d``
+        and receives a list indexed by source rank.  This is the communication
+        pattern the paper identifies as congestion-sensitive at scale (§V-F).
+        """
+        if len(objs) != self.size:
+            raise ValueError(f"alltoall needs {self.size} items, got {len(objs)}")
+        slots = self._rendezvous("alltoall", list(objs))
+        out = [slots[src][self._local_rank] for src in range(self.size)]
+        if self.world.copy_on_send:
+            out = [copy_payload(v) for v in out]
+        return out
+
+    # -------------------------------------------------------------- sub-groups
+    def split(self, color: int, key: int | None = None) -> "Communicator":
+        """Partition the communicator by ``color``; rank order within each new
+        communicator follows ``key`` (default: current rank)."""
+        key = self._local_rank if key is None else key
+        slots = self._rendezvous("split", (color, key, self._world_rank))
+        members = [
+            (k, wr)
+            for (c, k, wr) in (slots[r] for r in range(self.size))
+            if c == color
+        ]
+        members.sort()
+        group = [wr for (_k, wr) in members]
+        # Every member must agree on the new context id: derive it from a
+        # bcast-style rendezvous rather than a per-rank counter.
+        ctx_slots = self._rendezvous("split-ctx", next(_context_counter))
+        new_ctx = max(ctx_slots.values())
+        return Communicator(self.world, self._world_rank, context_id=new_ctx * 131 + color, group=group)
+
+    def dup(self) -> "Communicator":
+        """Duplicate the communicator with an isolated matching context."""
+        ctx_slots = self._rendezvous("dup-ctx", next(_context_counter))
+        new_ctx = max(ctx_slots.values())
+        return Communicator(
+            self.world, self._world_rank, context_id=new_ctx * 131 + 7, group=self.group
+        )
+
+
+def _fold(values: list[Any], op: Callable[[Any, Any], Any] | None) -> Any:
+    if not values:
+        raise ValueError("cannot reduce zero values")
+    if op is None:
+        # Default: elementwise sum. NumPy arrays fold without copies of the
+        # contributions (they were already copied at deposit when enabled).
+        acc = values[0]
+        if isinstance(acc, np.ndarray):
+            acc = acc.copy()
+            for v in values[1:]:
+                acc += v
+            return acc
+        for v in values[1:]:
+            acc = acc + v
+        return acc
+    acc = values[0]
+    for v in values[1:]:
+        acc = op(acc, v)
+    return acc

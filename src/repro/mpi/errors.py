@@ -1,0 +1,31 @@
+"""Exception types for the in-process MPI substrate."""
+
+from __future__ import annotations
+
+__all__ = ["MPIError", "MPIAbort", "MPITimeout", "RankFailed"]
+
+
+class MPIError(RuntimeError):
+    """Base class for all simulated-MPI errors."""
+
+
+class MPIAbort(MPIError):
+    """The world was aborted (typically because another rank raised)."""
+
+
+class MPITimeout(MPIError):
+    """A blocking operation exceeded the world's deadline."""
+
+
+class RankFailed(MPIError):
+    """Raised by the launcher when one or more ranks terminated with an error.
+
+    ``failures`` maps rank -> the exception raised on that rank.
+    """
+
+    def __init__(self, failures: dict[int, BaseException]):
+        self.failures = dict(failures)
+        detail = "; ".join(
+            f"rank {r}: {type(e).__name__}: {e}" for r, e in sorted(self.failures.items())
+        )
+        super().__init__(f"{len(self.failures)} rank(s) failed: {detail}")

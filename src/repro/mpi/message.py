@@ -1,0 +1,91 @@
+"""Message envelope, status objects and wildcard constants.
+
+Mirrors the parts of the MPI standard the paper's Algorithm 1 relies on:
+point-to-point messages carry a ``(source, dest, tag)`` envelope, receives
+may use ``ANY_SOURCE`` / ``ANY_TAG`` wildcards, and matching is
+non-overtaking per (source, tag) channel.
+"""
+
+from __future__ import annotations
+
+import itertools
+import pickle
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "Message", "Status", "copy_payload"]
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+_seq = itertools.count()
+
+
+@dataclass
+class Status:
+    """Receive status: who sent the matched message and under which tag."""
+
+    source: int = ANY_SOURCE
+    tag: int = ANY_TAG
+    count: int = 0
+
+    def Get_source(self) -> int:  # mpi4py-compatible spelling
+        """mpi4py-compatible accessor for the source rank."""
+        return self.source
+
+    def Get_tag(self) -> int:
+        """mpi4py-compatible accessor for the tag."""
+        return self.tag
+
+
+@dataclass(order=False)
+class Message:
+    """An in-flight message. ``seq`` preserves global send order so that the
+    non-overtaking guarantee holds for wildcard receives too."""
+
+    source: int
+    dest: int
+    tag: int
+    payload: Any
+    seq: int = field(default_factory=lambda: next(_seq))
+
+    def matches(self, source: int, tag: int) -> bool:
+        """Whether this message satisfies a (source, tag) pattern."""
+        return (source == ANY_SOURCE or source == self.source) and (
+            tag == ANY_TAG or tag == self.tag
+        )
+
+
+def copy_payload(obj: Any) -> Any:
+    """Copy a payload so sender-side mutation after ``isend`` is safe.
+
+    NumPy arrays take the fast path; everything else goes through pickle,
+    which matches what a real MPI + mpi4py transfer would have done anyway.
+    """
+    if isinstance(obj, np.ndarray):
+        return obj.copy()
+    if isinstance(obj, (int, float, complex, str, bytes, bool, type(None))):
+        return obj
+    return pickle.loads(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def payload_nbytes(obj: Any) -> int:
+    """Approximate the wire size of a payload (used for traffic accounting)."""
+    if isinstance(obj, np.ndarray):
+        return obj.nbytes
+    if isinstance(obj, (bytes, bytearray)):
+        return len(obj)
+    if isinstance(obj, str):
+        return len(obj.encode())
+    if isinstance(obj, (int, float, bool, type(None))):
+        return 8
+    if isinstance(obj, (tuple, list)):
+        return sum(payload_nbytes(x) for x in obj)
+    if isinstance(obj, dict):
+        return sum(payload_nbytes(k) + payload_nbytes(v) for k, v in obj.items())
+    try:
+        return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:
+        return 0

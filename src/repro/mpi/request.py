@@ -1,0 +1,123 @@
+"""Non-blocking request handles (``isend``/``irecv`` results).
+
+The paper's scheduler issues a burst of ``MPI_Isend``/``MPI_Irecv`` calls per
+iteration and completes them in the *next* iteration (Figure 4); these
+handles provide the ``test``/``wait``/``waitall`` surface it needs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from .errors import MPIError
+from .message import ANY_SOURCE, ANY_TAG, Status
+
+__all__ = ["Request", "SendRequest", "RecvRequest", "waitall", "testall"]
+
+
+class Request:
+    """Abstract non-blocking operation handle."""
+
+    def test(self) -> tuple[bool, Any]:
+        """Non-blocking completion check; returns ``(done, payload_or_None)``."""
+        raise NotImplementedError
+
+    def wait(self) -> Any:
+        """Block until complete; returns the received payload (None for sends)."""
+        raise NotImplementedError
+
+    @property
+    def completed(self) -> bool:
+        """Whether the operation has finished."""
+        raise NotImplementedError
+
+
+class SendRequest(Request):
+    """A buffered send: the payload was copied into the destination mailbox at
+    ``isend`` time, so the request is complete on creation (matching MPI's
+    buffered-mode semantics, which is how mpi4py's pickle path behaves for
+    small messages)."""
+
+    def __init__(self, dest: int, tag: int):
+        self.dest = dest
+        self.tag = tag
+
+    def test(self) -> tuple[bool, Any]:
+        """Non-blocking completion check: (done, payload_or_None)."""
+        return True, None
+
+    def wait(self) -> Any:
+        """Block until complete; returns the payload (None for sends)."""
+        return None
+
+    @property
+    def completed(self) -> bool:
+        """Whether the operation has finished."""
+        return True
+
+
+class RecvRequest(Request):
+    """A pending receive bound to a (source, tag) match on one rank."""
+
+    def __init__(self, world, rank: int, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        self._world = world
+        self._rank = rank
+        self.source = source
+        self.tag = tag
+        self.status = Status()
+        self._done = False
+        self._payload: Any = None
+
+    def test(self) -> tuple[bool, Any]:
+        """Non-blocking completion check: (done, payload_or_None)."""
+        if self._done:
+            return True, self._payload
+        self._world.check_alive()
+        msg = self._world.mailboxes[self._rank].try_take(self.source, self.tag)
+        if msg is None:
+            return False, None
+        self._complete(msg)
+        return True, self._payload
+
+    def wait(self) -> Any:
+        """Block until complete; returns the payload (None for sends)."""
+        if self._done:
+            return self._payload
+        msg = self._world.take_blocking(self._rank, self.source, self.tag)
+        self._complete(msg)
+        return self._payload
+
+    def _complete(self, msg) -> None:
+        self._payload = msg.payload
+        self.status = Status(source=msg.source, tag=msg.tag, count=1)
+        self._done = True
+
+    @property
+    def completed(self) -> bool:
+        """Whether the operation has finished."""
+        return self._done
+
+
+def waitall(requests: Iterable[Request]) -> list[Any]:
+    """Wait for every request; returns payloads in request order."""
+    return [req.wait() for req in requests]
+
+
+def testall(requests: Sequence[Request]) -> tuple[bool, list[Any] | None]:
+    """If *all* requests are complete return ``(True, payloads)``; otherwise
+    ``(False, None)`` without blocking.
+
+    Note: like MPI_Testall, a partial check may complete some receives as a
+    side effect; their payloads are retained inside the request objects and
+    returned by a later ``wait``/``testall``.
+    """
+    payloads: list[Any] = []
+    all_done = True
+    for req in requests:
+        done, payload = req.test()
+        if not done:
+            all_done = False
+        payloads.append(payload)
+    if not all_done:
+        return False, None
+    return True, payloads

@@ -1,0 +1,198 @@
+"""The shared state behind a simulated MPI world.
+
+A :class:`World` owns one mailbox per rank plus the rendezvous slots used by
+collectives.  All synchronisation is condition-variable based; every blocking
+wait polls the world's ``aborted`` flag so that a crash on one rank unblocks
+(and fails) every other rank instead of deadlocking the process.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any
+
+from .errors import MPIAbort, MPITimeout
+from .message import Message, payload_nbytes
+
+__all__ = ["World"]
+
+# How often a blocked wait re-checks the abort flag / deadline (seconds).
+_POLL_INTERVAL = 0.05
+
+
+class _Mailbox:
+    """Per-rank inbox of undelivered messages, ordered by send sequence."""
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.cond = threading.Condition(self.lock)
+        self.messages: list[Message] = []
+
+    def deposit(self, msg: Message) -> None:
+        """Append a message to this mailbox and wake waiters."""
+        with self.cond:
+            self.messages.append(msg)
+            self.cond.notify_all()
+
+    def _take_locked(self, source: int, tag: int) -> Message | None:
+        best_idx = -1
+        for idx, msg in enumerate(self.messages):
+            if msg.matches(source, tag) and (
+                best_idx < 0 or msg.seq < self.messages[best_idx].seq
+            ):
+                best_idx = idx
+        if best_idx < 0:
+            return None
+        return self.messages.pop(best_idx)
+
+    def try_take(self, source: int, tag: int) -> Message | None:
+        """Remove and return the earliest matching message, if any."""
+        with self.lock:
+            return self._take_locked(source, tag)
+
+    def peek(self, source: int, tag: int) -> Message | None:
+        """Earliest matching message without removing it (None if none)."""
+        with self.lock:
+            candidates = [m for m in self.messages if m.matches(source, tag)]
+            if not candidates:
+                return None
+            return min(candidates, key=lambda m: m.seq)
+
+
+class World:
+    """All shared state for a set of simulated ranks.
+
+    Parameters
+    ----------
+    size:
+        Number of ranks.
+    copy_on_send:
+        If True (default) payloads are copied at send time, so sender-side
+        mutation after an ``isend`` cannot corrupt the receiver — matching
+        real-MPI buffered semantics.  Disable for zero-copy speed when the
+        application guarantees it never mutates sent buffers.
+    deadline_s:
+        Optional wall-clock budget; blocking calls raise :class:`MPITimeout`
+        once it is exceeded.  Guards tests against accidental deadlock.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        *,
+        copy_on_send: bool = True,
+        deadline_s: float | None = None,
+    ) -> None:
+        if size < 1:
+            raise ValueError(f"world size must be >= 1, got {size}")
+        self.size = size
+        self.copy_on_send = copy_on_send
+        self.mailboxes = [_Mailbox() for _ in range(size)]
+        self.aborted = False
+        self.abort_reason: str | None = None
+        self._deadline = None if deadline_s is None else time.monotonic() + deadline_s
+
+        # Collective rendezvous: keyed by (context_id, op_name, generation).
+        self._coll_lock = threading.Lock()
+        self._coll_cond = threading.Condition(self._coll_lock)
+        self._coll_slots: dict[tuple, dict[int, Any]] = {}
+        self._coll_readers: dict[tuple, int] = {}
+
+        # Traffic accounting (bytes sent per rank) for the benchmarks that
+        # report communication volume.
+        self._traffic_lock = threading.Lock()
+        self.bytes_sent = [0] * size
+        self.messages_sent = [0] * size
+
+    # ------------------------------------------------------------------ abort
+    def abort(self, reason: str) -> None:
+        """Mark the world dead and wake every blocked waiter."""
+        self.aborted = True
+        self.abort_reason = reason
+        for box in self.mailboxes:
+            with box.cond:
+                box.cond.notify_all()
+        with self._coll_cond:
+            self._coll_cond.notify_all()
+
+    def check_alive(self) -> None:
+        """Raise if the world was aborted or its deadline passed."""
+        if self.aborted:
+            raise MPIAbort(f"world aborted: {self.abort_reason}")
+        if self._deadline is not None and time.monotonic() > self._deadline:
+            self.abort("deadline exceeded")
+            raise MPITimeout("world deadline exceeded")
+
+    # ------------------------------------------------------------- point2point
+    def post(self, msg: Message) -> None:
+        """Deliver a message to its destination mailbox (with accounting)."""
+        self.check_alive()
+        if not 0 <= msg.dest < self.size:
+            raise ValueError(f"destination rank {msg.dest} out of range [0,{self.size})")
+        with self._traffic_lock:
+            self.bytes_sent[msg.source] += payload_nbytes(msg.payload)
+            self.messages_sent[msg.source] += 1
+        self.mailboxes[msg.dest].deposit(msg)
+
+    def take_blocking(self, dest: int, source: int, tag: int) -> Message:
+        """Block until a matching message is available for rank ``dest``."""
+        box = self.mailboxes[dest]
+        while True:
+            self.check_alive()
+            with box.cond:
+                msg = box._take_locked(source, tag)
+                if msg is not None:
+                    return msg
+                # Timed wait so abort/deadline are observed even if no new
+                # message ever arrives.
+                box.cond.wait(timeout=_POLL_INTERVAL)
+
+    # -------------------------------------------------------------- collectives
+    def rendezvous(
+        self,
+        key: tuple,
+        rank: int,
+        contribution: Any,
+    ) -> dict[int, Any]:
+        """Deposit ``contribution`` under ``key`` and block until all ranks of
+        the participant count embedded in the key have deposited.  Returns the
+        full ``{rank: contribution}`` map.  The slot is garbage-collected once
+        every participant has read it.
+        """
+        nparticipants = key[-1]
+        with self._coll_cond:
+            slots = self._coll_slots.setdefault(key, {})
+            if rank in slots:
+                raise RuntimeError(
+                    f"rank {rank} deposited twice for collective {key}; "
+                    "collectives must be called in the same order on every rank"
+                )
+            slots[rank] = contribution
+            self._coll_cond.notify_all()
+            while len(self._coll_slots.get(key, slots)) < nparticipants:
+                if self.aborted:
+                    raise MPIAbort(f"world aborted: {self.abort_reason}")
+                self._check_deadline_locked()
+                self._coll_cond.wait(timeout=_POLL_INTERVAL)
+            result = dict(self._coll_slots[key])
+            readers = self._coll_readers.get(key, 0) + 1
+            if readers == nparticipants:
+                del self._coll_slots[key]
+                self._coll_readers.pop(key, None)
+            else:
+                self._coll_readers[key] = readers
+            return result
+
+    def _check_deadline_locked(self) -> None:
+        if self._deadline is not None and time.monotonic() > self._deadline:
+            self.aborted = True
+            self.abort_reason = "deadline exceeded"
+            self._coll_cond.notify_all()
+            raise MPITimeout("world deadline exceeded")
+
+    # ---------------------------------------------------------------- stats
+    def total_bytes_sent(self) -> int:
+        """Sum of bytes sent by all ranks."""
+        with self._traffic_lock:
+            return sum(self.bytes_sent)

@@ -1,0 +1,106 @@
+"""NumPy deep-learning framework: autograd, layers, optimisers, model zoo.
+
+Stands in for PyTorch in the reproduction; the accuracy experiments need
+real SGD + BatchNorm dynamics, which this package provides at laptop scale.
+"""
+
+from . import functional
+from .clip import clip_grad_norm_, grad_norm
+from .gradcheck import gradcheck, numerical_grad
+from .init import (
+    compute_fans,
+    kaiming_normal,
+    kaiming_uniform,
+    xavier_normal,
+    xavier_uniform,
+)
+from .layers import (
+    AvgPool2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+from .lr_scheduler import (
+    CosineAnnealingLR,
+    LRScheduler,
+    MultiStepLR,
+    PolynomialLR,
+    StepLR,
+    WarmupWrapper,
+)
+from .metrics import RunningAverage, accuracy, confusion_matrix, topk_accuracy
+from .models import (
+    MODEL_NAMES,
+    BasicBlock,
+    ConvNet,
+    MLPClassifier,
+    TinyResNet,
+    build_model,
+)
+from .module import Module, Parameter
+from .norm import BatchNorm1d, BatchNorm2d, GroupNorm, LayerNorm
+from .optim import LARS, SGD, Adam, Optimizer
+from .tensor import Tensor, concatenate, is_grad_enabled, no_grad
+
+__all__ = [
+    "functional",
+    "clip_grad_norm_",
+    "grad_norm",
+    "gradcheck",
+    "numerical_grad",
+    "compute_fans",
+    "kaiming_normal",
+    "kaiming_uniform",
+    "xavier_normal",
+    "xavier_uniform",
+    "AvgPool2d",
+    "Conv2d",
+    "Dropout",
+    "Flatten",
+    "GlobalAvgPool2d",
+    "Identity",
+    "Linear",
+    "MaxPool2d",
+    "ReLU",
+    "Sequential",
+    "Sigmoid",
+    "Tanh",
+    "CosineAnnealingLR",
+    "LRScheduler",
+    "MultiStepLR",
+    "PolynomialLR",
+    "StepLR",
+    "WarmupWrapper",
+    "RunningAverage",
+    "accuracy",
+    "confusion_matrix",
+    "topk_accuracy",
+    "MODEL_NAMES",
+    "BasicBlock",
+    "ConvNet",
+    "MLPClassifier",
+    "TinyResNet",
+    "build_model",
+    "Module",
+    "Parameter",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "GroupNorm",
+    "LayerNorm",
+    "LARS",
+    "SGD",
+    "Adam",
+    "Optimizer",
+    "Tensor",
+    "concatenate",
+    "is_grad_enabled",
+    "no_grad",
+]

@@ -1,0 +1,38 @@
+"""Gradient utilities: global-norm clipping and gradient statistics."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .module import Parameter
+
+__all__ = ["clip_grad_norm_", "grad_norm"]
+
+
+def grad_norm(params: Sequence[Parameter]) -> float:
+    """Global L2 norm over all parameter gradients (None grads count as 0)."""
+    total = 0.0
+    for p in params:
+        if p.grad is not None:
+            total += float(np.square(p.grad, dtype=np.float64).sum())
+    return float(np.sqrt(total))
+
+
+def clip_grad_norm_(params: Sequence[Parameter], max_norm: float) -> float:
+    """Scale all gradients in place so the global L2 norm is <= ``max_norm``.
+
+    Returns the pre-clip norm (the PyTorch convention), so callers can log
+    how often clipping fires — useful when LARS's trust ratio is disabled
+    and large-batch training gets spiky.
+    """
+    if max_norm <= 0:
+        raise ValueError(f"max_norm must be > 0, got {max_norm}")
+    norm = grad_norm(params)
+    if norm > max_norm:
+        scale = max_norm / (norm + 1e-12)
+        for p in params:
+            if p.grad is not None:
+                p.grad *= scale
+    return norm

@@ -1,0 +1,243 @@
+"""Functional ops: stable softmax/losses, im2col convolution, pooling.
+
+Convolution and pooling implement custom backward closures (im2col /
+col2im) rather than being composed from primitives — the composite graph
+would be orders of magnitude slower, and these are the hot path of every
+accuracy experiment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor, is_grad_enabled
+
+__all__ = [
+    "log_softmax",
+    "softmax",
+    "cross_entropy",
+    "mse_loss",
+    "nll_loss",
+    "one_hot",
+    "conv2d",
+    "max_pool2d",
+    "avg_pool2d",
+    "dropout",
+    "im2col",
+    "col2im",
+]
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    data = x.data
+    shifted = data - data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    denom = exp.sum(axis=axis, keepdims=True)
+    out_data = shifted - np.log(denom)
+    out = x._make(out_data, (x,), "log_softmax")
+    if out.requires_grad:
+        softmax_data = exp / denom
+
+        def backward(g: np.ndarray) -> None:
+            x._push(g - softmax_data * g.sum(axis=axis, keepdims=True))
+
+        out._backward = backward
+    return out
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Stable softmax along ``axis``."""
+    return log_softmax(x, axis=axis).exp()
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Integer labels -> one-hot float32 matrix."""
+    labels = np.asarray(labels)
+    if labels.min() < 0 or labels.max() >= num_classes:
+        raise ValueError(
+            f"labels out of range [0,{num_classes}): min={labels.min()}, max={labels.max()}"
+        )
+    eye = np.zeros((labels.size, num_classes), dtype=np.float32)
+    eye[np.arange(labels.size), labels.ravel()] = 1.0
+    return eye.reshape(*labels.shape, num_classes)
+
+
+def nll_loss(log_probs: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean negative log-likelihood of integer ``labels`` under ``log_probs``."""
+    labels = np.asarray(labels)
+    n = log_probs.shape[0]
+    if labels.shape[0] != n:
+        raise ValueError(f"batch mismatch: {n} logits rows vs {labels.shape[0]} labels")
+    picked = log_probs[np.arange(n), labels]
+    return -picked.mean()
+
+
+def cross_entropy(
+    logits: Tensor, labels: np.ndarray, *, label_smoothing: float = 0.0
+) -> Tensor:
+    """Mean cross-entropy from raw logits (fused stable path).
+
+    ``label_smoothing`` mixes the one-hot target with the uniform
+    distribution (the large-batch ImageNet recipes use 0.1).
+    """
+    if not 0.0 <= label_smoothing < 1.0:
+        raise ValueError(f"label_smoothing must be in [0,1), got {label_smoothing}")
+    log_probs = log_softmax(logits, axis=-1)
+    if label_smoothing == 0.0:
+        return nll_loss(log_probs, labels)
+    labels = np.asarray(labels)
+    n, c = log_probs.shape
+    if labels.shape[0] != n:
+        raise ValueError(f"batch mismatch: {n} logits rows vs {labels.shape[0]} labels")
+    target = one_hot(labels, c) * (1.0 - label_smoothing) + label_smoothing / c
+    return -(log_probs * Tensor(target)).sum(axis=-1).mean()
+
+
+def mse_loss(pred: Tensor, target: np.ndarray | Tensor) -> Tensor:
+    """Mean squared error."""
+    target = target if isinstance(target, Tensor) else Tensor(np.asarray(target, dtype=pred.dtype))
+    diff = pred - target
+    return (diff * diff).mean()
+
+
+def dropout(x: Tensor, p: float, *, rng: np.random.Generator, training: bool = True) -> Tensor:
+    """Inverted dropout: scales by ``1/(1-p)`` at train time, identity at eval."""
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout p must be in [0,1), got {p}")
+    if not training or p == 0.0:
+        return x
+    mask = (rng.random(x.shape) >= p).astype(x.dtype) / (1.0 - p)
+    return x * Tensor(mask)
+
+
+# --------------------------------------------------------------------- conv2d
+def _out_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+def im2col(
+    x: np.ndarray, kh: int, kw: int, stride: int, padding: int
+) -> tuple[np.ndarray, int, int]:
+    """(N,C,H,W) -> (N*OH*OW, C*kh*kw) patch matrix, plus output dims."""
+    n, c, h, w = x.shape
+    oh, ow = _out_size(h, kh, stride, padding), _out_size(w, kw, stride, padding)
+    if oh <= 0 or ow <= 0:
+        raise ValueError(
+            f"kernel {kh}x{kw} stride {stride} padding {padding} too large for input {h}x{w}"
+        )
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    # Strided sliding windows: (N, C, OH, OW, KH, KW) view, no copy.
+    sn, sc, sh, sw = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, oh, ow, kh, kw),
+        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    )
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n * oh * ow, c * kh * kw)
+    return np.ascontiguousarray(cols), oh, ow
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Scatter-add the inverse of :func:`im2col` (gradient w.r.t. the input)."""
+    n, c, h, w = x_shape
+    oh, ow = _out_size(h, kh, stride, padding), _out_size(w, kw, stride, padding)
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
+    cols6 = cols.reshape(n, oh, ow, c, kh, kw).transpose(0, 3, 1, 2, 4, 5)
+    for i in range(kh):
+        for j in range(kw):
+            padded[:, :, i : i + oh * stride : stride, j : j + ow * stride : stride] += cols6[
+                :, :, :, :, i, j
+            ]
+    if padding:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor | None = None,
+    *,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """2-D cross-correlation: x (N,C,H,W), weight (F,C,KH,KW) -> (N,F,OH,OW)."""
+    if x.ndim != 4 or weight.ndim != 4:
+        raise ValueError(f"conv2d expects 4-D input/weight, got {x.shape}/{weight.shape}")
+    n, c, h, w = x.shape
+    f, cw, kh, kw = weight.shape
+    if cw != c:
+        raise ValueError(f"input channels {c} != weight channels {cw}")
+    cols, oh, ow = im2col(x.data, kh, kw, stride, padding)
+    wmat = weight.data.reshape(f, -1)  # (F, C*KH*KW)
+    out_data = (cols @ wmat.T).reshape(n, oh, ow, f).transpose(0, 3, 1, 2)
+    if bias is not None:
+        out_data = out_data + bias.data.reshape(1, f, 1, 1)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    out = x._make(np.ascontiguousarray(out_data), parents, "conv2d")
+    if out.requires_grad:
+
+        def backward(g: np.ndarray) -> None:
+            gmat = g.transpose(0, 2, 3, 1).reshape(-1, f)  # (N*OH*OW, F)
+            if weight.requires_grad or weight._prev:
+                weight._push((gmat.T @ cols).reshape(weight.shape))
+            if bias is not None and (bias.requires_grad or bias._prev):
+                bias._push(gmat.sum(axis=0).reshape(bias.shape))
+            if x.requires_grad or x._prev:
+                gcols = gmat @ wmat  # (N*OH*OW, C*KH*KW)
+                x._push(col2im(gcols, (n, c, h, w), kh, kw, stride, padding))
+
+        out._backward = backward
+    return out
+
+
+def max_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
+    """Max pooling over (kernel x kernel) windows."""
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    cols, oh, ow = im2col(
+        x.data.reshape(n * c, 1, h, w), kernel, kernel, stride, 0
+    )  # (N*C*OH*OW, K*K)
+    argmax = cols.argmax(axis=1)
+    out_data = cols[np.arange(cols.shape[0]), argmax].reshape(n, c, oh, ow)
+    out = x._make(out_data, (x,), "max_pool2d")
+    if out.requires_grad:
+
+        def backward(g: np.ndarray) -> None:
+            gcols = np.zeros_like(cols)
+            gcols[np.arange(cols.shape[0]), argmax] = g.reshape(-1)
+            gx = col2im(gcols, (n * c, 1, h, w), kernel, kernel, stride, 0)
+            x._push(gx.reshape(n, c, h, w))
+
+        out._backward = backward
+    return out
+
+
+def avg_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
+    """Average pooling over (kernel x kernel) windows."""
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    cols, oh, ow = im2col(x.data.reshape(n * c, 1, h, w), kernel, kernel, stride, 0)
+    out_data = cols.mean(axis=1).reshape(n, c, oh, ow)
+    out = x._make(out_data, (x,), "avg_pool2d")
+    if out.requires_grad:
+        k2 = kernel * kernel
+
+        def backward(g: np.ndarray) -> None:
+            gcols = np.repeat(g.reshape(-1, 1) / k2, k2, axis=1)
+            gx = col2im(gcols, (n * c, 1, h, w), kernel, kernel, stride, 0)
+            x._push(gx.reshape(n, c, h, w))
+
+        out._backward = backward
+    return out

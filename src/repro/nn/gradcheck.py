@@ -1,0 +1,70 @@
+"""Numerical gradient checking for the autograd engine.
+
+Central finite differences against the analytic backward pass — used by the
+test suite on every primitive op and every layer type.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["numerical_grad", "gradcheck"]
+
+
+def numerical_grad(
+    fn: Callable[[Tensor], Tensor],
+    x: np.ndarray,
+    *,
+    eps: float = 1e-3,
+) -> np.ndarray:
+    """Central-difference gradient of ``sum(fn(x))`` w.r.t. ``x``."""
+    x = np.asarray(x, dtype=np.float64)
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        up = float(fn(Tensor(x.astype(np.float32))).sum().item())
+        flat[i] = orig - eps
+        down = float(fn(Tensor(x.astype(np.float32))).sum().item())
+        flat[i] = orig
+        gflat[i] = (up - down) / (2 * eps)
+    return grad
+
+
+def gradcheck(
+    fn: Callable[[Tensor], Tensor],
+    x: np.ndarray,
+    *,
+    eps: float = 1e-3,
+    atol: float = 1e-2,
+    rtol: float = 5e-2,
+) -> bool:
+    """Compare analytic and numerical gradients of ``sum(fn(x))``.
+
+    Raises AssertionError with the max deviation when the check fails.
+    Float32 forward math limits achievable precision, hence the loose
+    default tolerances.
+    """
+    x = np.asarray(x, dtype=np.float32)
+    t = Tensor(x.copy(), requires_grad=True)
+    out = fn(t).sum()
+    out.backward()
+    if t.grad is None:
+        raise AssertionError("analytic gradient is None — graph not connected?")
+    analytic = t.grad.astype(np.float64)
+    numeric = numerical_grad(fn, x.astype(np.float64), eps=eps)
+    err = np.abs(analytic - numeric)
+    tol = atol + rtol * np.abs(numeric)
+    if not np.all(err <= tol):
+        worst = float((err - tol).max())
+        raise AssertionError(
+            f"gradcheck failed: max violation {worst:.3e} "
+            f"(analytic range [{analytic.min():.3g},{analytic.max():.3g}])"
+        )
+    return True

@@ -1,0 +1,163 @@
+"""Module base class and Parameter (the ``torch.nn.Module`` analogue).
+
+Modules own named parameters and buffers, support train/eval mode (which
+BatchNorm keys off), and expose flat parameter access for the optimisers
+and for the distributed trainer's gradient allreduce.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["Parameter", "Module"]
+
+
+class Parameter(Tensor):
+    """A leaf tensor registered as a learnable parameter."""
+
+    def __init__(self, data):
+        super().__init__(np.asarray(data, dtype=np.float32), requires_grad=True)
+
+
+class Module:
+    """Base class: auto-registers Parameters, sub-Modules and buffers."""
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", {})
+        object.__setattr__(self, "_modules", {})
+        object.__setattr__(self, "_buffers", {})
+        object.__setattr__(self, "training", True)
+
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Non-learnable state (e.g. BatchNorm running statistics) that is
+        still part of the model's replicated state."""
+        self._buffers[name] = np.asarray(value)
+        object.__setattr__(self, name, self._buffers[name])
+
+    def set_buffer(self, name: str, value: np.ndarray) -> None:
+        """Replace a registered buffer's array."""
+        if name not in self._buffers:
+            raise KeyError(f"no buffer named {name!r}")
+        self._buffers[name] = np.asarray(value)
+        object.__setattr__(self, name, self._buffers[name])
+
+    # ----------------------------------------------------------- introspection
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield (dotted-name, Parameter) pairs, depth first."""
+        for name, p in self._parameters.items():
+            yield (f"{prefix}{name}", p)
+        for mod_name, mod in self._modules.items():
+            yield from mod.named_parameters(prefix=f"{prefix}{mod_name}.")
+
+    def parameters(self) -> list[Parameter]:
+        """All parameters as a flat list."""
+        return [p for _, p in self.named_parameters()]
+
+    def named_buffers(self, prefix: str = "") -> Iterator[tuple[str, np.ndarray]]:
+        """Yield (dotted-name, buffer array) pairs, depth first."""
+        for name in self._buffers:
+            yield (f"{prefix}{name}", self._buffers[name])
+        for mod_name, mod in self._modules.items():
+            yield from mod.named_buffers(prefix=f"{prefix}{mod_name}.")
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and every sub-module, depth first."""
+        yield self
+        for mod in self._modules.values():
+            yield from mod.modules()
+
+    def num_parameters(self) -> int:
+        """Total scalar parameter count."""
+        return sum(p.size for p in self.parameters())
+
+    # ------------------------------------------------------------------ modes
+    def train(self, mode: bool = True) -> "Module":
+        """Set training mode on this module and all sub-modules."""
+        for m in self.modules():
+            object.__setattr__(m, "training", mode)
+        return self
+
+    def eval(self) -> "Module":
+        """Set evaluation mode (running-stat normalisation, no dropout)."""
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        """Clear all parameter gradients."""
+        for p in self.parameters():
+            p.grad = None
+
+    def freeze(self) -> "Module":
+        """Mark all parameters as non-trainable (transfer-learning backbones:
+        the Figure-8 fine-tuning variant that trains only the new head).
+        Frozen parameters receive no gradients and optimisers skip them
+        (``trainable_parameters`` excludes them)."""
+        for p in self.parameters():
+            p.requires_grad = False
+        return self
+
+    def unfreeze(self) -> "Module":
+        """Re-enable training for all parameters."""
+        for p in self.parameters():
+            p.requires_grad = True
+        return self
+
+    def trainable_parameters(self) -> list["Parameter"]:
+        """Parameters with ``requires_grad`` — what an optimiser should own."""
+        return [p for p in self.parameters() if p.requires_grad]
+
+    # ------------------------------------------------------------- state dict
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Flat copy of parameters and buffers (for broadcast / checkpoints)."""
+        state = {f"param:{k}": v.data.copy() for k, v in self.named_parameters()}
+        state.update({f"buffer:{k}": v.copy() for k, v in self.named_buffers()})
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """In-place load; shapes must match exactly."""
+        params = dict(self.named_parameters())
+        for key, value in state.items():
+            kind, _, name = key.partition(":")
+            if kind == "param":
+                if name not in params:
+                    raise KeyError(f"unknown parameter {name!r}")
+                if params[name].data.shape != value.shape:
+                    raise ValueError(
+                        f"shape mismatch for {name}: {params[name].data.shape} vs {value.shape}"
+                    )
+                params[name].data[...] = value
+            elif kind == "buffer":
+                self._load_buffer(name, value)
+            else:
+                raise KeyError(f"malformed state key {key!r}")
+
+    def _load_buffer(self, dotted: str, value: np.ndarray) -> None:
+        parts = dotted.split(".")
+        mod: Module = self
+        for part in parts[:-1]:
+            mod = mod._modules[part]
+        leaf = parts[-1]
+        if leaf not in mod._buffers:
+            raise KeyError(f"unknown buffer {dotted!r}")
+        mod._buffers[leaf][...] = value
+        object.__setattr__(mod, leaf, mod._buffers[leaf])
+
+    # ------------------------------------------------------------------- call
+    def forward(self, x: Tensor) -> Tensor:
+        """Apply this module to the input."""
+        raise NotImplementedError
+
+    def __call__(self, x) -> Tensor:
+        if not isinstance(x, Tensor):
+            x = Tensor(np.asarray(x, dtype=np.float32))
+        return self.forward(x)

@@ -1,0 +1,143 @@
+"""Normalisation layers: BatchNorm, GroupNorm, LayerNorm.
+
+BatchNorm is central to the paper's story: "since batch normalization is
+typically applied to the local mini-batch of each worker, the mean and the
+variance for partial local shuffling would differ from the global shuffling
+case" (§IV-A-1) — it is the suspected mechanism behind local shuffling's
+accuracy degradation on small/skewed shards, and the paper explicitly
+points at GroupNorm as the alternative that is robust to small per-worker
+batches.  Both are implemented here so the ablation can be run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .module import Module, Parameter
+from .tensor import Tensor
+
+__all__ = ["BatchNorm1d", "BatchNorm2d", "GroupNorm", "LayerNorm"]
+
+
+class _BatchNormBase(Module):
+    def __init__(self, num_features: int, *, eps: float = 1e-5, momentum: float = 0.1):
+        super().__init__()
+        if num_features < 1:
+            raise ValueError(f"num_features must be >= 1, got {num_features}")
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.weight = Parameter(np.ones(num_features))
+        self.bias = Parameter(np.zeros(num_features))
+        self.register_buffer("running_mean", np.zeros(num_features, dtype=np.float32))
+        self.register_buffer("running_var", np.ones(num_features, dtype=np.float32))
+
+    def _normalize(self, x: Tensor, axes: tuple[int, ...], param_shape: tuple[int, ...]) -> Tensor:
+        if self.training:
+            mean = x.mean(axis=axes, keepdims=True)
+            centered = x - mean
+            var = (centered * centered).mean(axis=axes, keepdims=True)
+            # Update running statistics outside the graph.
+            batch_mean = mean.data.reshape(-1)
+            batch_var = var.data.reshape(-1)
+            n = x.data.size / self.num_features
+            unbiased = batch_var * (n / max(n - 1, 1))
+            self.running_mean[...] = (
+                (1 - self.momentum) * self.running_mean + self.momentum * batch_mean
+            )
+            self.running_var[...] = (
+                (1 - self.momentum) * self.running_var + self.momentum * unbiased
+            )
+            inv_std = (var + self.eps) ** -0.5
+            x_hat = centered * inv_std
+        else:
+            mean = Tensor(self.running_mean.reshape(param_shape))
+            var = Tensor(self.running_var.reshape(param_shape))
+            x_hat = (x - mean) * ((var + self.eps) ** -0.5)
+        return x_hat * self.weight.reshape(param_shape) + self.bias.reshape(param_shape)
+
+
+class BatchNorm1d(_BatchNormBase):
+    """BatchNorm over (N, C) feature batches."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Apply this module to the input."""
+        if x.ndim != 2 or x.shape[1] != self.num_features:
+            raise ValueError(
+                f"BatchNorm1d expects (N,{self.num_features}), got {x.shape}"
+            )
+        if self.training and x.shape[0] < 2:
+            raise ValueError("BatchNorm1d requires batch size >= 2 in training mode")
+        return self._normalize(x, axes=(0,), param_shape=(1, self.num_features))
+
+
+class BatchNorm2d(_BatchNormBase):
+    """BatchNorm over (N, C, H, W) image batches (per-channel statistics)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Apply this module to the input."""
+        if x.ndim != 4 or x.shape[1] != self.num_features:
+            raise ValueError(
+                f"BatchNorm2d expects (N,{self.num_features},H,W), got {x.shape}"
+            )
+        return self._normalize(x, axes=(0, 2, 3), param_shape=(1, self.num_features, 1, 1))
+
+
+class GroupNorm(Module):
+    """Group normalisation (Wu & He) — batch-size independent, the paper's
+    suggested remedy for small per-worker batches (§IV-A-1)."""
+
+    def __init__(self, num_groups: int, num_channels: int, *, eps: float = 1e-5):
+        super().__init__()
+        if num_channels % num_groups != 0:
+            raise ValueError(
+                f"num_channels {num_channels} not divisible by num_groups {num_groups}"
+            )
+        self.num_groups = num_groups
+        self.num_channels = num_channels
+        self.eps = eps
+        self.weight = Parameter(np.ones(num_channels))
+        self.bias = Parameter(np.zeros(num_channels))
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Apply this module to the input."""
+        if x.ndim not in (2, 4) or x.shape[1] != self.num_channels:
+            raise ValueError(
+                f"GroupNorm expects (N,{self.num_channels},...) with 2 or 4 dims, got {x.shape}"
+            )
+        n = x.shape[0]
+        orig_shape = x.shape
+        g = self.num_groups
+        grouped = x.reshape(n, g, -1)
+        mean = grouped.mean(axis=2, keepdims=True)
+        centered = grouped - mean
+        var = (centered * centered).mean(axis=2, keepdims=True)
+        x_hat = (centered * ((var + self.eps) ** -0.5)).reshape(*orig_shape)
+        if x.ndim == 2:
+            shape = (1, self.num_channels)
+        else:
+            shape = (1, self.num_channels, 1, 1)
+        return x_hat * self.weight.reshape(shape) + self.bias.reshape(shape)
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the trailing feature dimension."""
+
+    def __init__(self, normalized_shape: int, *, eps: float = 1e-5):
+        super().__init__()
+        self.normalized_shape = normalized_shape
+        self.eps = eps
+        self.weight = Parameter(np.ones(normalized_shape))
+        self.bias = Parameter(np.zeros(normalized_shape))
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Apply this module to the input."""
+        if x.shape[-1] != self.normalized_shape:
+            raise ValueError(
+                f"LayerNorm expects trailing dim {self.normalized_shape}, got {x.shape}"
+            )
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        x_hat = centered * ((var + self.eps) ** -0.5)
+        return x_hat * self.weight + self.bias

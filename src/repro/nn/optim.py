@@ -1,0 +1,193 @@
+"""Optimisers: SGD with momentum/weight-decay, and LARS.
+
+The paper's training configuration (§V-C) uses the original recipes
+(momentum SGD per Goyal et al.) and switches to LARS (You et al.) for
+large-scale runs (>512 workers for ResNet50) — both are provided so the
+strong-scaling experiments can follow the same regime.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .module import Parameter
+
+__all__ = ["Optimizer", "SGD", "LARS", "Adam"]
+
+
+class Optimizer:
+    """Base optimiser over a flat list of parameters."""
+
+    def __init__(self, params: Sequence[Parameter], lr: float):
+        params = list(params)
+        if not params:
+            raise ValueError("optimiser got an empty parameter list")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be > 0, got {lr}")
+        self.params = params
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        """Clear all parameter gradients."""
+        for p in self.params:
+            p.grad = None
+
+    def step(self) -> None:
+        """Apply one update using the current gradients."""
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """SGD with (optionally Nesterov) momentum and decoupled-from-nothing
+    classic L2 weight decay (added to the gradient, as in the ImageNet
+    recipes the paper follows)."""
+
+    def __init__(
+        self,
+        params: Sequence[Parameter],
+        lr: float,
+        *,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        nesterov: bool = False,
+    ):
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0,1), got {momentum}")
+        if weight_decay < 0:
+            raise ValueError(f"weight_decay must be >= 0, got {weight_decay}")
+        if nesterov and momentum == 0.0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.nesterov = nesterov
+        self._velocity: list[np.ndarray | None] = [None] * len(self.params)
+
+    def step(self) -> None:
+        """Apply one update using the current gradients."""
+        for i, p in enumerate(self.params):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            if self.momentum:
+                if self._velocity[i] is None:
+                    self._velocity[i] = np.zeros_like(p.data)
+                v = self._velocity[i]
+                v *= self.momentum
+                v += grad
+                grad = grad + self.momentum * v if self.nesterov else v
+            p.data -= self.lr * grad
+
+
+class LARS(Optimizer):
+    """Layer-wise Adaptive Rate Scaling (You, Gitman & Ginsburg, 2017).
+
+    Each parameter's update is rescaled by the trust ratio
+    ``eta * ||w|| / (||g|| + wd * ||w||)`` so large-batch training stays
+    stable — the regime of the paper's 2,048-4,096-worker runs.
+    """
+
+    def __init__(
+        self,
+        params: Sequence[Parameter],
+        lr: float,
+        *,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+        trust_coefficient: float = 0.001,
+        eps: float = 1e-9,
+    ):
+        super().__init__(params, lr)
+        if trust_coefficient <= 0:
+            raise ValueError(f"trust_coefficient must be > 0, got {trust_coefficient}")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.trust_coefficient = trust_coefficient
+        self.eps = eps
+        self._velocity: list[np.ndarray | None] = [None] * len(self.params)
+
+    def step(self) -> None:
+        """Apply one update using the current gradients."""
+        for i, p in enumerate(self.params):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            w_norm = float(np.linalg.norm(p.data))
+            g_norm = float(np.linalg.norm(grad))
+            if w_norm > 0 and g_norm > 0:
+                trust = self.trust_coefficient * w_norm / (g_norm + self.eps)
+            else:
+                trust = 1.0
+            update = trust * grad
+            if self.momentum:
+                if self._velocity[i] is None:
+                    self._velocity[i] = np.zeros_like(p.data)
+                v = self._velocity[i]
+                v *= self.momentum
+                v += update
+                update = v
+            p.data -= self.lr * update
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with optional L2 weight decay.
+
+    Not used by the paper's regimes (which are momentum-SGD/LARS), but a
+    standard member of any training toolbox — and useful for quickly
+    fitting the synthetic stand-in datasets when prototyping experiments.
+    """
+
+    def __init__(
+        self,
+        params: Sequence[Parameter],
+        lr: float = 1e-3,
+        *,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(params, lr)
+        b1, b2 = betas
+        if not 0.0 <= b1 < 1.0 or not 0.0 <= b2 < 1.0:
+            raise ValueError(f"betas must be in [0,1), got {betas}")
+        if eps <= 0:
+            raise ValueError(f"eps must be > 0, got {eps}")
+        if weight_decay < 0:
+            raise ValueError(f"weight_decay must be >= 0, got {weight_decay}")
+        self.betas = (b1, b2)
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step = 0
+        self._m: list[np.ndarray | None] = [None] * len(self.params)
+        self._v: list[np.ndarray | None] = [None] * len(self.params)
+
+    def step(self) -> None:
+        """Apply one update using the current gradients."""
+        b1, b2 = self.betas
+        self._step += 1
+        t = self._step
+        bias1 = 1.0 - b1**t
+        bias2 = 1.0 - b2**t
+        for i, p in enumerate(self.params):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            if self._m[i] is None:
+                self._m[i] = np.zeros_like(p.data)
+                self._v[i] = np.zeros_like(p.data)
+            m, v = self._m[i], self._v[i]
+            m *= b1
+            m += (1 - b1) * grad
+            v *= b2
+            v += (1 - b2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

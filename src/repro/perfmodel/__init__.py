@@ -1,0 +1,20 @@
+"""Analytic epoch-time model (Figures 7(b), 9, 10)."""
+
+from .epoch import EpochBreakdown, epoch_breakdown
+from .profiles import COMPUTE_PROFILES, ComputeProfile, get_profile
+from .time_to_accuracy import (
+    TimeToAccuracy,
+    compare_time_to_accuracy,
+    time_to_accuracy,
+)
+
+__all__ = [
+    "EpochBreakdown",
+    "epoch_breakdown",
+    "COMPUTE_PROFILES",
+    "ComputeProfile",
+    "get_profile",
+    "TimeToAccuracy",
+    "compare_time_to_accuracy",
+    "time_to_accuracy",
+]

@@ -1,0 +1,48 @@
+"""Compute profiles of the evaluated models (Figure 9/10 workloads).
+
+Per-iteration forward+backward times are anchored to public V100
+throughput numbers for the two ImageNet models the paper breaks down
+(ResNet50 ~300 img/s/GPU, DenseNet161 ~170 img/s/GPU at batch 32) and the
+gradient sizes to the models' parameter counts (float32).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ComputeProfile", "COMPUTE_PROFILES", "get_profile"]
+
+
+@dataclass(frozen=True)
+class ComputeProfile:
+    """Per-model compute cost: iteration time and gradient size."""
+    name: str
+    iter_time_s: float  # forward+backward for one batch of ``ref_batch``
+    ref_batch: int
+    grad_bytes: int  # gradient/parameter volume for the allreduce
+
+    def fwbw_time(self, iterations: int, batch_size: int) -> float:
+        """FW+BW time for an epoch of ``iterations`` at ``batch_size``."""
+        if iterations < 0 or batch_size < 1:
+            raise ValueError("iterations must be >= 0 and batch_size >= 1")
+        return iterations * self.iter_time_s * (batch_size / self.ref_batch)
+
+
+COMPUTE_PROFILES: dict[str, ComputeProfile] = {
+    p.name: p
+    for p in [
+        ComputeProfile("resnet50", iter_time_s=0.107, ref_batch=32, grad_bytes=102_000_000),
+        ComputeProfile("densenet161", iter_time_s=0.188, ref_batch=32, grad_bytes=115_000_000),
+        ComputeProfile("deepcam", iter_time_s=0.20, ref_batch=2, grad_bytes=225_000_000),
+    ]
+}
+
+
+def get_profile(name: str) -> ComputeProfile:
+    """Look up a compute profile by name (KeyError lists options)."""
+    try:
+        return COMPUTE_PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown compute profile {name!r}; available: {sorted(COMPUTE_PROFILES)}"
+        ) from None

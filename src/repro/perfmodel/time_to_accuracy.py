@@ -1,0 +1,80 @@
+"""Time-to-accuracy: epochs-to-target x epoch-time, per strategy.
+
+§V-D observes that "while local shuffling starts to converge slower than
+its global counterpart (in term of number of epochs), local partial
+shuffling provides almost identical accuracy trajectory with global
+sampling, which in turn ... could lead to faster overall convergence and
+thus a reduction in runtime."  This module makes the implied product
+explicit: combine a measured accuracy curve (epochs to reach a target)
+with the modelled epoch time, and compare strategies on wall-clock time
+to the target accuracy — the number a practitioner actually optimises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.train.history import RunHistory
+
+from .epoch import EpochBreakdown
+
+__all__ = ["TimeToAccuracy", "time_to_accuracy", "compare_time_to_accuracy"]
+
+
+@dataclass(frozen=True)
+class TimeToAccuracy:
+    """Wall-clock cost of reaching ``target`` accuracy with one strategy."""
+
+    strategy: str
+    target: float
+    epochs_needed: int | None  # None = target never reached
+    epoch_time_s: float
+
+    @property
+    def total_seconds(self) -> float | None:
+        """Wall-clock seconds to the target, or None if unreached."""
+        if self.epochs_needed is None:
+            return None
+        return self.epochs_needed * self.epoch_time_s
+
+    @property
+    def reached(self) -> bool:
+        """Whether the target accuracy was ever reached."""
+        return self.epochs_needed is not None
+
+
+def time_to_accuracy(
+    history: RunHistory,
+    breakdown: EpochBreakdown,
+    *,
+    target: float,
+) -> TimeToAccuracy:
+    """Combine an accuracy curve with the modelled epoch time."""
+    if not 0.0 < target <= 1.0:
+        raise ValueError(f"target accuracy must be in (0,1], got {target}")
+    epoch = history.epochs_to_reach(target)
+    return TimeToAccuracy(
+        strategy=history.strategy,
+        target=target,
+        epochs_needed=None if epoch is None else epoch + 1,  # count, not index
+        epoch_time_s=breakdown.total,
+    )
+
+
+def compare_time_to_accuracy(
+    histories: dict[str, RunHistory],
+    breakdowns: dict[str, EpochBreakdown],
+    *,
+    target: float,
+) -> dict[str, TimeToAccuracy]:
+    """Evaluate every strategy appearing in both maps against ``target``."""
+    common = set(histories) & set(breakdowns)
+    if not common:
+        raise ValueError(
+            f"no common strategies between histories ({sorted(histories)}) "
+            f"and breakdowns ({sorted(breakdowns)})"
+        )
+    return {
+        name: time_to_accuracy(histories[name], breakdowns[name], target=target)
+        for name in sorted(common)
+    }

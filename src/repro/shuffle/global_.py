@@ -1,0 +1,72 @@
+"""Global shuffling (GS): the PyTorch-default baseline.
+
+"In the global shuffling scheme, each worker can access the entire
+dataset.  This requires a storage system that is large enough to store the
+whole dataset." (§III-A)  Each epoch, a fresh global permutation is sharded
+by a :class:`~repro.data.sampler.DistributedSampler`; every sample a worker
+touches counts as a *remote* (PFS) read, which is where GS's 5x epoch-time
+penalty comes from (Figure 9).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataloader import DataLoader
+from repro.data.dataset import Dataset
+from repro.data.sampler import DistributedSampler
+from repro.mpi.communicator import Communicator
+
+from .base import ShuffleStrategy
+
+__all__ = ["GlobalShuffle"]
+
+
+class GlobalShuffle(ShuffleStrategy):
+    """Full per-epoch reshuffle over the entire dataset."""
+
+    name = "global"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.dataset: Dataset | None = None
+        self._sampler: DistributedSampler | None = None
+
+    def setup(
+        self,
+        comm: Communicator,
+        dataset: Dataset,
+        *,
+        labels: np.ndarray | None = None,
+        partition: str = "random",
+        seed: int = 0,
+    ) -> None:
+        # GS ignores the partition scheme: every worker sees everything.
+        """Stage this worker's initial data distribution."""
+        self.comm = comm
+        self.dataset = dataset
+        self.seed = seed
+        self._sampler = DistributedSampler(
+            dataset, comm.size, comm.rank, shuffle=True, seed=seed, drop_last=True
+        )
+
+    def epoch_loader(self, epoch: int, batch_size: int) -> DataLoader:
+        """Batches this worker trains on during the epoch."""
+        if self._sampler is None:
+            raise RuntimeError("call setup() first")
+        self._sampler.set_epoch(epoch)
+        # Trailing sub-batch dropped for the same BatchNorm reason as the
+        # local loaders (only when at least one full batch exists).
+        drop_last = len(self._sampler) >= batch_size
+        loader = DataLoader(
+            self.dataset, batch_size, sampler=self._sampler, drop_last=drop_last
+        )
+        # Every sample is fetched from shared storage (the PFS).
+        self.remote_reads += len(loader) * batch_size if drop_last else len(self._sampler)
+        return loader
+
+    def storage_samples(self) -> int:
+        """GS needs the full dataset reachable (replicated or on the PFS)."""
+        if self.dataset is None:
+            raise RuntimeError("call setup() first")
+        return len(self.dataset)

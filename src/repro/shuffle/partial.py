@@ -1,0 +1,164 @@
+"""Partial local shuffling (PLS): the paper's contribution.
+
+Each worker keeps a shard like local shuffling, but before/during each
+epoch it exchanges a fraction Q of its shard with seed-synchronised random
+peers (Algorithm 1 via :class:`~repro.shuffle.scheduler.Scheduler`) and
+locally re-shuffles the result.  Q=0 degenerates to local shuffling, Q=1 to
+a full exchange.  The exchange is overlapped with the training iterations
+of the running epoch (Figure 4): samples sent during epoch *e* leave the
+shard, and samples received during epoch *e* join it, at the *end* of the
+epoch — so epoch *e+1* trains on the refreshed shard.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataloader import DataLoader
+from repro.data.dataset import Dataset
+from repro.mpi.communicator import Communicator
+
+from .local import LocalShuffle
+from .scheduler import Scheduler
+
+__all__ = ["PartialLocalShuffle"]
+
+
+class PartialLocalShuffle(LocalShuffle):
+    """Local shard + per-epoch partial exchange of fraction ``q``.
+
+    Parameters
+    ----------
+    q:
+        Exchange fraction Q in [0, 1] (the paper's ``partial-x``).
+    batch_size_hint:
+        Per-worker batch size used to size the Q*b overlap chunks; the
+        trainer overrides it via ``epoch_loader``'s batch size.
+    overlap:
+        If True (default), the exchange is chunked across training
+        iterations via :meth:`on_iteration` (Figure 4).  If False, the whole
+        exchange is posted and completed in :meth:`end_epoch` — the
+        "blocking" ablation.
+    allow_self:
+        Whether the destination permutation may map a rank to itself (the
+        paper's plain draw).  See :class:`ExchangePlan`.
+    """
+
+    def __init__(
+        self,
+        q: float,
+        *,
+        capacity_bytes: int | None = None,
+        batch_size_hint: int = 32,
+        overlap: bool = True,
+        allow_self: bool = True,
+        granularity: int = 1,
+        selection: str = "random",
+    ) -> None:
+        super().__init__(capacity_bytes=capacity_bytes)
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"exchange fraction q must be in [0,1], got {q}")
+        self.q = q
+        self.batch_size_hint = batch_size_hint
+        self.overlap = overlap
+        self.allow_self = allow_self
+        self.granularity = granularity
+        self.selection = selection
+        self.name = f"partial-{q:g}"
+        self.scheduler: Scheduler | None = None
+        self._epoch_active = False
+
+    def setup(
+        self,
+        comm: Communicator,
+        dataset: Dataset,
+        *,
+        labels: np.ndarray | None = None,
+        partition: str = "random",
+        seed: int = 0,
+    ) -> None:
+        """Stage this worker's initial data distribution."""
+        super().setup(comm, dataset, labels=labels, partition=partition, seed=seed)
+        self.scheduler = Scheduler(
+            self.storage,
+            comm,
+            fraction=self.q,
+            batch_size=self.batch_size_hint,
+            seed=seed,
+            allow_self=self.allow_self,
+            granularity=self.granularity,
+            selection=self.selection,
+        )
+
+    # ------------------------------------------------------------ epoch hooks
+    def begin_epoch(self, epoch: int) -> None:
+        """Per-epoch preparation."""
+        if self.scheduler is None:
+            raise RuntimeError("call setup() first")
+        if self._epoch_active:
+            raise RuntimeError("previous epoch not ended; call end_epoch() first")
+        self.scheduler.scheduling(epoch)
+        self._epoch_active = True
+
+    def epoch_loader(self, epoch: int, batch_size: int) -> DataLoader:
+        """Batches this worker trains on during the epoch."""
+        if self.scheduler is not None:
+            self.scheduler.batch_size = batch_size
+        return super().epoch_loader(epoch, batch_size)
+
+    def on_iteration(self) -> None:
+        """Post this iteration's Q*b exchange rounds (overlap with FW+BW)."""
+        if self._epoch_active and self.overlap:
+            self.scheduler.communicate_chunk()
+
+    def end_epoch(self) -> None:
+        """Finish the exchange and refresh the shard for the next epoch."""
+        if not self._epoch_active:
+            raise RuntimeError("begin_epoch() was not called")
+        recv_before = self.scheduler.total_recv_samples
+        send_reqs, recv_reqs = self.scheduler.communicate()  # post any remainder
+        self.scheduler.synchronize(send_reqs, recv_reqs)
+        self.scheduler.clean_local_storage()
+        self.remote_reads += self.scheduler.total_recv_samples - recv_before
+        self._epoch_active = False
+
+    def fast_forward(self, epochs: int) -> None:
+        """Replay ``epochs`` exchanges so the shard matches a run that
+        actually trained through them.  The exchange for epoch *e* depends
+        only on ``(seed, e)`` and the storage contents, both deterministic,
+        so replay reconstructs the exact post-epoch shard."""
+        if self.scheduler is None:
+            raise RuntimeError("call setup() first")
+        for epoch in range(epochs):
+            self.begin_epoch(epoch)
+            self.end_epoch()
+
+    # ------------------------------------------------------------- accounting
+    def storage_samples(self) -> int:
+        """Peak is shard + in-flight receives: (1+Q) * N/M (§III-A)."""
+        return max(len(self.storage), self.storage.peak_count)
+
+    def stats(self) -> dict:
+        """Accounting snapshot for benchmarks."""
+        out = super().stats()
+        if self.scheduler is not None:
+            out.update(
+                sent_samples=self.scheduler.total_sent_samples,
+                recv_samples=self.scheduler.total_recv_samples,
+                sent_bytes=self.scheduler.total_sent_bytes,
+            )
+        return out
+
+
+def strategy_from_name(name: str, **kwargs):
+    """Parse "global" / "local" / "partial-<q>" into a strategy instance."""
+    from .global_ import GlobalShuffle
+
+    if name == "global":
+        return GlobalShuffle()
+    if name == "local":
+        return LocalShuffle(**kwargs)
+    if name.startswith("partial-"):
+        q = float(name.split("-", 1)[1])
+        return PartialLocalShuffle(q, **kwargs)
+    raise ValueError(f"unknown strategy {name!r}; expected global/local/partial-<q>")

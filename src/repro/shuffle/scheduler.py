@@ -1,0 +1,299 @@
+"""The PLS scheduler: per-epoch sample exchange with optional overlap.
+
+Mirrors the paper's user-facing object (Figure 3)::
+
+    scheduler = Scheduler(storage, comm, fraction=Q, batch_size=b, seed=s)
+
+    def train(epoch):
+        scheduler.scheduling(epoch)          # pick samples + destinations
+        # ... training loop; optionally scheduler.communicate_chunk() per
+        #     iteration to overlap the exchange with FW+BW (Figure 4) ...
+        send_req, recv_req = scheduler.communicate()   # non-blocking
+        scheduler.synchronize(send_req, recv_req)      # wait for exchange
+        scheduler.clean_local_storage()      # evict sent, install received
+
+The exchange follows :class:`~repro.shuffle.exchange_plan.ExchangePlan`
+(Algorithm 1): per round one isend/irecv pair per rank, matched by round
+tag, seed-synchronised destinations, hence balanced traffic.  Per-iteration
+chunking sends ``Q*b`` samples per training iteration, which is exactly the
+paper's overlap granularity ("in each iteration, Q*b samples are
+sent/received", §III-C).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.mpi.communicator import Communicator
+from repro.mpi.request import Request, waitall
+from repro.utils.rng import SeedTree
+
+from .exchange_plan import ExchangePlan, exchange_count
+from .storage import StorageArea
+
+__all__ = ["Scheduler", "EXCHANGE_TAG_BASE"]
+
+# Tag space reserved for sample-exchange rounds: one tag per round within an
+# epoch, plus an epoch-parity bit.  Ranks can be at most one epoch apart
+# (synchronize() blocks until all sources posted), so parity plus per-channel
+# FIFO matching keeps epochs unambiguous.
+EXCHANGE_TAG_BASE = 1 << 16
+_EPOCH_PARITY_BIT = 1 << 20
+
+
+class Scheduler:
+    """Manages the global exchange of one worker's storage area.
+
+    Parameters
+    ----------
+    storage:
+        This worker's :class:`StorageArea` (already holding its shard).
+    comm:
+        Communicator over all workers.
+    fraction:
+        The paper's exchange fraction Q in [0, 1].
+    batch_size:
+        Per-worker batch size b; used for the per-iteration chunk size Q*b.
+    seed:
+        Shared seed from which all ranks derive identical destination
+        permutations (and their own local selection stream).
+    allow_self:
+        Forwarded to the plan; see :class:`ExchangePlan`.
+    """
+
+    def __init__(
+        self,
+        storage: StorageArea,
+        comm: Communicator,
+        *,
+        fraction: float,
+        batch_size: int = 32,
+        seed: int = 0,
+        allow_self: bool = True,
+        granularity: int = 1,
+        selection: str = "random",
+    ):
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction Q must be in [0,1], got {fraction}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if granularity < 1:
+            raise ValueError(f"granularity must be >= 1, got {granularity}")
+        if selection not in ("random", "stale", "importance"):
+            raise ValueError(
+                f"selection must be random/stale/importance, got {selection!r}"
+            )
+        self.storage = storage
+        self.comm = comm
+        self.fraction = fraction
+        self.batch_size = batch_size
+        self.seed = seed
+        self.allow_self = allow_self
+        # §III-E: "our scheduler could however be simply extended to exchange
+        # batches of samples instead of individual samples" — ``granularity``
+        # samples ride in each message (LMDB-style grouped datasets).
+        self.granularity = granularity
+        # Which local samples to exchange: "random" is Algorithm 1's draw;
+        # "stale" evicts the samples that have sat in the shard longest;
+        # "importance" uses externally supplied scores (highest first) — the
+        # §IV-B future-work hook for importance-sampling-aware exchange.
+        self.selection = selection
+        self._scores: dict[int, float] = {}
+        self._arrival_epoch: dict[int, int] = {}
+        self._tree = SeedTree(seed)
+
+        self.epoch: int | None = None
+        self.plan: ExchangePlan | None = None
+        self._selected_ids: list[int] = []
+        self._next_round = 0  # chunked-communication cursor
+        self._send_reqs: list[Request] = []
+        self._recv_reqs: list[Request] = []
+        self._received: list[tuple[np.ndarray, int]] = []
+        self._cleaned = True
+
+        # Statistics for the performance/accounting benchmarks.
+        self.total_sent_samples = 0
+        self.total_recv_samples = 0
+        self.total_sent_bytes = 0
+
+    # ------------------------------------------------------------- scheduling
+    def scheduling(self, epoch: int) -> None:
+        """Line 1-3 of Algorithm 1: pick the global partition and the
+        destination permutations for this epoch."""
+        if not self._cleaned:
+            raise RuntimeError(
+                "previous epoch's exchange not finished: call synchronize() "
+                "and clean_local_storage() first"
+            )
+        self.epoch = int(epoch)
+        n_local = len(self.storage)
+        # Shard sizes may differ by one across ranks (N mod M != 0), but the
+        # balanced exchange requires every rank to play the same number of
+        # rounds — otherwise a rank waits for a send its peer never posts.
+        # Agree on the global minimum (collective call: scheduling() must be
+        # invoked on every rank, which is already its contract).
+        k = self.comm.allreduce(exchange_count(n_local, self.fraction), op=min)
+        self._selected_ids = self._select_samples(k, epoch)
+        # Messages carry ``granularity`` samples each; the plan is built at
+        # message granularity so balance holds per message AND per sample.
+        n_messages = -(-k // self.granularity) if k else 0
+        self.plan = ExchangePlan.for_epoch(
+            seed=self.seed,
+            epoch=epoch,
+            size=self.comm.size,
+            rounds=n_messages,
+            allow_self=self.allow_self,
+        )
+        self._next_round = 0
+        self._send_reqs = []
+        self._recv_reqs = []
+        self._received = []
+        self._cleaned = False
+
+    def _select_samples(self, k: int, epoch: int) -> list[int]:
+        """Pick the k local samples forming this epoch's global partition."""
+        ids = self.storage.ids()
+        rng = self._tree.per_rank("select", self.comm.rank, epoch)
+        if self.selection == "random":
+            perm = rng.permutation(len(ids))
+            return [ids[int(i)] for i in perm[:k]]
+        if self.selection == "stale":
+            # Oldest arrivals leave first; ties broken by the rank stream so
+            # the initial epoch (all ties) is still a uniform draw.
+            jitter = rng.random(len(ids))
+            order = sorted(
+                range(len(ids)),
+                key=lambda i: (self._arrival_epoch.get(ids[i], -1), jitter[i]),
+            )
+            return [ids[i] for i in order[:k]]
+        # importance: highest externally supplied score leaves first.
+        jitter = rng.random(len(ids))
+        order = sorted(
+            range(len(ids)),
+            key=lambda i: (-self._scores.get(ids[i], 0.0), jitter[i]),
+        )
+        return [ids[i] for i in order[:k]]
+
+    def set_score(self, sid: int, score: float) -> None:
+        """Record an importance score for a stored sample (e.g. its last
+        training loss); used by ``selection="importance"``."""
+        if sid not in self.storage:
+            raise KeyError(f"no sample with id {sid} in storage")
+        self._scores[sid] = float(score)
+
+    @property
+    def rounds(self) -> int:
+        """Messages this worker sends (= receives) this epoch.  With
+        ``granularity`` g this is ceil(k / g) for k exchanged samples."""
+        self._require_scheduled()
+        return self.plan.rounds
+
+    @property
+    def chunk_rounds(self) -> int:
+        """Messages per training iteration under overlap: Q*b samples'
+        worth (>= 1 while messages remain)."""
+        return max(1, int(round(self.fraction * self.batch_size / self.granularity)))
+
+    def _require_scheduled(self) -> None:
+        if self.plan is None or self.epoch is None:
+            raise RuntimeError("call scheduling(epoch) first")
+
+    # ------------------------------------------------------------ communicate
+    def communicate(self) -> tuple[list[Request], list[Request]]:
+        """Issue all remaining isend/irecv pairs (lines 2-6 of Algorithm 1).
+
+        Non-blocking: returns (send_requests, recv_requests) to pass to
+        :meth:`synchronize`.  Can be called after zero or more
+        :meth:`communicate_chunk` calls; it completes the posting.
+        """
+        self._require_scheduled()
+        self._post_rounds(self.plan.rounds - self._next_round)
+        return self._send_reqs, self._recv_reqs
+
+    def communicate_chunk(self) -> int:
+        """Post the next Q*b rounds (one training iteration's share of the
+        exchange — the Figure 4 overlap step).  Returns rounds posted."""
+        self._require_scheduled()
+        remaining = self.plan.rounds - self._next_round
+        n = min(self.chunk_rounds, remaining)
+        self._post_rounds(n)
+        return n
+
+    def _post_rounds(self, n: int) -> None:
+        if n <= 0:
+            return
+        rank = self.comm.rank
+        dests = self.plan.sends_for(rank)
+        srcs = self.plan.recvs_for(rank)
+        parity = (self.epoch % 2) * _EPOCH_PARITY_BIT
+        g = self.granularity
+        for i in range(self._next_round, self._next_round + n):
+            group_ids = self._selected_ids[i * g : (i + 1) * g]
+            payload = []
+            for sid in group_ids:
+                sample, label = self.storage.get(sid)
+                payload.append((sample, label))
+                self.total_sent_samples += 1
+                self.total_sent_bytes += sample.nbytes
+            tag = EXCHANGE_TAG_BASE + parity + i
+            self._send_reqs.append(
+                self.comm.isend(payload, dest=int(dests[i]), tag=tag)
+            )
+            # The shared seed tells us the source; matched irecv is
+            # deterministic while remaining wire-identical to ANY_SOURCE.
+            self._recv_reqs.append(self.comm.irecv(source=int(srcs[i]), tag=tag))
+        self._next_round += n
+
+    # -------------------------------------------------------------- complete
+    def synchronize(
+        self,
+        send_reqs: Sequence[Request] | None = None,
+        recv_reqs: Sequence[Request] | None = None,
+    ) -> None:
+        """Line 7 of Algorithm 1: wait for all outstanding requests.
+
+        The request lists are optional (the scheduler tracks its own); they
+        are accepted to mirror the paper's script-facing API."""
+        self._require_scheduled()
+        if self._next_round < self.plan.rounds:
+            raise RuntimeError(
+                f"only {self._next_round}/{self.plan.rounds} rounds posted; "
+                "call communicate() before synchronize()"
+            )
+        waitall(send_reqs if send_reqs is not None else self._send_reqs)
+        payloads = waitall(recv_reqs if recv_reqs is not None else self._recv_reqs)
+        self._received = [
+            (np.asarray(s), int(lbl)) for group in payloads for s, lbl in group
+        ]
+        self.total_recv_samples += len(self._received)
+
+    def clean_local_storage(self) -> None:
+        """Install received samples, then evict the transmitted ones.
+
+        Ordering note: installing before evicting transiently holds
+        ``(1+Q) * N/M`` samples — exactly the paper's stated peak storage
+        requirement (§III-A), which :class:`StorageArea` records via
+        ``peak_nbytes``/``peak_count``.
+        """
+        self._require_scheduled()
+        if len(self._received) != len(self._selected_ids):
+            raise RuntimeError("call synchronize() before clean_local_storage()")
+        for sample, label in self._received:
+            new_id = self.storage.add(sample, label)
+            self._arrival_epoch[new_id] = self.epoch
+        for sid in self._selected_ids:
+            self.storage.remove(sid)
+            self._arrival_epoch.pop(sid, None)
+            self._scores.pop(sid, None)
+        self._received = []
+        self._selected_ids = []
+        self._cleaned = True
+
+    def run_exchange(self, epoch: int) -> None:
+        """Convenience: the full blocking exchange for one epoch."""
+        self.scheduling(epoch)
+        send_reqs, recv_reqs = self.communicate()
+        self.synchronize(send_reqs, recv_reqs)
+        self.clean_local_storage()

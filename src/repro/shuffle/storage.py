@@ -1,0 +1,161 @@
+"""Per-worker local storage area with capacity accounting.
+
+"We assume that each worker's designated portion of the training data
+samples is loaded into a predefined storage area before training.  During
+training, a worker only processes data samples in its designated storage
+area." (§III-A)
+
+:class:`StorageArea` is that predefined area: an id-addressed store of
+``(sample, label)`` entries with byte-level capacity accounting, so the
+paper's ``(1+Q) * N/M`` storage bound can be asserted rather than assumed.
+A memory-backed store models node-local RAM/tmpfs; a directory-backed store
+(:class:`DiskStorageArea`) models node-local SSD with real files.
+"""
+
+from __future__ import annotations
+
+import itertools
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+
+__all__ = ["StorageArea", "DiskStorageArea", "StorageFullError", "StorageDataset"]
+
+
+class StorageFullError(RuntimeError):
+    """Adding a sample would exceed the storage area's byte capacity."""
+
+
+class StorageArea:
+    """In-memory sample store with byte capacity accounting.
+
+    Entries are addressed by opaque integer ids that remain stable across
+    removals (unlike list indices), which is what the exchange scheduler
+    needs: it records ids at ``scheduling()`` time and removes exactly those
+    at ``clean_local_storage()`` time even though receives interleave.
+    """
+
+    def __init__(self, *, capacity_bytes: int | None = None):
+        if capacity_bytes is not None and capacity_bytes <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self._entries: dict[int, tuple[np.ndarray, int]] = {}
+        self._ids = itertools.count()
+        self._nbytes = 0
+        self.peak_nbytes = 0
+        self.peak_count = 0
+
+    # ------------------------------------------------------------------ CRUD
+    def add(self, sample: np.ndarray, label: int) -> int:
+        """Store a sample; returns its id.  Raises StorageFullError if the
+        configured capacity would be exceeded."""
+        sample = np.asarray(sample)
+        size = sample.nbytes
+        if self.capacity_bytes is not None and self._nbytes + size > self.capacity_bytes:
+            raise StorageFullError(
+                f"adding {size} B would exceed capacity "
+                f"({self._nbytes}/{self.capacity_bytes} B used)"
+            )
+        sid = next(self._ids)
+        self._entries[sid] = (sample, int(label))
+        self._nbytes += size
+        self.peak_nbytes = max(self.peak_nbytes, self._nbytes)
+        self.peak_count = max(self.peak_count, len(self._entries))
+        return sid
+
+    def get(self, sid: int) -> tuple[np.ndarray, int]:
+        """Fetch the (sample, label) pair for an id (KeyError if absent)."""
+        try:
+            return self._entries[sid]
+        except KeyError:
+            raise KeyError(f"no sample with id {sid} in storage") from None
+
+    def remove(self, sid: int) -> None:
+        """Delete a stored sample by id."""
+        sample, _ = self.get(sid)
+        del self._entries[sid]
+        self._nbytes -= sample.nbytes
+
+    def ids(self) -> list[int]:
+        """Current ids in insertion order."""
+        return list(self._entries.keys())
+
+    def items(self) -> Iterator[tuple[int, np.ndarray, int]]:
+        """Yield (id, sample, label) triples in insertion order."""
+        for sid, (sample, label) in self._entries.items():
+            yield sid, sample, label
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, sid: int) -> bool:
+        return sid in self._entries
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes currently stored."""
+        return self._nbytes
+
+    def labels(self) -> np.ndarray:
+        """Labels of all stored samples, in insertion order."""
+        return np.array([label for _, label in self._entries.values()], dtype=np.int64)
+
+    def as_dataset(self) -> "StorageDataset":
+        """Snapshot view usable by a DataLoader (ids frozen at call time)."""
+        return StorageDataset(self, self.ids())
+
+
+class DiskStorageArea(StorageArea):
+    """Storage area persisting each sample as one ``.npy`` file.
+
+    Models the paper's node-local SSD deployment (§III-A: "this predefined
+    area can be memory, local storage (e.g., local SSDs) as well as a
+    parallel file system"): entries survive process restart and the byte
+    accounting reflects actual files.
+    """
+
+    def __init__(self, root: str | Path, *, capacity_bytes: int | None = None):
+        super().__init__(capacity_bytes=capacity_bytes)
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        # Reload anything already on disk (restart support).
+        for f in sorted(self.root.glob("sample_*.npy")):
+            label = int(f.stem.split("_label_")[1])
+            super().add(np.load(f), label)
+            f.unlink()  # re-persisted below with the new id
+        for sid, sample, label in list(self.items()):
+            np.save(self._path(sid, label), sample)
+
+    def _path(self, sid: int, label: int) -> Path:
+        return self.root / f"sample_{sid:08d}_label_{label}.npy"
+
+    def add(self, sample: np.ndarray, label: int) -> int:
+        """Append/record one entry."""
+        sid = super().add(sample, label)
+        np.save(self._path(sid, int(label)), np.asarray(sample))
+        return sid
+
+    def remove(self, sid: int) -> None:
+        """Delete a stored sample by id."""
+        _, label = self.get(sid)
+        super().remove(sid)
+        path = self._path(sid, label)
+        if path.exists():
+            path.unlink()
+
+
+class StorageDataset(Dataset):
+    """Dataset view over a StorageArea snapshot (index -> entry)."""
+
+    def __init__(self, storage: StorageArea, ids: list[int]):
+        self.storage = storage
+        self._ids = list(ids)
+
+    def __getitem__(self, index: int) -> tuple[np.ndarray, int]:
+        return self.storage.get(self._ids[index])
+
+    def __len__(self) -> int:
+        return len(self._ids)

@@ -1,0 +1,19 @@
+"""Flow-level network simulator: topology, max-min fair flows, patterns."""
+
+from .epoch_sim import SimEpochResult, simulate_epoch
+from .flowsim import Flow, FlowSimResult, simulate_flows
+from .patterns import flat_exchange_flows, hierarchical_exchange_flows
+from .topology import Topology, torus_2d, two_level_tree
+
+__all__ = [
+    "SimEpochResult",
+    "simulate_epoch",
+    "Flow",
+    "FlowSimResult",
+    "simulate_flows",
+    "flat_exchange_flows",
+    "hierarchical_exchange_flows",
+    "Topology",
+    "torus_2d",
+    "two_level_tree",
+]

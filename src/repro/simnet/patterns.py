@@ -1,0 +1,89 @@
+"""Traffic patterns of the exchange schemes, as flow lists.
+
+* :func:`flat_exchange_flows` — Algorithm 1's pattern: each rank sends its
+  ``k`` samples to seed-synchronised random peers anywhere in the machine.
+* :func:`hierarchical_exchange_flows` — the §V-F alternative: per-node
+  aggregation, node-level exchange between leaders, local scatter.
+
+Feeding both through :func:`~repro.simnet.flowsim.simulate_flows` on an
+oversubscribed two-level tree quantifies how much congestion the
+hierarchical scheme removes — the ablation behind the paper's suggestion.
+"""
+
+from __future__ import annotations
+
+from repro.shuffle.exchange_plan import ExchangePlan
+
+from .flowsim import Flow
+from .topology import Topology
+
+__all__ = ["flat_exchange_flows", "hierarchical_exchange_flows"]
+
+
+def flat_exchange_flows(
+    topology: Topology,
+    *,
+    rounds: int,
+    sample_bytes: float,
+    seed: int = 0,
+    epoch: int = 0,
+) -> list[Flow]:
+    """One flow per (rank, round) following the Algorithm 1 plan; flows of
+    the same src->dst pair are merged (they share the path anyway)."""
+    plan = ExchangePlan.for_epoch(
+        seed=seed, epoch=epoch, size=topology.size, rounds=rounds
+    )
+    volume: dict[tuple[int, int], float] = {}
+    for r in range(topology.size):
+        for dest in plan.sends_for(r):
+            key = (r, int(dest))
+            volume[key] = volume.get(key, 0.0) + sample_bytes
+    return [Flow(src=s, dst=d, nbytes=b) for (s, d), b in sorted(volume.items())]
+
+
+def hierarchical_exchange_flows(
+    topology: Topology,
+    *,
+    rounds: int,
+    sample_bytes: float,
+    seed: int = 0,
+    epoch: int = 0,
+) -> list[Flow]:
+    """Three-phase hierarchical pattern at node granularity.
+
+    Phase flows are concatenated (the fluid simulation is conservative: it
+    lets them share links concurrently, which under-orders the phases but
+    preserves total volume per link — good enough for the congestion
+    comparison).
+    """
+    import numpy as np
+
+    from repro.utils.rng import SeedTree
+
+    rpn = topology.ranks_per_node
+    n_nodes = topology.size // rpn
+    flows: list[Flow] = []
+    # Phase 1: every rank funnels its k samples to the node leader.
+    for rank in range(topology.size):
+        leader = (rank // rpn) * rpn
+        if rank != leader and rounds > 0:
+            flows.append(Flow(src=rank, dst=leader, nbytes=rounds * sample_bytes))
+    # Phase 2: node-level balanced exchange between leaders.
+    rng = SeedTree(seed).shared("hier-exchange", epoch)
+    volume: dict[tuple[int, int], float] = {}
+    for _ in range(rounds * rpn):
+        perm = rng.permutation(n_nodes)
+        for node in range(n_nodes):
+            dst_node = int(perm[node])
+            if dst_node != node:
+                key = (node * rpn, dst_node * rpn)
+                volume[key] = volume.get(key, 0.0) + sample_bytes
+    flows.extend(Flow(src=s, dst=d, nbytes=b) for (s, d), b in sorted(volume.items()))
+    # Phase 3: leaders scatter k samples to each member.
+    for rank in range(topology.size):
+        leader = (rank // rpn) * rpn
+        if rank != leader and rounds > 0:
+            flows.append(Flow(src=leader, dst=rank, nbytes=rounds * sample_bytes))
+    if not flows:
+        raise ValueError("pattern produced no flows (rounds=0 on a 1-node world?)")
+    return flows

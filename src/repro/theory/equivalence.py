@@ -1,0 +1,100 @@
+"""Empirical check of the §IV-A gradient-equivalence argument.
+
+The paper proves that for a *fixed* weight vector, the epoch-averaged
+gradient is identical under global and partial-local shuffling: both
+schemes eventually sum the per-sample gradients of the same N samples, and
+addition commutes (Eqs. 2-5).  :func:`epoch_mean_gradient` verifies this
+directly: it accumulates the gradient over an entire epoch *without*
+parameter updates and must produce bit-comparable results for any sample
+order or worker partition.
+
+The same module also exposes :func:`sgd_final_weights`, which runs actual
+SGD (updates between minibatches) so tests can demonstrate the *limitation*
+discussed in §IV-A-1: once updates interleave with sampling, the order
+does matter, and batch statistics (BatchNorm) differ across schemes — the
+reason partial exchange is needed in some configurations.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.module import Module
+from repro.nn.optim import SGD
+
+__all__ = ["epoch_mean_gradient", "sgd_final_weights", "flatten_gradients"]
+
+
+def flatten_gradients(model: Module) -> np.ndarray:
+    """Concatenate all parameter gradients into one float64 vector."""
+    grads = []
+    for name, p in model.named_parameters():
+        if p.grad is None:
+            raise ValueError(f"parameter {name} has no gradient")
+        grads.append(p.grad.astype(np.float64).ravel())
+    return np.concatenate(grads)
+
+
+def epoch_mean_gradient(
+    model: Module,
+    X: np.ndarray,
+    y: np.ndarray,
+    order: Sequence[int],
+    *,
+    batch_size: int,
+) -> np.ndarray:
+    """Sample-averaged gradient over one epoch at fixed weights.
+
+    ``order`` is the (possibly permuted, possibly partitioned-by-worker)
+    visiting order of all N sample indices.  Batches are taken along the
+    order; the per-batch mean gradients are combined sample-weighted, which
+    reproduces Eq. 1's averaging exactly.  Since no update happens between
+    batches, the result is order-invariant up to float rounding — the
+    §IV-A equivalence.
+    """
+    order = np.asarray(order)
+    if sorted(order.tolist()) != list(range(len(X))):
+        raise ValueError("order must be a permutation of all sample indices")
+    total: np.ndarray | None = None
+    n = len(order)
+    for start in range(0, n, batch_size):
+        idx = order[start : start + batch_size]
+        logits = model(X[idx])
+        loss = F.cross_entropy(logits, y[idx])
+        model.zero_grad()
+        loss.backward()
+        g = flatten_gradients(model) * len(idx)  # undo the per-batch mean
+        total = g if total is None else total + g
+    return total / n
+
+
+def sgd_final_weights(
+    model: Module,
+    X: np.ndarray,
+    y: np.ndarray,
+    order: Sequence[int],
+    *,
+    batch_size: int,
+    lr: float,
+    epochs: int = 1,
+) -> np.ndarray:
+    """Final flattened weights after real SGD following ``order`` each epoch.
+
+    Unlike :func:`epoch_mean_gradient` the parameters move between batches,
+    so different orders generally yield different weights — the fixed-point
+    of the paper's equivalence argument does not extend to interleaved
+    updates, which is exactly why the empirical study is needed.
+    """
+    opt = SGD(model.parameters(), lr=lr)
+    order = np.asarray(order)
+    for _ in range(epochs):
+        for start in range(0, len(order), batch_size):
+            idx = order[start : start + batch_size]
+            loss = F.cross_entropy(model(X[idx]), y[idx])
+            model.zero_grad()
+            loss.backward()
+            opt.step()
+    return np.concatenate([p.data.astype(np.float64).ravel() for p in model.parameters()])

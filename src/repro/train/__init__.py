@@ -1,0 +1,45 @@
+"""Distributed synchronous-SGD training harness over the simulated MPI."""
+
+from .checkpoint import Checkpoint, load_checkpoint, save_checkpoint
+from .distributed import allreduce_batchnorm_stats, allreduce_gradients, broadcast_model
+from .evaluate import evaluate
+from .experiments import (
+    ExperimentResult,
+    accuracy_gap,
+    make_experiment_data,
+    run_comparison,
+    run_pretrain_finetune,
+    transfer_backbone,
+)
+from .history import EpochRecord, RunHistory
+from .telemetry import PhaseBreakdownResult, measure_phase_breakdown
+from .trainer import TrainConfig, train_worker
+from .robustness import RobustnessReport, StrategyStats, run_multi_seed
+from .tuning import TuningResult, tune_exchange_fraction
+
+__all__ = [
+    "Checkpoint",
+    "load_checkpoint",
+    "save_checkpoint",
+    "allreduce_batchnorm_stats",
+    "allreduce_gradients",
+    "broadcast_model",
+    "evaluate",
+    "ExperimentResult",
+    "accuracy_gap",
+    "make_experiment_data",
+    "run_comparison",
+    "run_pretrain_finetune",
+    "transfer_backbone",
+    "EpochRecord",
+    "RunHistory",
+    "PhaseBreakdownResult",
+    "measure_phase_breakdown",
+    "TrainConfig",
+    "train_worker",
+    "RobustnessReport",
+    "StrategyStats",
+    "run_multi_seed",
+    "TuningResult",
+    "tune_exchange_fraction",
+]

@@ -1,0 +1,130 @@
+"""Checkpoint/restart for distributed training runs.
+
+Long pretraining jobs (the Figure 8 upstream runs are 90-epoch,
+multi-thousand-GPU affairs) need restartability.  A checkpoint captures
+the replicated state — model parameters/buffers, optimizer velocity, LR
+schedule position and the run history — in a single ``.npz``-style file.
+Worker-local shard state is already durable when the strategy uses a
+:class:`~repro.shuffle.storage.DiskStorageArea` (files survive restart),
+and the seed-tree construction makes every post-restart epoch replay
+exactly: the exchange plan for epoch *e* depends only on ``(seed, e)``.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.nn.optim import Optimizer
+
+from .history import EpochRecord, RunHistory
+
+__all__ = ["save_checkpoint", "load_checkpoint", "Checkpoint"]
+
+
+class Checkpoint:
+    """In-memory checkpoint contents."""
+
+    def __init__(
+        self,
+        *,
+        epoch: int,
+        model_state: dict[str, np.ndarray],
+        optimizer_state: list[np.ndarray | None],
+        history: RunHistory | None = None,
+    ):
+        self.epoch = epoch
+        self.model_state = model_state
+        self.optimizer_state = optimizer_state
+        self.history = history
+
+
+def _optimizer_velocity(optimizer: Optimizer) -> list[np.ndarray | None]:
+    velocity = getattr(optimizer, "_velocity", None)
+    if velocity is None:
+        return [None] * len(optimizer.params)
+    return [None if v is None else v.copy() for v in velocity]
+
+
+def save_checkpoint(
+    path: str | Path,
+    *,
+    model: Module,
+    optimizer: Optimizer,
+    epoch: int,
+    history: RunHistory | None = None,
+) -> Path:
+    """Serialise the run state to ``path`` (created atomically via rename)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "epoch": int(epoch),
+        "model_state": model.state_dict(),
+        "optimizer_velocity": _optimizer_velocity(optimizer),
+        "optimizer_lr": optimizer.lr,
+        "history": None
+        if history is None
+        else {
+            "strategy": history.strategy,
+            "workers": history.workers,
+            "stats": history.stats,
+            "records": [
+                (r.epoch, r.train_loss, r.val_accuracy, r.lr, r.samples_seen)
+                for r in history.records
+            ],
+        },
+    }
+    buf = io.BytesIO()
+    pickle.dump(payload, buf, protocol=pickle.HIGHEST_PROTOCOL)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_bytes(buf.getvalue())
+    tmp.replace(path)
+    return path
+
+
+def load_checkpoint(
+    path: str | Path,
+    *,
+    model: Module | None = None,
+    optimizer: Optimizer | None = None,
+) -> Checkpoint:
+    """Read a checkpoint; optionally restore ``model``/``optimizer`` in place.
+
+    Returns the :class:`Checkpoint` so callers can resume at
+    ``checkpoint.epoch + 1``.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no checkpoint at {path}")
+    payload = pickle.loads(path.read_bytes())
+    history = None
+    if payload["history"] is not None:
+        h = payload["history"]
+        history = RunHistory(strategy=h["strategy"], workers=h["workers"])
+        history.stats = h["stats"]
+        for rec in h["records"]:
+            history.add(EpochRecord(*rec))
+    ckpt = Checkpoint(
+        epoch=payload["epoch"],
+        model_state=payload["model_state"],
+        optimizer_state=payload["optimizer_velocity"],
+        history=history,
+    )
+    if model is not None:
+        model.load_state_dict(ckpt.model_state)
+    if optimizer is not None:
+        if len(ckpt.optimizer_state) != len(optimizer.params):
+            raise ValueError(
+                f"optimizer has {len(optimizer.params)} params but checkpoint "
+                f"holds {len(ckpt.optimizer_state)} velocity buffers"
+            )
+        if hasattr(optimizer, "_velocity"):
+            optimizer._velocity = [
+                None if v is None else v.copy() for v in ckpt.optimizer_state
+            ]
+        optimizer.lr = payload["optimizer_lr"]
+    return ckpt

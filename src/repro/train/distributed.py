@@ -1,0 +1,71 @@
+"""Distributed synchronous-SGD primitives over the simulated MPI.
+
+Equation 1 of the paper: every iteration each worker computes the gradient
+over its local minibatch, the local gradients are averaged across workers,
+and all replicas apply the same update.  These helpers implement the two
+collective steps that make the replicas consistent: the initial state
+broadcast and the per-iteration gradient allreduce.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mpi.communicator import Communicator
+from repro.nn.module import Module
+
+__all__ = ["broadcast_model", "allreduce_gradients", "allreduce_batchnorm_stats"]
+
+
+def broadcast_model(model: Module, comm: Communicator, root: int = 0) -> None:
+    """Replicate root's parameters and buffers to every rank.
+
+    The paper's equivalence proof assumes all workers "initialize the
+    weights with the same random seed" (§IV-A); broadcasting makes that an
+    invariant rather than a convention.
+    """
+    state = model.state_dict() if comm.rank == root else None
+    state = comm.bcast(state, root=root)
+    if comm.rank != root:
+        model.load_state_dict(state)
+
+
+def allreduce_gradients(model: Module, comm: Communicator) -> None:
+    """Average parameter gradients across all ranks (Eq. 1's 1/M sum).
+
+    Gradients are flattened into a single buffer so one allreduce carries
+    the whole model — the same bucketing trick real frameworks use to
+    avoid per-tensor latency.
+    """
+    params = [p for p in model.parameters() if p.grad is not None]
+    if not params:
+        raise ValueError("no gradients to reduce; run backward() first")
+    flat = np.concatenate([p.grad.ravel() for p in params])
+    total = comm.allreduce(flat)
+    total /= comm.size
+    offset = 0
+    for p in params:
+        n = p.grad.size
+        p.grad[...] = total[offset : offset + n].reshape(p.grad.shape)
+        offset += n
+
+
+def allreduce_batchnorm_stats(model: Module, comm: Communicator) -> None:
+    """Average BatchNorm running statistics across ranks before evaluation.
+
+    Under local/partial-local shuffling each worker's running stats are
+    biased toward its shard (§IV-A-1).  Synchronising them before
+    validation mirrors what distributed frameworks do when checkpointing
+    rank 0's model after allreduce-based BN-sync.
+    """
+    from repro.nn.norm import _BatchNormBase
+
+    for module in model.modules():
+        if isinstance(module, _BatchNormBase):
+            # Contribute copies: under zero-copy worlds the live buffer is
+            # shared with peers until every rank has folded it, and the
+            # in-place write below would race with their reads.
+            mean = comm.allreduce(module.running_mean.copy()) / comm.size
+            var = comm.allreduce(module.running_var.copy()) / comm.size
+            module.running_mean[...] = mean
+            module.running_var[...] = var

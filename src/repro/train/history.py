@@ -1,0 +1,62 @@
+"""Run history: per-epoch records of the accuracy/time curves the paper plots."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["EpochRecord", "RunHistory"]
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """One epoch's metrics on one configuration."""
+
+    epoch: int
+    train_loss: float
+    val_accuracy: float
+    lr: float
+    samples_seen: int
+
+
+@dataclass
+class RunHistory:
+    """The full curve for one (strategy, scale) configuration — one line of
+    a Figure 5/6/7/8 panel."""
+
+    strategy: str
+    workers: int
+    records: list[EpochRecord] = field(default_factory=list)
+    stats: dict = field(default_factory=dict)
+
+    def add(self, record: EpochRecord) -> None:
+        """Append/record one entry."""
+        if self.records and record.epoch <= self.records[-1].epoch:
+            raise ValueError(
+                f"epochs must increase: got {record.epoch} after {self.records[-1].epoch}"
+            )
+        self.records.append(record)
+
+    @property
+    def final_accuracy(self) -> float:
+        """Validation accuracy of the last epoch."""
+        if not self.records:
+            raise ValueError("empty history")
+        return self.records[-1].val_accuracy
+
+    @property
+    def best_accuracy(self) -> float:
+        """Best validation accuracy over all epochs."""
+        if not self.records:
+            raise ValueError("empty history")
+        return max(r.val_accuracy for r in self.records)
+
+    def accuracies(self) -> list[float]:
+        """Per-epoch validation accuracies as a list."""
+        return [r.val_accuracy for r in self.records]
+
+    def epochs_to_reach(self, accuracy: float) -> int | None:
+        """First epoch achieving ``accuracy``; None if never reached."""
+        for r in self.records:
+            if r.val_accuracy >= accuracy:
+                return r.epoch
+        return None

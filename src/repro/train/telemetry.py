@@ -1,0 +1,126 @@
+"""Measured phase breakdown of real (in-process) training runs.
+
+The analytic model and the DES *predict* the Figure 10 breakdown for the
+paper's hardware; this module *measures* the same four phases — I/O,
+EXCHANGE, FW+BW, GE+WU — on the actual in-process training stack, so the
+structure of the breakdown (exchange visible time growing with Q, FW+BW
+flat, collective wait absorbing stragglers) can be observed rather than
+modelled.  Absolute numbers reflect this machine, not ABCI; the *shape*
+is the reproducible object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.mpi.communicator import Communicator
+from repro.nn import functional as F
+from repro.nn.optim import SGD
+from repro.nn.tensor import Tensor
+from repro.shuffle.base import ShuffleStrategy
+from repro.utils.timing import PhaseTimer
+
+from .distributed import allreduce_gradients, broadcast_model
+
+__all__ = ["PhaseBreakdownResult", "measure_phase_breakdown"]
+
+
+@dataclass(frozen=True)
+class PhaseBreakdownResult:
+    """Mean per-rank wall-clock seconds per phase over the measured epochs."""
+
+    strategy: str
+    workers: int
+    epochs: int
+    io: float
+    exchange: float
+    fw_bw: float
+    ge_wu: float
+
+    @property
+    def total(self) -> float:
+        """Sum of the phase times (the epoch total)."""
+        return self.io + self.exchange + self.fw_bw + self.ge_wu
+
+    def as_dict(self) -> dict[str, float]:
+        """Phase values as a plain dict (io/exchange/fw_bw/ge_wu/total)."""
+        return {
+            "io": self.io,
+            "exchange": self.exchange,
+            "fw_bw": self.fw_bw,
+            "ge_wu": self.ge_wu,
+            "total": self.total,
+        }
+
+
+def measure_phase_breakdown(
+    comm: Communicator,
+    strategy: ShuffleStrategy,
+    dataset: Dataset,
+    labels: np.ndarray,
+    *,
+    model,
+    epochs: int = 3,
+    batch_size: int = 8,
+    lr: float = 0.05,
+    partition: str = "random",
+    seed: int = 0,
+) -> PhaseBreakdownResult:
+    """Train for ``epochs`` measuring wall-clock per phase on this rank.
+
+    Phases follow the paper's Figure 10 accounting:
+
+    * I/O          — fetching batches from the strategy's loader,
+    * EXCHANGE     — posting exchange chunks + epoch-end synchronize/clean,
+    * FW+BW        — forward and backward compute,
+    * GE+WU        — gradient allreduce (includes waiting for stragglers)
+                     and the optimiser update.
+
+    The result is allreduce-averaged across ranks so every rank returns the
+    same numbers.
+    """
+    broadcast_model(model, comm)
+    strategy.setup(comm, dataset, labels=labels, partition=partition, seed=seed)
+    optimizer = SGD(model.parameters(), lr, momentum=0.9)
+    timer = PhaseTimer()
+
+    for epoch in range(epochs):
+        with timer.phase("exchange"):
+            strategy.begin_epoch(epoch)
+        loader = strategy.epoch_loader(epoch, batch_size)
+        iters = comm.allreduce(len(loader), op=min)
+        it = iter(loader)
+        model.train()
+        for _ in range(iters):
+            with timer.phase("io"):
+                xb, yb = next(it)
+            with timer.phase("fw_bw"):
+                logits = model(Tensor(np.asarray(xb, dtype=np.float32)))
+                loss = F.cross_entropy(logits, yb)
+                model.zero_grad()
+                loss.backward()
+            with timer.phase("ge_wu"):
+                allreduce_gradients(model, comm)
+                optimizer.step()
+            with timer.phase("exchange"):
+                strategy.on_iteration()
+        with timer.phase("exchange"):
+            strategy.end_epoch()
+
+    totals = timer.totals()
+    phases = np.array(
+        [totals.get(k, 0.0) for k in ("io", "exchange", "fw_bw", "ge_wu")]
+    )
+    mean = comm.allreduce(phases) / comm.size
+    return PhaseBreakdownResult(
+        strategy=strategy.name,
+        workers=comm.size,
+        epochs=epochs,
+        io=float(mean[0]),
+        exchange=float(mean[1]),
+        fw_bw=float(mean[2]),
+        ge_wu=float(mean[3]),
+    )

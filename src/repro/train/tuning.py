@@ -1,0 +1,104 @@
+"""Automated deployment guideline of §III-D: tune the exchange fraction Q.
+
+"Our guideline for practical deployment is to start with local shuffling
+and if training accuracy is dissatisfactory, treat the shuffling factor as
+an additional hyper-parameter of the training process."
+
+:func:`tune_exchange_fraction` automates exactly that loop: train the
+global baseline once, then walk the Q grid upward from local shuffling
+(Q=0) until the accuracy deficit versus global drops below the tolerance.
+Because accuracy is monotone-ish in Q (Figure 5(e)-(f)), the walk stops at
+the *smallest* sufficient Q — which is what minimises storage
+(``(1+Q)·N/M``) and exchange traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.synthetic import SyntheticSpec
+
+from .experiments import run_comparison
+from .history import RunHistory
+from .trainer import TrainConfig
+
+__all__ = ["TuningResult", "tune_exchange_fraction"]
+
+DEFAULT_Q_GRID = (0.0, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 1.0)
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """Outcome of the §III-D tuning loop."""
+
+    recommended_q: float
+    global_accuracy: float
+    achieved_accuracy: float
+    evaluated: dict[float, float]  # q -> best accuracy
+    histories: dict[str, RunHistory]
+
+    @property
+    def deficit(self) -> float:
+        """Accuracy shortfall of the recommendation versus global shuffling."""
+        return self.global_accuracy - self.achieved_accuracy
+
+    @property
+    def storage_factor(self) -> float:
+        """Per-worker storage multiple of the pure-local footprint."""
+        return 1.0 + self.recommended_q
+
+
+def tune_exchange_fraction(
+    *,
+    spec: SyntheticSpec,
+    config: TrainConfig,
+    workers: int,
+    tolerance: float = 0.03,
+    q_grid: tuple[float, ...] = DEFAULT_Q_GRID,
+    deadline_s: float = 1200.0,
+) -> TuningResult:
+    """Find the smallest Q whose accuracy is within ``tolerance`` of global.
+
+    Trains the global baseline once, then each grid Q in increasing order,
+    stopping at the first that satisfies the target (early exit keeps the
+    tuning cheap when local shuffling is already enough — the paper's
+    common case).  If no grid point satisfies the tolerance the largest
+    evaluated Q is returned.
+    """
+    if not 0.0 < tolerance < 1.0:
+        raise ValueError(f"tolerance must be in (0,1), got {tolerance}")
+    qs = sorted(set(q_grid))
+    if not qs or qs[0] < 0.0 or qs[-1] > 1.0:
+        raise ValueError(f"q_grid values must lie in [0,1], got {q_grid}")
+
+    baseline = run_comparison(
+        spec=spec, config=config, workers=workers,
+        strategies=["global"], deadline_s=deadline_s,
+    )
+    global_acc = baseline.best("global")
+    histories: dict[str, RunHistory] = dict(baseline.histories)
+
+    evaluated: dict[float, float] = {}
+    recommended = qs[-1]
+    achieved = 0.0
+    for q in qs:
+        name = "local" if q == 0.0 else f"partial-{q:g}"
+        result = run_comparison(
+            spec=spec, config=config, workers=workers,
+            strategies=[name], deadline_s=deadline_s,
+        )
+        acc = result.best(name)
+        evaluated[q] = acc
+        histories[name] = result.histories[name]
+        if global_acc - acc <= tolerance:
+            recommended, achieved = q, acc
+            break
+        recommended, achieved = q, acc
+
+    return TuningResult(
+        recommended_q=recommended,
+        global_accuracy=global_acc,
+        achieved_accuracy=achieved,
+        evaluated=evaluated,
+        histories=histories,
+    )

@@ -1,0 +1,31 @@
+"""Shared utilities: size units, RNG trees, ASCII tables, phase timers."""
+
+from .ascii_plot import ascii_chart, sparkline
+from .rng import SeedTree, rank_rng, shared_rng
+from .tables import print_table, render_table
+from .timing import PhaseTimer, Stopwatch
+from .units import GB, GIB, KB, KIB, MB, MIB, PB, PIB, TB, TIB, format_size, parse_size
+
+__all__ = [
+    "ascii_chart",
+    "sparkline",
+    "SeedTree",
+    "rank_rng",
+    "shared_rng",
+    "print_table",
+    "render_table",
+    "PhaseTimer",
+    "Stopwatch",
+    "format_size",
+    "parse_size",
+    "KIB",
+    "MIB",
+    "GIB",
+    "TIB",
+    "PIB",
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+    "PB",
+]

@@ -1,0 +1,87 @@
+"""ASCII line charts for benchmark artifacts.
+
+The paper's accuracy figures are epoch-vs-accuracy curves; the benchmarks
+print them as tables *and* as terminal charts so the crossing behaviour
+(e.g. partial catching up to global) is visible at a glance in
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["ascii_chart", "sparkline"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line sparkline of a numeric series."""
+    values = list(values)
+    if not values:
+        raise ValueError("cannot sparkline an empty series")
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return _SPARK_LEVELS[0] * len(values)
+    span = hi - lo
+    out = []
+    for v in values:
+        idx = int((v - lo) / span * (len(_SPARK_LEVELS) - 1))
+        out.append(_SPARK_LEVELS[idx])
+    return "".join(out)
+
+
+def ascii_chart(
+    series: Mapping[str, Sequence[float]],
+    *,
+    height: int = 12,
+    width: int | None = None,
+    y_label: str = "",
+) -> str:
+    """Multi-series ASCII line chart (one character column per x step).
+
+    Each series gets a distinct marker; a legend line maps markers to
+    names.  Series must share the same length.
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    lengths = {len(v) for v in series.values()}
+    if len(lengths) != 1:
+        raise ValueError(f"series lengths differ: {sorted(lengths)}")
+    (n,) = lengths
+    if n == 0:
+        raise ValueError("series are empty")
+    if height < 2:
+        raise ValueError(f"height must be >= 2, got {height}")
+
+    markers = "ox*+#@%&"
+    names = list(series)
+    if len(names) > len(markers):
+        raise ValueError(f"at most {len(markers)} series supported")
+
+    all_vals = [v for vs in series.values() for v in vs]
+    lo, hi = min(all_vals), max(all_vals)
+    if hi == lo:
+        hi = lo + 1.0
+    cols = n if width is None else min(n, width)
+    # Down-sample columns evenly when the series is wider than the chart.
+    xs = [int(round(i * (n - 1) / max(cols - 1, 1))) for i in range(cols)]
+
+    grid = [[" "] * cols for _ in range(height)]
+    for si, name in enumerate(names):
+        vals = series[name]
+        for ci, x in enumerate(xs):
+            frac = (vals[x] - lo) / (hi - lo)
+            row = height - 1 - int(round(frac * (height - 1)))
+            # Later series overwrite earlier at collisions; acceptable.
+            grid[row][ci] = markers[si]
+
+    lines = []
+    for r, row in enumerate(grid):
+        frac = 1.0 - r / (height - 1)
+        label = f"{lo + frac * (hi - lo):6.2f} |"
+        lines.append(label + "".join(row))
+    lines.append(" " * 7 + "+" + "-" * cols)
+    legend = "  ".join(f"{markers[i]}={names[i]}" for i in range(len(names)))
+    lines.append(" " * 8 + legend + (f"   (y: {y_label})" if y_label else ""))
+    return "\n".join(lines)

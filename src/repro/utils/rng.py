@@ -1,0 +1,71 @@
+"""Seeded random-number-generator trees for reproducible SPMD runs.
+
+The paper's Algorithm 1 relies on *all workers drawing the same destination
+permutation from a shared seed* ("all workers use the same random seed ...
+to assure single source and single destination for each exchanged sample").
+At the same time each worker needs an independent stream for its local
+shuffle.  :class:`SeedTree` derives both kinds of streams deterministically
+from one root seed using ``numpy``'s ``SeedSequence`` spawning so that
+
+* the *shared* stream is bit-identical on every rank, and
+* the *per-rank* streams are statistically independent of each other and of
+  the shared stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SeedTree", "rank_rng", "shared_rng"]
+
+
+class SeedTree:
+    """Deterministic hierarchy of RNG streams derived from a root seed.
+
+    Streams are addressed by string keys; the same ``(root_seed, key)`` pair
+    always yields the same stream.  Per-epoch streams are derived via
+    ``key = f"{name}/epoch{epoch}"`` so that epoch *e* of a restarted run
+    replays exactly.
+    """
+
+    def __init__(self, root_seed: int):
+        if not isinstance(root_seed, (int, np.integer)):
+            raise TypeError(f"root seed must be an int, got {type(root_seed).__name__}")
+        self.root_seed = int(root_seed)
+
+    def generator(self, *keys: object) -> np.random.Generator:
+        """Return a fresh Generator for the stream addressed by ``keys``."""
+        entropy = [self.root_seed] + [_key_to_int(k) for k in keys]
+        return np.random.default_rng(np.random.SeedSequence(entropy))
+
+    def shared(self, name: str, epoch: int = 0) -> np.random.Generator:
+        """Stream identical on all ranks (used for the exchange permutation)."""
+        return self.generator("shared", name, epoch)
+
+    def per_rank(self, name: str, rank: int, epoch: int = 0) -> np.random.Generator:
+        """Stream unique to ``rank`` (used for local shuffles)."""
+        return self.generator("rank", rank, name, epoch)
+
+
+def _key_to_int(key: object) -> int:
+    if isinstance(key, (int, np.integer)):
+        return int(key) & 0xFFFFFFFF
+    if isinstance(key, str):
+        # Stable 32-bit FNV-1a hash: Python's hash() is salted per process,
+        # which would break cross-run reproducibility.
+        h = 0x811C9DC5
+        for byte in key.encode():
+            h ^= byte
+            h = (h * 0x01000193) & 0xFFFFFFFF
+        return h
+    raise TypeError(f"seed key must be int or str, got {type(key).__name__}")
+
+
+def shared_rng(seed: int, name: str = "shared", epoch: int = 0) -> np.random.Generator:
+    """Convenience: one-off shared stream without building a tree."""
+    return SeedTree(seed).shared(name, epoch)
+
+
+def rank_rng(seed: int, rank: int, name: str = "local", epoch: int = 0) -> np.random.Generator:
+    """Convenience: one-off per-rank stream without building a tree."""
+    return SeedTree(seed).per_rank(name, rank, epoch)

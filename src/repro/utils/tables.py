@@ -1,0 +1,65 @@
+"""Minimal ASCII table rendering for benchmark harness output.
+
+Every benchmark prints the rows/series of the corresponding paper table or
+figure; this keeps the output format uniform without pulling in a
+third-party dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["render_table", "print_table"]
+
+
+def _cell(value: object, floatfmt: str) -> str:
+    if isinstance(value, float):
+        return format(value, floatfmt)
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    floatfmt: str = ".3f",
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as a boxed ASCII table string."""
+    str_rows = [[_cell(v, floatfmt) for v in row] for row in rows]
+    ncols = len(headers)
+    for i, row in enumerate(str_rows):
+        if len(row) != ncols:
+            raise ValueError(
+                f"row {i} has {len(row)} cells, expected {ncols} (headers: {list(headers)})"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for c, cell in enumerate(row):
+            widths[c] = max(widths[c], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+
+    sep = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(sep)
+    lines.append(fmt_row(list(headers)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(fmt_row(row))
+    lines.append(sep)
+    return "\n".join(lines)
+
+
+def print_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    floatfmt: str = ".3f",
+    title: str | None = None,
+) -> None:
+    """Print the table rendered by :func:`render_table`."""
+    print(render_table(headers, rows, floatfmt=floatfmt, title=title))

@@ -1,0 +1,96 @@
+"""Lightweight timers used by the training harness and benchmarks.
+
+The paper's Figure 10 reports a per-epoch breakdown (I/O, EXCHANGE, FW+BW,
+GE+WU); :class:`PhaseTimer` accumulates named phase durations with the same
+shape so measured runs and the analytic performance model can be compared
+side by side.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["PhaseTimer", "Stopwatch"]
+
+
+@dataclass
+class Stopwatch:
+    """Manual start/stop accumulator for a single duration."""
+
+    elapsed: float = 0.0
+    _start: float | None = field(default=None, repr=False)
+
+    def start(self) -> None:
+        """Start timing (error if already running)."""
+        if self._start is not None:
+            raise RuntimeError("stopwatch already running")
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        """Stop timing; returns and accumulates the elapsed interval."""
+        if self._start is None:
+            raise RuntimeError("stopwatch not running")
+        delta = time.perf_counter() - self._start
+        self.elapsed += delta
+        self._start = None
+        return delta
+
+    def reset(self) -> None:
+        """Clear accumulated state."""
+        self.elapsed = 0.0
+        self._start = None
+
+
+class PhaseTimer:
+    """Accumulate wall-clock time per named phase.
+
+    Usage::
+
+        timer = PhaseTimer()
+        with timer.phase("io"):
+            load_batch()
+        with timer.phase("fw_bw"):
+            step()
+        timer.totals()  # {"io": ..., "fw_bw": ...}
+    """
+
+    def __init__(self) -> None:
+        self._totals: dict[str, float] = {}
+        self._counts: dict[str, int] = {}
+
+    @contextmanager
+    def phase(self, name: str):
+        """Context manager timing one occurrence of the named phase."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            delta = time.perf_counter() - start
+            self._totals[name] = self._totals.get(name, 0.0) + delta
+            self._counts[name] = self._counts.get(name, 0) + 1
+
+    def add(self, name: str, seconds: float) -> None:
+        """Record an externally measured (or simulated) duration."""
+        if seconds < 0:
+            raise ValueError(f"negative duration for phase {name!r}: {seconds}")
+        self._totals[name] = self._totals.get(name, 0.0) + seconds
+        self._counts[name] = self._counts.get(name, 0) + 1
+
+    def totals(self) -> dict[str, float]:
+        """Copy of the accumulated seconds per phase."""
+        return dict(self._totals)
+
+    def count(self, name: str) -> int:
+        """How many times the named phase was recorded."""
+        return self._counts.get(name, 0)
+
+    def total(self, name: str) -> float:
+        """Sum of the phase times (the epoch total)."""
+        return self._totals.get(name, 0.0)
+
+    def reset(self) -> None:
+        """Clear accumulated state."""
+        self._totals.clear()
+        self._counts.clear()

@@ -1,0 +1,94 @@
+"""Byte-size units and human-readable formatting.
+
+The paper reasons about dataset sizes (140 GB ImageNet, 8.2 TB DeepCAM),
+per-worker storage budgets ``(1+Q) * N/M`` and per-epoch communication
+volumes (e.g. "each worker sends 225 MiB").  This module centralises the
+unit arithmetic so every subsystem agrees on what a "GiB" is.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = [
+    "KIB",
+    "MIB",
+    "GIB",
+    "TIB",
+    "PIB",
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+    "PB",
+    "parse_size",
+    "format_size",
+]
+
+KIB = 1024
+MIB = 1024**2
+GIB = 1024**3
+TIB = 1024**4
+PIB = 1024**5
+
+KB = 1000
+MB = 1000**2
+GB = 1000**3
+TB = 1000**4
+PB = 1000**5
+
+_UNITS = {
+    "b": 1,
+    "kb": KB,
+    "mb": MB,
+    "gb": GB,
+    "tb": TB,
+    "pb": PB,
+    "kib": KIB,
+    "mib": MIB,
+    "gib": GIB,
+    "tib": TIB,
+    "pib": PIB,
+}
+
+_SIZE_RE = re.compile(r"^\s*([0-9]*\.?[0-9]+)\s*([a-zA-Z]+)?\s*$")
+
+
+def parse_size(text: str | int | float) -> int:
+    """Parse a human-readable size (``"1.5 TB"``, ``"140GiB"``) into bytes.
+
+    Bare numbers are interpreted as bytes.  Raises :class:`ValueError` for
+    unknown units or malformed input.
+    """
+    if isinstance(text, (int, float)):
+        if text < 0:
+            raise ValueError(f"size must be non-negative, got {text}")
+        return int(text)
+    m = _SIZE_RE.match(text)
+    if not m:
+        raise ValueError(f"cannot parse size: {text!r}")
+    value = float(m.group(1))
+    unit = (m.group(2) or "b").lower()
+    if unit not in _UNITS:
+        raise ValueError(f"unknown size unit {unit!r} in {text!r}")
+    return int(value * _UNITS[unit])
+
+
+def format_size(nbytes: float, *, binary: bool = True, precision: int = 2) -> str:
+    """Format a byte count using binary (GiB) or decimal (GB) multiples."""
+    if nbytes < 0:
+        return "-" + format_size(-nbytes, binary=binary, precision=precision)
+    step = 1024.0 if binary else 1000.0
+    suffixes = (
+        ["B", "KiB", "MiB", "GiB", "TiB", "PiB"]
+        if binary
+        else ["B", "KB", "MB", "GB", "TB", "PB"]
+    )
+    value = float(nbytes)
+    for suffix in suffixes:
+        if value < step or suffix == suffixes[-1]:
+            if suffix == "B":
+                return f"{int(value)} B"
+            return f"{value:.{precision}f} {suffix}"
+        value /= step
+    raise AssertionError("unreachable")

@@ -1,0 +1,94 @@
+import numpy as np
+import pytest
+
+from repro.data import ConcatDataset, Subset, TensorDataset
+
+
+def make_ds(n=10, d=3, offset=0):
+    X = np.arange(n * d, dtype=np.float32).reshape(n, d) + offset
+    y = np.arange(n) + offset
+    return TensorDataset(X, y)
+
+
+class TestTensorDataset:
+    def test_len_and_getitem(self):
+        ds = make_ds(5)
+        assert len(ds) == 5
+        x, y = ds[2]
+        assert y == 2
+        assert x.shape == (3,)
+
+    def test_negative_index(self):
+        ds = make_ds(5)
+        x, y = ds[-1]
+        assert y == 4
+
+    def test_out_of_range(self):
+        ds = make_ds(5)
+        with pytest.raises(IndexError):
+            ds[5]
+        with pytest.raises(IndexError):
+            ds[-6]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            TensorDataset(np.zeros((4, 2)), np.zeros(3))
+
+
+class TestSubset:
+    def test_indirection(self):
+        ds = make_ds(10)
+        sub = Subset(ds, [7, 2, 9])
+        assert len(sub) == 3
+        assert sub[0][1] == 7
+        assert sub[1][1] == 2
+
+    def test_out_of_parent_range_rejected(self):
+        ds = make_ds(5)
+        with pytest.raises(IndexError):
+            Subset(ds, [0, 10])
+
+    def test_empty_subset_ok(self):
+        sub = Subset(make_ds(5), [])
+        assert len(sub) == 0
+
+    def test_nested_subsets(self):
+        ds = make_ds(10)
+        sub = Subset(Subset(ds, [5, 6, 7, 8]), [0, 3])
+        assert sub[0][1] == 5
+        assert sub[1][1] == 8
+
+
+class TestConcatDataset:
+    def test_concat_order(self):
+        a, b = make_ds(3), make_ds(2, offset=100)
+        cat = ConcatDataset([a, b])
+        assert len(cat) == 5
+        assert cat[0][1] == 0
+        assert cat[2][1] == 2
+        assert cat[3][1] == 100
+        assert cat[4][1] == 101
+
+    def test_negative_indexing(self):
+        cat = ConcatDataset([make_ds(3), make_ds(2, offset=100)])
+        assert cat[-1][1] == 101
+
+    def test_out_of_range(self):
+        cat = ConcatDataset([make_ds(2)])
+        with pytest.raises(IndexError):
+            cat[2]
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            ConcatDataset([])
+
+
+class TestTransformedDataset:
+    def test_transform_applied_to_sample_only(self):
+        ds = make_ds(4).with_transform(lambda x: x * 2)
+        x, y = ds[1]
+        assert np.allclose(x, (np.arange(3, 6)) * 2)
+        assert y == 1
+
+    def test_len_preserved(self):
+        assert len(make_ds(7).with_transform(lambda x: x)) == 7

@@ -1,0 +1,125 @@
+"""BatchSampler, WeightedRandomSampler, CachedDataset."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    BatchSampler,
+    CachedDataset,
+    SequentialSampler,
+    TensorDataset,
+    WeightedRandomSampler,
+)
+
+
+def make_ds(n=10):
+    return TensorDataset(np.arange(n * 2, dtype=np.float32).reshape(n, 2), np.arange(n))
+
+
+class TestBatchSampler:
+    def test_batches(self):
+        bs = BatchSampler(SequentialSampler(make_ds(7)), 3)
+        assert list(bs) == [[0, 1, 2], [3, 4, 5], [6]]
+        assert len(bs) == 3
+
+    def test_drop_last(self):
+        bs = BatchSampler(SequentialSampler(make_ds(7)), 3, drop_last=True)
+        assert list(bs) == [[0, 1, 2], [3, 4, 5]]
+        assert len(bs) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchSampler(SequentialSampler(make_ds(4)), 0)
+
+
+class TestWeightedRandomSampler:
+    def test_draws_follow_weights(self):
+        w = [0.0, 0.0, 1.0, 3.0]
+        s = WeightedRandomSampler(w, num_samples=4000, seed=1)
+        drawn = np.array(list(s))
+        counts = np.bincount(drawn, minlength=4)
+        assert counts[0] == counts[1] == 0
+        assert counts[3] / counts[2] == pytest.approx(3.0, rel=0.2)
+
+    def test_epoch_changes_draw(self):
+        s = WeightedRandomSampler([1, 1, 1], num_samples=20, seed=1)
+        s.set_epoch(0)
+        a = list(s)
+        s.set_epoch(1)
+        b = list(s)
+        assert a != b
+
+    def test_without_replacement_is_permutation_subset(self):
+        s = WeightedRandomSampler([1] * 10, num_samples=10, replacement=False, seed=2)
+        assert sorted(s) == list(range(10))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WeightedRandomSampler([], 1)
+        with pytest.raises(ValueError):
+            WeightedRandomSampler([-1, 1], 1)
+        with pytest.raises(ValueError):
+            WeightedRandomSampler([0, 0], 1)
+        with pytest.raises(ValueError):
+            WeightedRandomSampler([1, 1], 0)
+        with pytest.raises(ValueError):
+            WeightedRandomSampler([1, 1], 3, replacement=False)
+
+    def test_len(self):
+        assert len(WeightedRandomSampler([1, 2], 5)) == 5
+
+
+class TestCachedDataset:
+    class CountingDataset(TensorDataset):
+        def __init__(self, n):
+            super().__init__(
+                np.arange(n, dtype=np.float32).reshape(n, 1), np.arange(n)
+            )
+            self.reads = 0
+
+        def __getitem__(self, index):
+            self.reads += 1
+            return super().__getitem__(index)
+
+    def test_second_epoch_hits_cache(self):
+        base = self.CountingDataset(8)
+        cached = CachedDataset(base)
+        for _ in range(2):
+            for i in range(8):
+                cached[i]
+        assert base.reads == 8
+        assert cached.hits == 8
+        assert cached.hit_rate == pytest.approx(0.5)
+
+    def test_capacity_evicts_lru(self):
+        base = self.CountingDataset(4)
+        cached = CachedDataset(base, capacity=2)
+        cached[0]
+        cached[1]
+        cached[2]  # evicts 0
+        cached[0]  # miss again
+        assert base.reads == 4
+        assert cached.misses == 4
+
+    def test_values_correct(self):
+        cached = CachedDataset(make_ds(5))
+        x, y = cached[3]
+        x2, y2 = cached[3]
+        assert y == y2 == 3
+        assert np.array_equal(x, x2)
+
+    def test_negative_index(self):
+        cached = CachedDataset(make_ds(5))
+        assert cached[-1][1] == 4
+
+    def test_clear(self):
+        cached = CachedDataset(make_ds(3))
+        cached[0]
+        cached.clear()
+        assert cached.hit_rate == 0.0
+        cached[0]
+        assert cached.misses == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CachedDataset(make_ds(3), capacity=0)

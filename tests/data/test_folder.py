@@ -1,0 +1,75 @@
+import numpy as np
+import pytest
+
+from repro.data import FolderDataset, materialize_folder_dataset
+
+
+@pytest.fixture
+def disk_ds(tmp_path):
+    X = np.arange(12, dtype=np.float32).reshape(6, 2)
+    y = [0, 0, 1, 1, 2, 2]
+    return materialize_folder_dataset(tmp_path / "ds", X, y, num_classes=3)
+
+
+class TestMaterialize:
+    def test_roundtrip(self, disk_ds):
+        assert len(disk_ds) == 6
+        x, y = disk_ds[0]
+        assert x.shape == (2,)
+        assert y == 0
+
+    def test_all_class_dirs_created(self, tmp_path):
+        # num_classes > max label: empty dirs still created so every rank
+        # agrees on class_to_idx (the paper's class_file role).
+        ds = materialize_folder_dataset(
+            tmp_path / "d", np.zeros((2, 2)), [0, 0], num_classes=5
+        )
+        assert len(ds.classes) == 5
+
+    def test_labels_preserved(self, disk_ds):
+        labels = sorted(disk_ds[i][1] for i in range(len(disk_ds)))
+        assert labels == [0, 0, 1, 1, 2, 2]
+
+
+class TestFolderDataset:
+    def test_missing_root(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            FolderDataset(tmp_path / "nope")
+
+    def test_empty_root(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(ValueError):
+            FolderDataset(tmp_path / "empty")
+
+    def test_save_sample_appends(self, disk_ds):
+        n0 = len(disk_ds)
+        idx = disk_ds.save_sample(np.array([9.0, 9.0], dtype=np.float32), 1, "recv_000")
+        assert len(disk_ds) == n0 + 1
+        x, y = disk_ds[idx]
+        assert y == 1
+        assert np.allclose(x, [9.0, 9.0])
+
+    def test_save_duplicate_name_rejected(self, disk_ds):
+        disk_ds.save_sample(np.zeros(2), 0, "dup")
+        with pytest.raises(FileExistsError):
+            disk_ds.save_sample(np.zeros(2), 0, "dup")
+
+    def test_save_unknown_label_rejected(self, disk_ds):
+        with pytest.raises(ValueError):
+            disk_ds.save_sample(np.zeros(2), 99, "bad")
+
+    def test_remove_sample_deletes_file(self, disk_ds):
+        path = disk_ds.sample_path(0)
+        disk_ds.remove_sample(0)
+        assert not path.exists()
+        assert len(disk_ds) == 5
+
+    def test_nbytes_tracks_storage(self, disk_ds):
+        before = disk_ds.nbytes()
+        disk_ds.save_sample(np.zeros(100, dtype=np.float64), 0, "big")
+        assert disk_ds.nbytes() > before
+
+    def test_reload_sees_saved_samples(self, disk_ds):
+        disk_ds.save_sample(np.ones(2, dtype=np.float32), 2, "persisted")
+        reloaded = FolderDataset(disk_ds.root)
+        assert len(reloaded) == 7

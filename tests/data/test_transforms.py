@@ -1,0 +1,88 @@
+import numpy as np
+import pytest
+
+from repro.data import (
+    Compose,
+    GaussianNoise,
+    Normalize,
+    RandomCrop,
+    RandomHorizontalFlip,
+    ToFloat32,
+)
+
+
+class TestNormalize:
+    def test_scalar_stats(self):
+        t = Normalize(2.0, 4.0)
+        out = t(np.array([2.0, 6.0]))
+        assert np.allclose(out, [0.0, 1.0])
+
+    def test_per_channel_stats(self):
+        x = np.ones((2, 3, 3), dtype=np.float32)
+        t = Normalize([1.0, 0.0], [1.0, 2.0])
+        out = t(x)
+        assert np.allclose(out[0], 0.0)
+        assert np.allclose(out[1], 0.5)
+
+    def test_zero_std_rejected(self):
+        with pytest.raises(ValueError):
+            Normalize(0.0, 0.0)
+
+
+class TestRandomFlip:
+    def test_p_one_always_flips(self):
+        x = np.arange(6, dtype=np.float32).reshape(1, 2, 3)
+        out = RandomHorizontalFlip(p=1.0)(x)
+        assert np.array_equal(out[0, 0], [2, 1, 0])
+
+    def test_p_zero_never_flips(self):
+        x = np.arange(6, dtype=np.float32).reshape(1, 2, 3)
+        out = RandomHorizontalFlip(p=0.0)(x)
+        assert np.array_equal(out, x)
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            RandomHorizontalFlip(p=1.5)
+
+
+class TestRandomCrop:
+    def test_output_size(self):
+        x = np.zeros((3, 8, 8), dtype=np.float32)
+        out = RandomCrop(8, padding=2, rng=np.random.default_rng(0))(x)
+        assert out.shape == (3, 8, 8)
+
+    def test_requires_chw(self):
+        with pytest.raises(ValueError):
+            RandomCrop(4)(np.zeros((8, 8)))
+
+    def test_too_small_image(self):
+        with pytest.raises(ValueError):
+            RandomCrop(16)(np.zeros((1, 8, 8)))
+
+
+class TestGaussianNoise:
+    def test_zero_sigma_identity(self):
+        x = np.ones(5, dtype=np.float32)
+        assert GaussianNoise(0.0)(x) is x
+
+    def test_noise_changes_values_preserves_dtype(self):
+        x = np.ones(100, dtype=np.float32)
+        out = GaussianNoise(0.5, rng=np.random.default_rng(1))(x)
+        assert out.dtype == np.float32
+        assert not np.array_equal(out, x)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianNoise(-1.0)
+
+
+class TestCompose:
+    def test_order(self):
+        t = Compose([lambda x: x + 1, lambda x: x * 2])
+        assert t(np.array(1.0)) == 4.0
+
+    def test_with_tofloat(self):
+        t = Compose([ToFloat32(), Normalize(0.0, 2.0)])
+        out = t(np.array([4], dtype=np.int64))
+        assert out.dtype == np.float32
+        assert out[0] == 2.0

@@ -1,0 +1,130 @@
+"""Ring allreduce / tree broadcast / recursive-doubling barrier over p2p."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi import run_spmd
+from repro.mpi.algorithms import (
+    recursive_doubling_barrier,
+    ring_allreduce,
+    tree_broadcast,
+)
+
+
+class TestRingAllreduce:
+    @pytest.mark.parametrize("size", [1, 2, 3, 4, 7, 8])
+    def test_matches_rendezvous_allreduce(self, size):
+        def worker(comm):
+            arr = np.arange(10, dtype=np.float64) * (comm.rank + 1)
+            ring = ring_allreduce(comm, arr)
+            ref = comm.allreduce(arr)
+            return np.allclose(ring, ref)
+
+        assert all(run_spmd(worker, size, deadline_s=60))
+
+    def test_shape_preserved(self):
+        def worker(comm):
+            arr = np.ones((3, 4), dtype=np.float32)
+            out = ring_allreduce(comm, arr)
+            return out.shape
+
+        assert all(s == (3, 4) for s in run_spmd(worker, 3, deadline_s=60))
+
+    def test_small_array_many_ranks(self):
+        """n < M leaves some chunks empty; must still be correct."""
+
+        def worker(comm):
+            arr = np.array([float(comm.rank)])
+            return float(ring_allreduce(comm, arr)[0])
+
+        out = run_spmd(worker, 6, deadline_s=60)
+        assert all(v == pytest.approx(15.0) for v in out)
+
+    def test_empty_rejected(self):
+        def worker(comm):
+            with pytest.raises(ValueError):
+                ring_allreduce(comm, np.array([]))
+            return True
+
+        assert all(run_spmd(worker, 2, deadline_s=60))
+
+    def test_2m_minus_1_sends_per_rank(self):
+        """The ring structure: 2(M-1) messages per rank."""
+
+        def worker(comm):
+            ring_allreduce(comm, np.arange(16, dtype=np.float64))
+            return None
+
+        res = run_spmd(worker, 4, deadline_s=60)
+        for count in res.world.messages_sent:
+            assert count == 2 * (4 - 1)
+
+
+class TestTreeBroadcast:
+    @pytest.mark.parametrize("size,root", [(1, 0), (2, 0), (4, 2), (5, 0), (7, 3), (8, 7)])
+    def test_all_ranks_get_value(self, size, root):
+        def worker(comm):
+            value = {"payload": 42} if comm.rank == root else None
+            return tree_broadcast(comm, value, root=root)
+
+        out = run_spmd(worker, size, deadline_s=60)
+        assert all(v == {"payload": 42} for v in out)
+
+    def test_bad_root(self):
+        def worker(comm):
+            with pytest.raises(ValueError):
+                tree_broadcast(comm, 1, root=5)
+            return True
+
+        assert all(run_spmd(worker, 2, deadline_s=60))
+
+
+class TestRecursiveDoublingBarrier:
+    @pytest.mark.parametrize("size", [1, 2, 3, 4, 5, 8, 9])
+    def test_completes_all_sizes(self, size):
+        def worker(comm):
+            for _ in range(3):
+                recursive_doubling_barrier(comm)
+            return True
+
+        assert all(run_spmd(worker, size, deadline_s=60))
+
+    def test_orders_side_effects(self):
+        """No rank may pass the barrier before all have entered it: the
+        shared counter must read `size` after the barrier on every rank."""
+        import threading
+
+        counter = {"n": 0}
+        lock = threading.Lock()
+
+        def worker(comm):
+            with lock:
+                counter["n"] += 1
+            recursive_doubling_barrier(comm)
+            with lock:
+                seen = counter["n"]
+            return seen
+
+        out = run_spmd(worker, 6, deadline_s=60)
+        assert all(v == 6 for v in out)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    size=st.integers(2, 6),
+    n=st.integers(1, 40),
+    seed=st.integers(0, 100),
+)
+def test_ring_allreduce_equals_numpy_sum_property(size, n, seed):
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=(size, n))
+
+    def worker(comm):
+        return ring_allreduce(comm, data[comm.rank])
+
+    out = run_spmd(worker, size, deadline_s=60)
+    expected = data.sum(axis=0)
+    for v in out:
+        assert np.allclose(v, expected)

@@ -1,0 +1,79 @@
+"""Gradient clipping and label smoothing."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Parameter, Tensor, clip_grad_norm_, grad_norm
+from repro.nn import functional as F
+from repro.nn.gradcheck import gradcheck
+
+
+def params_with_grads(grads):
+    out = []
+    for g in grads:
+        p = Parameter(np.zeros_like(np.asarray(g, dtype=np.float32)))
+        p.grad = np.asarray(g, dtype=np.float32)
+        out.append(p)
+    return out
+
+
+class TestGradNorm:
+    def test_global_norm(self):
+        ps = params_with_grads([[3.0], [4.0]])
+        assert grad_norm(ps) == pytest.approx(5.0)
+
+    def test_none_grads_ignored(self):
+        p = Parameter(np.zeros(2))
+        assert grad_norm([p]) == 0.0
+
+
+class TestClip:
+    def test_noop_when_under_limit(self):
+        ps = params_with_grads([[3.0], [4.0]])
+        pre = clip_grad_norm_(ps, max_norm=10.0)
+        assert pre == pytest.approx(5.0)
+        assert ps[0].grad[0] == pytest.approx(3.0)
+
+    def test_scales_when_over_limit(self):
+        ps = params_with_grads([[3.0], [4.0]])
+        pre = clip_grad_norm_(ps, max_norm=1.0)
+        assert pre == pytest.approx(5.0)
+        assert grad_norm(ps) == pytest.approx(1.0, rel=1e-5)
+        # Direction preserved.
+        assert ps[0].grad[0] / ps[1].grad[0] == pytest.approx(0.75)
+
+    def test_invalid_max_norm(self):
+        with pytest.raises(ValueError):
+            clip_grad_norm_([], max_norm=0.0)
+
+
+class TestLabelSmoothing:
+    def test_zero_smoothing_matches_plain(self):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(4, 3)).astype(np.float32)
+        labels = np.array([0, 1, 2, 0])
+        a = F.cross_entropy(Tensor(logits), labels)
+        b = F.cross_entropy(Tensor(logits), labels, label_smoothing=0.0)
+        assert a.item() == pytest.approx(b.item())
+
+    def test_smoothing_increases_loss_on_confident_predictions(self):
+        logits = np.eye(3, dtype=np.float32) * 20
+        labels = np.arange(3)
+        plain = F.cross_entropy(Tensor(logits), labels).item()
+        smooth = F.cross_entropy(Tensor(logits), labels, label_smoothing=0.1).item()
+        assert smooth > plain
+
+    def test_smoothing_grad(self):
+        labels = np.array([0, 2, 1])
+        rng = np.random.default_rng(1)
+        gradcheck(
+            lambda t: F.cross_entropy(t, labels, label_smoothing=0.1),
+            rng.normal(size=(3, 4)),
+        )
+
+    def test_validation(self):
+        logits = Tensor(np.zeros((2, 3), dtype=np.float32))
+        with pytest.raises(ValueError):
+            F.cross_entropy(logits, np.array([0, 1]), label_smoothing=1.0)
+        with pytest.raises(ValueError):
+            F.cross_entropy(logits, np.array([0]), label_smoothing=0.1)

@@ -1,0 +1,176 @@
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+from repro.nn.gradcheck import gradcheck
+
+
+def randn(*shape, seed=0):
+    return np.random.default_rng(seed).normal(size=shape)
+
+
+class TestSoftmaxLosses:
+    def test_log_softmax_rows_normalise(self):
+        out = F.log_softmax(Tensor(randn(4, 6).astype(np.float32)))
+        probs = np.exp(out.data)
+        assert np.allclose(probs.sum(axis=1), 1.0, atol=1e-5)
+
+    def test_log_softmax_stability_large_logits(self):
+        out = F.log_softmax(Tensor(np.array([[1000.0, 0.0]], dtype=np.float32)))
+        assert np.isfinite(out.data).all()
+
+    def test_log_softmax_grad(self):
+        gradcheck(lambda t: F.log_softmax(t), randn(3, 5))
+
+    def test_softmax_grad(self):
+        gradcheck(lambda t: F.softmax(t), randn(3, 5))
+
+    def test_cross_entropy_matches_manual(self):
+        logits = randn(4, 3).astype(np.float32)
+        labels = np.array([0, 2, 1, 1])
+        loss = F.cross_entropy(Tensor(logits), labels)
+        probs = np.exp(logits - logits.max(1, keepdims=True))
+        probs /= probs.sum(1, keepdims=True)
+        manual = -np.log(probs[np.arange(4), labels]).mean()
+        assert loss.item() == pytest.approx(manual, rel=1e-4)
+
+    def test_cross_entropy_grad(self):
+        labels = np.array([0, 2, 1])
+        gradcheck(lambda t: F.cross_entropy(t, labels), randn(3, 4))
+
+    def test_cross_entropy_perfect_prediction_low_loss(self):
+        logits = np.eye(3, dtype=np.float32) * 20
+        loss = F.cross_entropy(Tensor(logits), np.arange(3))
+        assert loss.item() < 1e-3
+
+    def test_nll_batch_mismatch(self):
+        with pytest.raises(ValueError):
+            F.nll_loss(Tensor(randn(3, 4).astype(np.float32)), np.zeros(2, dtype=int))
+
+    def test_mse(self):
+        pred = Tensor(np.array([1.0, 2.0], dtype=np.float32))
+        assert F.mse_loss(pred, np.array([0.0, 0.0])).item() == pytest.approx(2.5)
+
+    def test_mse_grad(self):
+        target = randn(3, 2)
+        gradcheck(lambda t: F.mse_loss(t, target), randn(3, 2, seed=1))
+
+    def test_one_hot(self):
+        oh = F.one_hot(np.array([0, 2]), 3)
+        assert oh.tolist() == [[1, 0, 0], [0, 0, 1]]
+
+    def test_one_hot_out_of_range(self):
+        with pytest.raises(ValueError):
+            F.one_hot(np.array([3]), 3)
+
+
+class TestConv:
+    def test_conv_shape(self):
+        x = Tensor(randn(2, 3, 8, 8).astype(np.float32))
+        w = Tensor(randn(5, 3, 3, 3, seed=1).astype(np.float32))
+        assert F.conv2d(x, w, padding=1).shape == (2, 5, 8, 8)
+        assert F.conv2d(x, w, stride=2, padding=1).shape == (2, 5, 4, 4)
+        assert F.conv2d(x, w).shape == (2, 5, 6, 6)
+
+    def test_conv_matches_naive(self):
+        x = randn(1, 2, 5, 5).astype(np.float32)
+        w = randn(3, 2, 3, 3, seed=1).astype(np.float32)
+        out = F.conv2d(Tensor(x), Tensor(w)).data
+        # Naive reference.
+        ref = np.zeros((1, 3, 3, 3), dtype=np.float32)
+        for f in range(3):
+            for i in range(3):
+                for j in range(3):
+                    ref[0, f, i, j] = (x[0, :, i : i + 3, j : j + 3] * w[f]).sum()
+        assert np.allclose(out, ref, atol=1e-4)
+
+    def test_conv_input_grad(self):
+        w = Tensor(randn(2, 3, 3, 3, seed=1).astype(np.float32))
+        gradcheck(lambda t: F.conv2d(t, w, padding=1), randn(2, 3, 5, 5))
+
+    def test_conv_weight_and_bias_grad(self):
+        x = Tensor(randn(2, 3, 5, 5).astype(np.float32))
+        w = Tensor(randn(2, 3, 3, 3, seed=1).astype(np.float32), requires_grad=True)
+        b = Tensor(np.zeros(2, dtype=np.float32), requires_grad=True)
+        F.conv2d(x, w, b, padding=1).sum().backward()
+        assert w.grad.shape == w.shape
+        # Bias gradient of sum() is the number of output positions.
+        assert np.allclose(b.grad, 2 * 5 * 5)
+
+    def test_conv_channel_mismatch(self):
+        with pytest.raises(ValueError):
+            F.conv2d(
+                Tensor(randn(1, 3, 5, 5).astype(np.float32)),
+                Tensor(randn(2, 4, 3, 3).astype(np.float32)),
+            )
+
+    def test_conv_kernel_too_large(self):
+        with pytest.raises(ValueError):
+            F.conv2d(
+                Tensor(randn(1, 1, 2, 2).astype(np.float32)),
+                Tensor(randn(1, 1, 5, 5).astype(np.float32)),
+            )
+
+
+class TestPooling:
+    def test_max_pool_values(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = F.max_pool2d(Tensor(x), 2).data
+        assert out.reshape(-1).tolist() == [5, 7, 13, 15]
+
+    def test_max_pool_grad_routes_to_argmax(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        t = Tensor(x, requires_grad=True)
+        F.max_pool2d(t, 2).sum().backward()
+        expected = np.zeros((4, 4))
+        expected[1, 1] = expected[1, 3] = expected[3, 1] = expected[3, 3] = 1
+        assert np.allclose(t.grad[0, 0], expected)
+
+    def test_avg_pool_values(self):
+        x = np.ones((1, 2, 4, 4), dtype=np.float32)
+        assert np.allclose(F.avg_pool2d(Tensor(x), 2).data, 1.0)
+
+    def test_avg_pool_grad(self):
+        gradcheck(lambda t: F.avg_pool2d(t, 2), randn(2, 2, 4, 4))
+
+    def test_pool_with_stride(self):
+        x = Tensor(randn(1, 1, 6, 6).astype(np.float32))
+        assert F.max_pool2d(x, 2, stride=1).shape == (1, 1, 5, 5)
+
+
+class TestDropout:
+    def test_eval_mode_identity(self):
+        x = Tensor(np.ones(100, dtype=np.float32))
+        out = F.dropout(x, 0.5, rng=np.random.default_rng(0), training=False)
+        assert out is x
+
+    def test_train_mode_scales(self):
+        x = Tensor(np.ones(10000, dtype=np.float32))
+        out = F.dropout(x, 0.5, rng=np.random.default_rng(0), training=True)
+        kept = out.data[out.data > 0]
+        assert np.allclose(kept, 2.0)
+        assert 0.4 < (out.data > 0).mean() < 0.6
+
+    def test_invalid_p(self):
+        x = Tensor(np.ones(3))
+        with pytest.raises(ValueError):
+            F.dropout(x, 1.0, rng=np.random.default_rng(0))
+
+
+class TestIm2col:
+    def test_roundtrip_shapes(self):
+        x = randn(2, 3, 6, 6)
+        cols, oh, ow = F.im2col(x, 3, 3, 1, 1)
+        assert cols.shape == (2 * 6 * 6, 3 * 9)
+        assert (oh, ow) == (6, 6)
+
+    def test_col2im_adjoint_property(self):
+        """col2im must be the adjoint of im2col: <im2col(x), c> == <x, col2im(c)>."""
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(1, 2, 5, 5))
+        cols, _, _ = F.im2col(x, 3, 3, 2, 1)
+        c = rng.normal(size=cols.shape)
+        lhs = float((cols * c).sum())
+        rhs = float((x * F.col2im(c, (1, 2, 5, 5), 3, 3, 2, 1)).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-9)

@@ -1,0 +1,134 @@
+import numpy as np
+import pytest
+
+from repro.nn import BatchNorm1d, BatchNorm2d, GroupNorm, LayerNorm, Tensor
+from repro.nn.gradcheck import gradcheck
+
+
+def randn(*shape, seed=0):
+    return np.random.default_rng(seed).normal(2.0, 3.0, size=shape).astype(np.float32)
+
+
+class TestBatchNorm1d:
+    def test_train_normalises_batch(self):
+        bn = BatchNorm1d(4)
+        out = bn(Tensor(randn(64, 4)))
+        assert np.allclose(out.data.mean(axis=0), 0.0, atol=1e-4)
+        assert np.allclose(out.data.std(axis=0), 1.0, atol=1e-2)
+
+    def test_eval_uses_running_stats(self):
+        bn = BatchNorm1d(4, momentum=1.0)  # adopt batch stats immediately
+        x = randn(128, 4)
+        bn(Tensor(x))
+        bn.eval()
+        out = bn(Tensor(x))
+        assert np.allclose(out.data.mean(axis=0), 0.0, atol=1e-2)
+
+    def test_running_stats_update(self):
+        bn = BatchNorm1d(2, momentum=0.5)
+        x = np.array([[10.0, 0.0], [10.0, 0.0], [12.0, 0.0], [8.0, 0.0]], dtype=np.float32)
+        bn(Tensor(x))
+        assert bn.running_mean[0] == pytest.approx(0.5 * 10.0)
+        assert bn.running_mean[1] == pytest.approx(0.0)
+
+    def test_eval_no_stat_update(self):
+        bn = BatchNorm1d(2)
+        bn.eval()
+        before = bn.running_mean.copy()
+        bn(Tensor(randn(8, 2)))
+        assert np.array_equal(bn.running_mean, before)
+
+    def test_batch_of_one_rejected_in_train(self):
+        bn = BatchNorm1d(2)
+        with pytest.raises(ValueError):
+            bn(Tensor(randn(1, 2)))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            BatchNorm1d(4)(Tensor(randn(8, 5)))
+
+    def test_grad_flows(self):
+        bn = BatchNorm1d(3)
+        gradcheck(lambda t: bn(t), np.random.default_rng(0).normal(size=(8, 3)))
+
+    def test_skewed_batch_shifts_running_stats(self):
+        """The paper's §IV-A-1 mechanism: per-worker skewed batches produce
+        biased statistics vs a globally mixed batch."""
+        rng = np.random.default_rng(0)
+        class0 = rng.normal(-3.0, 1.0, size=(64, 2)).astype(np.float32)
+        class1 = rng.normal(+3.0, 1.0, size=(64, 2)).astype(np.float32)
+        bn_skew = BatchNorm1d(2, momentum=1.0)
+        bn_skew(Tensor(class0))  # a worker that only sees class 0
+        bn_mixed = BatchNorm1d(2, momentum=1.0)
+        bn_mixed(Tensor(np.concatenate([class0, class1])))
+        assert abs(bn_skew.running_mean[0] - bn_mixed.running_mean[0]) > 2.0
+
+
+class TestBatchNorm2d:
+    def test_per_channel_stats(self):
+        bn = BatchNorm2d(3)
+        out = bn(Tensor(randn(8, 3, 4, 4)))
+        flat = out.data.transpose(1, 0, 2, 3).reshape(3, -1)
+        assert np.allclose(flat.mean(axis=1), 0.0, atol=1e-4)
+        assert np.allclose(flat.std(axis=1), 1.0, atol=1e-2)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            BatchNorm2d(3)(Tensor(randn(8, 3)))
+
+    def test_grad_flows(self):
+        bn = BatchNorm2d(2)
+        gradcheck(lambda t: bn(t), np.random.default_rng(0).normal(size=(4, 2, 3, 3)))
+
+    def test_affine_params_learnable(self):
+        bn = BatchNorm2d(3)
+        bn(Tensor(randn(4, 3, 4, 4))).sum().backward()
+        assert bn.weight.grad is not None and bn.bias.grad is not None
+
+
+class TestGroupNorm:
+    def test_batch_size_independent(self):
+        """GroupNorm output for a sample must not depend on its batch — the
+        property making it robust to tiny per-worker batches (§IV-A-1)."""
+        gn = GroupNorm(2, 4)
+        x = randn(8, 4, 3, 3)
+        full = gn(Tensor(x)).data
+        single = gn(Tensor(x[:1])).data
+        assert np.allclose(full[:1], single, atol=1e-5)
+
+    def test_2d_input(self):
+        gn = GroupNorm(4, 8)
+        assert gn(Tensor(randn(5, 8))).shape == (5, 8)
+
+    def test_divisibility_check(self):
+        with pytest.raises(ValueError):
+            GroupNorm(3, 8)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            GroupNorm(2, 4)(Tensor(randn(5, 6)))
+
+    def test_grad_flows(self):
+        gn = GroupNorm(2, 4)
+        gradcheck(lambda t: gn(t), np.random.default_rng(0).normal(size=(3, 4, 2, 2)))
+
+    def test_group_stats_normalised(self):
+        gn = GroupNorm(2, 4)
+        out = gn(Tensor(randn(6, 4, 5, 5))).data
+        grouped = out.reshape(6, 2, -1)
+        assert np.allclose(grouped.mean(axis=2), 0.0, atol=1e-4)
+
+
+class TestLayerNorm:
+    def test_rows_normalised(self):
+        ln = LayerNorm(8)
+        out = ln(Tensor(randn(4, 8))).data
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-4)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            LayerNorm(8)(Tensor(randn(4, 7)))
+
+    def test_grad_flows(self):
+        ln = LayerNorm(6)
+        gradcheck(lambda t: ln(t), np.random.default_rng(0).normal(size=(4, 6)))

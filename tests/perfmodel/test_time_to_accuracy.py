@@ -1,0 +1,69 @@
+"""Time-to-accuracy combination of curves and epoch times."""
+
+import pytest
+
+from repro.cluster import ABCI, IMAGENET1K
+from repro.perfmodel import (
+    compare_time_to_accuracy,
+    epoch_breakdown,
+    get_profile,
+    time_to_accuracy,
+)
+from repro.train import EpochRecord, RunHistory
+
+
+def history(strategy, accs):
+    h = RunHistory(strategy, 4)
+    for e, a in enumerate(accs):
+        h.add(EpochRecord(e, 1.0, a, 0.1, 100))
+    return h
+
+
+def breakdown(strategy, q=None):
+    return epoch_breakdown(
+        strategy=strategy, machine=ABCI, dataset=IMAGENET1K,
+        profile=get_profile("resnet50"), workers=512, batch_size=32, q=q,
+    )
+
+
+class TestTimeToAccuracy:
+    def test_epochs_counted_inclusively(self):
+        t = time_to_accuracy(history("local", [0.3, 0.6, 0.9]), breakdown("local"),
+                             target=0.6)
+        assert t.epochs_needed == 2  # reached at epoch index 1 -> 2 epochs
+        assert t.total_seconds == pytest.approx(2 * breakdown("local").total)
+
+    def test_unreached_target(self):
+        t = time_to_accuracy(history("local", [0.3, 0.4]), breakdown("local"),
+                             target=0.9)
+        assert not t.reached
+        assert t.total_seconds is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            time_to_accuracy(history("local", [0.5]), breakdown("local"), target=0.0)
+
+    def test_paper_story_pls_wins_wallclock(self):
+        """§V-D's implication: GS converges in the fewest epochs but pays 5x
+        epoch time; LS never reaches the target; partial-0.1 reaches it in
+        GS-like epochs at LS-like epoch time -> fastest to target."""
+        histories = {
+            "global": history("global", [0.4, 0.6, 0.7, 0.72, 0.73]),
+            "local": history("local", [0.3, 0.45, 0.55, 0.6, 0.62]),
+            "partial-0.1": history("partial-0.1", [0.38, 0.58, 0.69, 0.71, 0.72]),
+        }
+        breakdowns = {
+            "global": breakdown("global"),
+            "local": breakdown("local"),
+            "partial-0.1": breakdown("partial", q=0.1),
+        }
+        out = compare_time_to_accuracy(histories, breakdowns, target=0.7)
+        assert not out["local"].reached
+        assert out["global"].reached and out["partial-0.1"].reached
+        assert out["partial-0.1"].total_seconds < out["global"].total_seconds
+
+    def test_no_common_strategies(self):
+        with pytest.raises(ValueError):
+            compare_time_to_accuracy(
+                {"a": history("a", [0.5])}, {"b": breakdown("local")}, target=0.4
+            )

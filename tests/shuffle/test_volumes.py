@@ -1,0 +1,74 @@
+"""§III closed-form volumes, including the paper's worked example."""
+
+import pytest
+
+from repro.shuffle import compute_volumes
+from repro.utils.units import GIB, MIB, TIB
+
+
+class TestComputeVolumes:
+    def test_global(self):
+        v = compute_volumes("global", workers=8, dataset_bytes=800, dataset_samples=80)
+        assert v.storage_bytes == 800
+        assert v.pfs_read_bytes == 100
+        assert v.network_send_bytes == 0
+
+    def test_local(self):
+        v = compute_volumes("local", workers=8, dataset_bytes=800, dataset_samples=80)
+        assert v.storage_bytes == 100
+        assert v.local_read_bytes == 100
+        assert v.pfs_read_bytes == 0
+
+    def test_partial(self):
+        v = compute_volumes(
+            "partial", workers=8, dataset_bytes=800, dataset_samples=80, q=0.25
+        )
+        assert v.storage_bytes == 125
+        assert v.network_send_bytes == 25
+        assert v.local_read_bytes == 75
+
+    def test_paper_worked_example_sec3b(self):
+        """Q=0.1, M=512, ImageNet-21K (1.1 TiB): send 225 MiB/epoch, read
+        ~2 GiB locally; GS reads 2.2 GiB from the PFS (§III-B)."""
+        data = int(1.1 * TIB)
+        pls = compute_volumes("partial", workers=512, dataset_bytes=data,
+                              dataset_samples=9_300_000, q=0.1)
+        assert pls.network_send_bytes / MIB == pytest.approx(225, rel=0.05)
+        assert pls.local_read_bytes / GIB == pytest.approx(2.0, rel=0.05)
+        gs = compute_volumes("global", workers=512, dataset_bytes=data,
+                             dataset_samples=9_300_000)
+        assert gs.pfs_read_bytes / GIB == pytest.approx(2.2, rel=0.05)
+
+    def test_storage_bounds_vs_ls_and_gs(self):
+        """§III-A: PLS storage is at most 2x LS and at least M/2 smaller than GS."""
+        for q in (0.0, 0.3, 1.0):
+            for m in (4, 64, 512):
+                pls = compute_volumes("partial", workers=m, dataset_bytes=10**9,
+                                      dataset_samples=10**6, q=q)
+                ls = compute_volumes("local", workers=m, dataset_bytes=10**9,
+                                     dataset_samples=10**6)
+                gs = compute_volumes("global", workers=m, dataset_bytes=10**9,
+                                     dataset_samples=10**6)
+                assert pls.storage_bytes <= 2 * ls.storage_bytes + 1
+                assert pls.storage_bytes * (m / 2) <= gs.storage_bytes + m
+
+    def test_fugaku_headline_number(self):
+        """partial-0.1 at 4096 workers stores ~0.03% of the dataset (§V-E)."""
+        v = compute_volumes("partial", workers=4096, dataset_bytes=140 * 10**9,
+                            dataset_samples=1_200_000, q=0.1)
+        assert v.storage_fraction == pytest.approx(1.1 / 4096, rel=0.01)
+        assert v.storage_fraction < 0.0003
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            compute_volumes("partial", workers=4, dataset_bytes=100, dataset_samples=10)
+        with pytest.raises(ValueError):
+            compute_volumes("global", workers=4, dataset_bytes=100, dataset_samples=10, q=0.5)
+        with pytest.raises(ValueError):
+            compute_volumes("local", workers=4, dataset_bytes=100, dataset_samples=10, q=0.5)
+        with pytest.raises(ValueError):
+            compute_volumes("nope", workers=4, dataset_bytes=100, dataset_samples=10)
+        with pytest.raises(ValueError):
+            compute_volumes("global", workers=0, dataset_bytes=100, dataset_samples=10)
+        with pytest.raises(ValueError):
+            compute_volumes("global", workers=4, dataset_bytes=0, dataset_samples=10)

@@ -1,0 +1,179 @@
+"""Flow-level network simulator: fair sharing, topologies, patterns."""
+
+import pytest
+
+from repro.simnet import (
+    Flow,
+    flat_exchange_flows,
+    hierarchical_exchange_flows,
+    simulate_flows,
+    two_level_tree,
+)
+
+
+def topo(nodes=2, rpn=2, inj=1e9, up=1e9):
+    return two_level_tree(nodes, rpn, injection_bw=inj, uplink_bw=up)
+
+
+class TestTopology:
+    def test_rank_count(self):
+        t = topo(4, 4)
+        assert t.size == 16
+
+    def test_intra_node_path_avoids_core(self):
+        t = topo(2, 2)
+        edges = t.path(0, 1)  # same node
+        assert all("core" not in e for e in edges)
+        assert len(edges) == 2
+
+    def test_inter_node_path_crosses_core(self):
+        t = topo(2, 2)
+        edges = t.path(0, 2)
+        assert any("core" in e for e in edges)
+        assert len(edges) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            two_level_tree(0, 2, injection_bw=1, uplink_bw=1)
+        with pytest.raises(ValueError):
+            two_level_tree(2, 2, injection_bw=0, uplink_bw=1)
+
+
+class TestFlowSim:
+    def test_single_flow_bandwidth_time(self):
+        t = topo()
+        res = simulate_flows(t, [Flow(src=0, dst=1, nbytes=1e9)])
+        assert res.makespan == pytest.approx(1.0, rel=1e-6)
+
+    def test_two_flows_share_link(self):
+        """Two flows into the same destination injection link halve rates."""
+        t = topo(2, 2)
+        flows = [Flow(src=0, dst=1, nbytes=1e9), Flow(src=2, dst=1, nbytes=1e9)]
+        res = simulate_flows(t, flows)
+        assert res.makespan == pytest.approx(2.0, rel=1e-3)
+
+    def test_disjoint_flows_run_in_parallel(self):
+        t = topo(2, 2)
+        flows = [Flow(src=0, dst=1, nbytes=1e9), Flow(src=2, dst=3, nbytes=1e9)]
+        res = simulate_flows(t, flows)
+        assert res.makespan == pytest.approx(1.0, rel=1e-3)
+
+    def test_oversubscribed_uplink_bottlenecks(self):
+        # 2 ranks/node at 1 GB/s each, uplink only 1 GB/s: cross-node
+        # aggregate traffic of 2 GB takes 2 s, not 1 s.
+        t = topo(2, 2, inj=1e9, up=1e9)
+        flows = [Flow(src=0, dst=2, nbytes=1e9), Flow(src=1, dst=3, nbytes=1e9)]
+        res = simulate_flows(t, flows)
+        assert res.makespan == pytest.approx(2.0, rel=1e-3)
+
+    def test_short_flow_finishes_first_then_rates_rise(self):
+        t = topo(2, 2)
+        flows = [Flow(src=0, dst=1, nbytes=0.5e9), Flow(src=2, dst=1, nbytes=1e9)]
+        res = simulate_flows(t, flows)
+        # Phase 1: both at 0.5 GB/s until short flow done at t=1.0;
+        # remaining 0.5 GB at full rate -> total 1.5 s.
+        assert res.makespan == pytest.approx(1.5, rel=1e-3)
+
+    def test_self_flow_instant(self):
+        t = topo()
+        res = simulate_flows(t, [Flow(src=0, dst=0, nbytes=1e9)])
+        assert res.makespan == 0.0
+
+    def test_utilization_bounded(self):
+        t = topo(2, 2)
+        flows = [Flow(src=0, dst=2, nbytes=1e9), Flow(src=1, dst=3, nbytes=1e9)]
+        res = simulate_flows(t, flows)
+        assert all(u <= 1.0 + 1e-9 for u in res.max_link_utilization.values())
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_flows(topo(), [])
+
+    def test_zero_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            Flow(src=0, dst=1, nbytes=0)
+
+
+class TestExchangePatterns:
+    def test_flat_conserves_volume(self):
+        t = topo(4, 2)
+        flows = flat_exchange_flows(t, rounds=8, sample_bytes=1000.0)
+        assert sum(f.nbytes for f in flows) == pytest.approx(8 * 8 * 1000.0)
+
+    def test_hier_fewer_flows_than_flat(self):
+        t = topo(8, 4)
+        flat = flat_exchange_flows(t, rounds=16, sample_bytes=1000.0)
+        hier = hierarchical_exchange_flows(t, rounds=16, sample_bytes=1000.0)
+        assert len(hier) < len(flat)
+
+    def test_hier_inter_node_flows_are_node_level(self):
+        t = topo(4, 4)
+        hier = hierarchical_exchange_flows(t, rounds=4, sample_bytes=1000.0)
+        rpn = 4
+        cross = {(f.src, f.dst) for f in hier if f.src // rpn != f.dst // rpn}
+        # Only leader<->leader pairs cross nodes.
+        assert all(s % rpn == 0 and d % rpn == 0 for s, d in cross)
+
+    def test_patterns_simulate_end_to_end(self):
+        t = topo(4, 4, inj=1.25e9, up=2.5e9)
+        for flows in (
+            flat_exchange_flows(t, rounds=8, sample_bytes=117e3),
+            hierarchical_exchange_flows(t, rounds=8, sample_bytes=117e3),
+        ):
+            res = simulate_flows(t, flows)
+            assert res.makespan > 0
+
+
+class TestTorus:
+    def test_shape(self):
+        from repro.simnet.topology import torus_2d
+
+        t = torus_2d(3, 3, 2, injection_bw=1e9, link_bw=1e9)
+        assert t.size == 18
+
+    def test_neighbour_one_hop_between_switches(self):
+        from repro.simnet.topology import torus_2d
+
+        t = torus_2d(3, 3, 1, injection_bw=1e9, link_bw=1e9)
+        # rank0 @ sw0_0 -> rank1 @ sw0_1: inject + 1 mesh hop + eject = 3 edges
+        assert len(t.path(0, 1)) == 3
+
+    def test_wraparound_shortens_paths(self):
+        from repro.simnet.topology import torus_2d
+
+        t = torus_2d(1, 4, 1, injection_bw=1e9, link_bw=1e9)
+        # Column 0 -> column 3 is one hop via the wrap link, not three.
+        assert len(t.path(0, 3)) == 3
+
+    def test_distant_flows_consume_more_links(self):
+        from repro.simnet import Flow, simulate_flows
+        from repro.simnet.topology import torus_2d
+
+        t = torus_2d(4, 4, 1, injection_bw=10e9, link_bw=1e9)
+        near = simulate_flows(t, [Flow(src=0, dst=1, nbytes=1e9)])
+        # All-to-distant traffic shares the mesh: two flows crossing the
+        # same middle region contend.
+        far = simulate_flows(
+            t,
+            [Flow(src=0, dst=10, nbytes=1e9), Flow(src=1, dst=11, nbytes=1e9)],
+        )
+        assert far.makespan >= near.makespan
+
+    def test_validation(self):
+        from repro.simnet.topology import torus_2d
+
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            torus_2d(0, 2, 1, injection_bw=1e9, link_bw=1e9)
+        with _pytest.raises(ValueError):
+            torus_2d(2, 2, 1, injection_bw=0, link_bw=1e9)
+
+    def test_flat_exchange_on_torus(self):
+        from repro.simnet import flat_exchange_flows, simulate_flows
+        from repro.simnet.topology import torus_2d
+
+        t = torus_2d(2, 2, 2, injection_bw=1.25e9, link_bw=2.5e9)
+        flows = flat_exchange_flows(t, rounds=4, sample_bytes=1e5)
+        res = simulate_flows(t, flows)
+        assert res.makespan > 0

@@ -1,0 +1,117 @@
+"""Hypothesis fuzzing of cross-cutting invariants.
+
+These complement the per-module property tests: each test drives a whole
+subsystem under randomised configurations and checks the invariant the
+paper's correctness rests on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.mpi import run_spmd
+from repro.nn import Tensor
+from repro.shuffle import Scheduler, StorageArea
+from repro.shuffle.volumes import compute_volumes
+from repro.theory import log_permutations, log_sigma
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    size=st.integers(2, 6),
+    n_local=st.integers(4, 24),
+    q=st.floats(0.0, 1.0),
+    granularity=st.integers(1, 5),
+    selection=st.sampled_from(["random", "stale", "importance"]),
+    epochs=st.integers(1, 3),
+    seed=st.integers(0, 50),
+)
+def test_exchange_conserves_samples_fuzz(
+    size, n_local, q, granularity, selection, epochs, seed
+):
+    """For ANY configuration: the global multiset of samples is preserved,
+    every shard keeps its size, and sent == received on every rank."""
+
+    def worker(comm):
+        st_ = StorageArea()
+        for i in range(n_local):
+            st_.add(np.array([comm.rank, i], dtype=np.float32), comm.rank)
+        sched = Scheduler(
+            st_, comm, fraction=q, seed=seed,
+            granularity=granularity, selection=selection,
+        )
+        for e in range(epochs):
+            sched.run_exchange(e)
+        owners = sorted(int(s[0]) for _, s, _ in st_.items())
+        return (len(st_), owners, sched.total_sent_samples, sched.total_recv_samples)
+
+    out = run_spmd(worker, size, deadline_s=120)
+    all_owners = sorted(o for r in out for o in r[1])
+    assert all_owners == sorted(r for r in range(size) for _ in range(n_local))
+    for n, _, sent, recv in out:
+        assert n == n_local
+        assert sent == recv
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    a=hnp.arrays(np.float64, hnp.array_shapes(min_dims=2, max_dims=2, min_side=1, max_side=6),
+                 elements=st.floats(-5, 5, allow_nan=False)),
+    seed=st.integers(0, 100),
+)
+def test_autograd_matmul_matches_numpy_fuzz(a, seed):
+    """Forward matmul equals numpy; gradient of sum(xW) equals analytic."""
+    rng = np.random.default_rng(seed)
+    w = rng.normal(size=(a.shape[1], 3))
+    x = Tensor(a.astype(np.float32), requires_grad=True)
+    out = x @ Tensor(w.astype(np.float32))
+    assert np.allclose(out.data, a @ w, atol=1e-3)
+    out.sum().backward()
+    expected = np.tile(w.sum(axis=1), (a.shape[0], 1))
+    assert np.allclose(x.grad, expected, atol=1e-3)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    workers=st.integers(1, 4096),
+    q=st.floats(0.0, 1.0),
+    dataset_bytes=st.integers(10**6, 10**13),
+)
+def test_volume_identities_fuzz(workers, q, dataset_bytes):
+    """Closed-form identities of §III for any configuration:
+    sent + local_read ~= shard, storage = (1+q) * shard."""
+    v = compute_volumes(
+        "partial", workers=workers, dataset_bytes=dataset_bytes,
+        dataset_samples=max(workers, 1000), q=q,
+    )
+    shard = dataset_bytes // workers
+    assert abs((v.network_send_bytes + v.local_read_bytes) - shard) <= 2
+    assert abs(v.storage_bytes - (1 + q) * shard) <= 2
+    ls = compute_volumes("local", workers=workers, dataset_bytes=dataset_bytes,
+                         dataset_samples=max(workers, 1000))
+    assert v.storage_bytes <= 2 * ls.storage_bytes + 2
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(4, 10**6),
+    m=st.integers(2, 1024),
+    q=st.floats(0.0, 1.0),
+)
+def test_sigma_at_q_zero_counts_block_permutations_fuzz(n, m, q):
+    """Structural identities of Eq. 9: at Q=0, sigma = (N/M)! * ((M-1)N/M)!
+    and sigma is non-decreasing in Q (more exchanges reach more orders)."""
+    if n < m:
+        return
+    from scipy.special import gammaln
+
+    shard, rest = n / m, (m - 1) * n / m
+    expected_q0 = float(gammaln(shard + 1) + gammaln(rest + 1))
+    assert log_sigma(n, m, 0.0) == pytest.approx(expected_q0, rel=1e-9)
+    assert log_sigma(n, m, q) >= log_sigma(n, m, 0.0) - 1e-9
+    assert log_sigma(n, m, 0.0) <= log_permutations(n) + 1e-9
+
+
+

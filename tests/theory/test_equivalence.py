@@ -1,0 +1,94 @@
+"""§IV-A gradient-equivalence: order-invariant epoch gradients at fixed
+weights, order-dependence once SGD updates interleave."""
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticSpec, make_classification, partition_indices
+from repro.nn import build_model
+from repro.theory import epoch_mean_gradient, flatten_gradients, sgd_final_weights
+
+
+@pytest.fixture(scope="module")
+def problem():
+    X, y = make_classification(
+        SyntheticSpec(96, 4, n_features=12, separation=2.0, seed=7)
+    )
+    return X, y
+
+
+def fresh_model():
+    # GroupNorm, not BatchNorm: the equivalence statement is about the
+    # gradient sum, and BatchNorm's batch-dependent statistics break the
+    # per-sample-decomposition assumption (exactly the paper's caveat).
+    return build_model("mlp", in_shape=(12,), num_classes=4, seed=3, norm="group")
+
+
+class TestEpochMeanGradient:
+    def test_global_vs_partitioned_order_equal(self, problem):
+        """The §IV-A claim: the epoch gradient under the GS order equals the
+        one under any worker-partitioned (PLS-style) order."""
+        X, y = problem
+        rng = np.random.default_rng(0)
+        gs_order = rng.permutation(len(X))
+        # PLS-style order: partitioned into 4 worker blocks, each locally
+        # shuffled — a different permutation of the same index set.
+        shards = partition_indices(len(X), 4, scheme="random", seed=5)
+        pls_order = np.concatenate([rng.permutation(s) for s in shards])
+
+        g1 = epoch_mean_gradient(fresh_model(), X, y, gs_order, batch_size=8)
+        g2 = epoch_mean_gradient(fresh_model(), X, y, pls_order, batch_size=8)
+        assert np.allclose(g1, g2, atol=1e-4)
+
+    def test_batch_size_invariance(self, problem):
+        """Sample-weighted recombination makes the epoch gradient independent
+        of the batching, not just the order."""
+        X, y = problem
+        order = np.arange(len(X))
+        g8 = epoch_mean_gradient(fresh_model(), X, y, order, batch_size=8)
+        g32 = epoch_mean_gradient(fresh_model(), X, y, order, batch_size=32)
+        assert np.allclose(g8, g32, atol=1e-4)
+
+    def test_incomplete_order_rejected(self, problem):
+        X, y = problem
+        with pytest.raises(ValueError):
+            epoch_mean_gradient(fresh_model(), X, y, np.arange(10), batch_size=8)
+
+    def test_duplicate_order_rejected(self, problem):
+        X, y = problem
+        bad = np.zeros(len(X), dtype=int)
+        with pytest.raises(ValueError):
+            epoch_mean_gradient(fresh_model(), X, y, bad, batch_size=8)
+
+
+class TestSgdTrajectories:
+    def test_order_matters_with_updates(self, problem):
+        """The limitation (§IV-A-1): with interleaved updates different
+        orders produce different final weights."""
+        X, y = problem
+        rng = np.random.default_rng(0)
+        o1 = rng.permutation(len(X))
+        o2 = rng.permutation(len(X))
+        w1 = sgd_final_weights(fresh_model(), X, y, o1, batch_size=8, lr=0.1)
+        w2 = sgd_final_weights(fresh_model(), X, y, o2, batch_size=8, lr=0.1)
+        assert not np.allclose(w1, w2, atol=1e-6)
+
+    def test_same_order_reproducible(self, problem):
+        X, y = problem
+        order = np.random.default_rng(1).permutation(len(X))
+        w1 = sgd_final_weights(fresh_model(), X, y, order, batch_size=8, lr=0.1)
+        w2 = sgd_final_weights(fresh_model(), X, y, order, batch_size=8, lr=0.1)
+        assert np.allclose(w1, w2)
+
+
+class TestFlattenGradients:
+    def test_requires_backward(self):
+        model = fresh_model()
+        with pytest.raises(ValueError, match="no gradient"):
+            flatten_gradients(model)
+
+    def test_length_matches_parameter_count(self, problem):
+        X, y = problem
+        model = fresh_model()
+        epoch_mean_gradient(model, X, y, np.arange(len(X)), batch_size=16)
+        assert len(flatten_gradients(model)) == model.num_parameters()

@@ -1,0 +1,100 @@
+"""Checkpoint/restart."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Tensor, build_model
+from repro.nn import functional as F
+from repro.train import EpochRecord, RunHistory
+from repro.train.checkpoint import load_checkpoint, save_checkpoint
+
+
+def make_run(seed=0):
+    model = build_model("mlp", in_shape=(8,), num_classes=3, seed=seed)
+    opt = SGD(model.parameters(), lr=0.1, momentum=0.9)
+    return model, opt
+
+
+def one_step(model, opt, seed=1):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(16, 8)).astype(np.float32)
+    y = rng.integers(0, 3, 16)
+    loss = F.cross_entropy(model(Tensor(X)), y)
+    model.zero_grad()
+    loss.backward()
+    opt.step()
+    return float(loss.item())
+
+
+class TestRoundtrip:
+    def test_model_state_restored(self, tmp_path):
+        model, opt = make_run()
+        one_step(model, opt)
+        path = save_checkpoint(tmp_path / "ck.pkl", model=model, optimizer=opt, epoch=3)
+
+        model2, opt2 = make_run(seed=99)  # different init
+        ckpt = load_checkpoint(path, model=model2, optimizer=opt2)
+        assert ckpt.epoch == 3
+        for (n1, p1), (n2, p2) in zip(model.named_parameters(), model2.named_parameters()):
+            assert np.array_equal(p1.data, p2.data), n1
+
+    def test_resumed_training_bitwise_matches_uninterrupted(self, tmp_path):
+        """The restart guarantee: save after step 1, restore into a fresh
+        model, continue — must match the uninterrupted run exactly
+        (including momentum state)."""
+        # Uninterrupted: two steps.
+        m_ref, o_ref = make_run()
+        one_step(m_ref, o_ref, seed=1)
+        one_step(m_ref, o_ref, seed=2)
+
+        # Interrupted: one step, checkpoint, restore elsewhere, second step.
+        m_a, o_a = make_run()
+        one_step(m_a, o_a, seed=1)
+        path = save_checkpoint(tmp_path / "ck.pkl", model=m_a, optimizer=o_a, epoch=0)
+        m_b, o_b = make_run(seed=50)
+        load_checkpoint(path, model=m_b, optimizer=o_b)
+        one_step(m_b, o_b, seed=2)
+
+        for (n, p_ref), (_, p_b) in zip(m_ref.named_parameters(), m_b.named_parameters()):
+            assert np.array_equal(p_ref.data, p_b.data), n
+
+    def test_history_roundtrip(self, tmp_path):
+        model, opt = make_run()
+        hist = RunHistory("partial-0.3", 8)
+        hist.add(EpochRecord(0, 1.5, 0.4, 0.1, 100))
+        hist.add(EpochRecord(1, 1.1, 0.6, 0.1, 100))
+        hist.stats = {"sent_samples": 42}
+        path = save_checkpoint(
+            tmp_path / "ck.pkl", model=model, optimizer=opt, epoch=1, history=hist
+        )
+        ckpt = load_checkpoint(path)
+        assert ckpt.history.strategy == "partial-0.3"
+        assert ckpt.history.best_accuracy == 0.6
+        assert ckpt.history.stats == {"sent_samples": 42}
+
+    def test_lr_restored(self, tmp_path):
+        model, opt = make_run()
+        opt.lr = 0.007
+        path = save_checkpoint(tmp_path / "ck.pkl", model=model, optimizer=opt, epoch=0)
+        model2, opt2 = make_run()
+        load_checkpoint(path, model=model2, optimizer=opt2)
+        assert opt2.lr == 0.007
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_checkpoint(tmp_path / "nope.pkl")
+
+    def test_param_count_mismatch(self, tmp_path):
+        model, opt = make_run()
+        path = save_checkpoint(tmp_path / "ck.pkl", model=model, optimizer=opt, epoch=0)
+        other = build_model("mlp_wide", in_shape=(8,), num_classes=3, seed=0)
+        other_opt = SGD(other.parameters()[:2], lr=0.1, momentum=0.9)
+        with pytest.raises(ValueError):
+            load_checkpoint(path, optimizer=other_opt)
+
+    def test_no_tmp_left_behind(self, tmp_path):
+        model, opt = make_run()
+        save_checkpoint(tmp_path / "ck.pkl", model=model, optimizer=opt, epoch=0)
+        assert not list(tmp_path.glob("*.tmp"))

@@ -1,0 +1,64 @@
+"""Multi-seed robustness reporting."""
+
+import pytest
+
+from repro.data import SyntheticSpec
+from repro.train import TrainConfig, run_multi_seed
+from repro.train.robustness import RobustnessReport, StrategyStats
+
+
+class TestStrategyStats:
+    def test_moments(self):
+        st = StrategyStats("local", (0.4, 0.5, 0.6))
+        assert st.mean == pytest.approx(0.5)
+        assert st.min == 0.4 and st.max == 0.6
+        assert st.std == pytest.approx(0.0816, abs=1e-3)
+
+
+class TestRobustnessReport:
+    def report(self, a_accs, b_accs):
+        return RobustnessReport(
+            workers=4, seeds=(0, 1, 2),
+            stats={
+                "a": StrategyStats("a", a_accs),
+                "b": StrategyStats("b", b_accs),
+            },
+        )
+
+    def test_separation_effect_size(self):
+        r = self.report((0.9, 0.9, 0.9), (0.5, 0.5, 0.5))
+        assert r.separation("a", "b") == float("inf")
+
+    def test_zero_gap_zero_noise(self):
+        r = self.report((0.9, 0.9, 0.9), (0.9, 0.9, 0.9))
+        assert r.separation("a", "b") == 0.0
+
+    def test_consistent_ordering_required(self):
+        # Mean of a > b, but seed 2 flips the order -> not robust.
+        r = self.report((0.9, 0.9, 0.4), (0.5, 0.5, 0.6))
+        assert not r.is_robust("a", "b", min_separation=0.1)
+
+    def test_small_effect_not_robust(self):
+        r = self.report((0.52, 0.48, 0.50), (0.50, 0.46, 0.48))
+        assert not r.is_robust("a", "b", min_separation=3.0)
+
+
+class TestRunMultiSeed:
+    def test_end_to_end_small(self):
+        spec = SyntheticSpec(n_samples=256, n_classes=4, n_features=16, seed=2)
+        config = TrainConfig(model="mlp", epochs=3, batch_size=8, base_lr=0.05,
+                             partition="class_sorted", seed=1)
+        rep = run_multi_seed(spec=spec, config=config, workers=4,
+                             strategies=["global", "local"], seeds=(0, 1))
+        assert rep.seeds == (0, 1)
+        assert len(rep.stats["global"].accuracies) == 2
+        # Replications are genuinely different runs.
+        accs = rep.stats["global"].accuracies
+        assert accs[0] != accs[1]
+
+    def test_needs_two_seeds(self):
+        spec = SyntheticSpec(n_samples=128, n_classes=4, n_features=8, seed=0)
+        config = TrainConfig(model="mlp", epochs=1)
+        with pytest.raises(ValueError):
+            run_multi_seed(spec=spec, config=config, workers=2,
+                           strategies=["local"], seeds=(0,))

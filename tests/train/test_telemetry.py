@@ -1,0 +1,60 @@
+"""Measured phase breakdown (telemetry)."""
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticSpec, TensorDataset, make_classification
+from repro.mpi import run_spmd
+from repro.nn import build_model
+from repro.shuffle import strategy_from_name
+from repro.train import measure_phase_breakdown
+
+
+@pytest.fixture(scope="module")
+def problem():
+    X, y = make_classification(SyntheticSpec(256, 4, n_features=16, seed=1))
+    return TensorDataset(X, y), y
+
+
+def measure(name, problem, workers=2, **kw):
+    ds, y = problem
+
+    def worker(comm):
+        model = build_model("mlp", in_shape=(16,), num_classes=4, seed=0)
+        return measure_phase_breakdown(
+            comm, strategy_from_name(name), ds, y, model=model,
+            epochs=2, batch_size=8, **kw,
+        )
+
+    return run_spmd(worker, workers, copy_on_send=False, deadline_s=300)
+
+
+class TestMeasurePhaseBreakdown:
+    def test_all_phases_recorded(self, problem):
+        r = measure("partial-0.5", problem)[0]
+        assert r.fw_bw > 0
+        assert r.ge_wu > 0
+        assert r.io >= 0
+        assert r.exchange > 0
+        assert r.total == pytest.approx(r.io + r.exchange + r.fw_bw + r.ge_wu)
+
+    def test_local_has_no_exchange(self, problem):
+        r = measure("local", problem)[0]
+        assert r.exchange < 1e-4
+
+    def test_all_ranks_agree(self, problem):
+        out = measure("partial-0.3", problem, workers=3)
+        totals = {round(r.total, 9) for r in out}
+        assert len(totals) == 1  # allreduce-averaged
+
+    def test_metadata(self, problem):
+        r = measure("global", problem, workers=2)[0]
+        assert r.strategy == "global"
+        assert r.workers == 2
+        assert r.epochs == 2
+        assert set(r.as_dict()) == {"io", "exchange", "fw_bw", "ge_wu", "total"}
+
+    def test_exchange_grows_with_q(self, problem):
+        lo = measure("partial-0.1", problem)[0]
+        hi = measure("partial-0.9", problem)[0]
+        assert hi.exchange > lo.exchange

@@ -1,0 +1,60 @@
+"""§III-D deployment tuning: find the smallest sufficient Q."""
+
+import pytest
+
+from repro.data import SyntheticSpec
+from repro.train import TrainConfig, tune_exchange_fraction
+
+SPEC = SyntheticSpec(n_samples=512, n_classes=8, n_features=24,
+                     separation=2.4, seed=3)
+
+
+def config(partition):
+    return TrainConfig(model="mlp", epochs=6, batch_size=8, base_lr=0.05,
+                       partition=partition, seed=1)
+
+
+class TestTuneExchangeFraction:
+    def test_diverse_shards_recommend_local(self):
+        """When LS already matches GS (random partition), the tuner must
+        stop at Q=0 — 'start with local shuffling'."""
+        result = tune_exchange_fraction(
+            spec=SPEC, config=config("random"), workers=4,
+            tolerance=0.05, q_grid=(0.0, 0.3, 1.0),
+        )
+        assert result.recommended_q == 0.0
+        assert result.deficit <= 0.05
+        assert list(result.evaluated) == [0.0]  # early exit
+
+    def test_skewed_shards_recommend_positive_q(self):
+        result = tune_exchange_fraction(
+            spec=SPEC, config=config("class_sorted"), workers=8,
+            tolerance=0.05, q_grid=(0.0, 0.3, 0.7),
+        )
+        assert result.recommended_q > 0.0
+        assert result.deficit <= 0.05
+        assert result.storage_factor == pytest.approx(1.0 + result.recommended_q)
+
+    def test_unreachable_tolerance_returns_largest(self):
+        result = tune_exchange_fraction(
+            spec=SPEC, config=config("class_sorted"), workers=8,
+            tolerance=0.0005, q_grid=(0.0, 0.1),
+        )
+        assert result.recommended_q == 0.1
+        assert len(result.evaluated) == 2
+
+    def test_histories_recorded(self):
+        result = tune_exchange_fraction(
+            spec=SPEC, config=config("random"), workers=4,
+            tolerance=0.1, q_grid=(0.0,),
+        )
+        assert "global" in result.histories
+        assert "local" in result.histories
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tune_exchange_fraction(spec=SPEC, config=config("random"),
+                                   workers=2, tolerance=0.0)
+        with pytest.raises(ValueError):
+            tune_exchange_fraction(spec=SPEC, config=config("random"),
+                                   workers=2, q_grid=(0.5, 1.5))

@@ -1,0 +1,38 @@
+import pytest
+
+from repro.utils import render_table
+
+
+class TestRenderTable:
+    def test_basic_shape(self):
+        out = render_table(["a", "bb"], [[1, 2], [3, 4]])
+        lines = out.splitlines()
+        assert lines[0].startswith("+")
+        assert "| a" in lines[1]
+        assert len(lines) == 6  # sep, header, sep, 2 rows, sep
+
+    def test_title(self):
+        out = render_table(["x"], [[1]], title="Figure 9")
+        assert out.splitlines()[0] == "Figure 9"
+
+    def test_float_formatting(self):
+        out = render_table(["v"], [[3.14159]], floatfmt=".2f")
+        assert "3.14" in out and "3.142" not in out
+
+    def test_column_alignment(self):
+        out = render_table(["name", "n"], [["long-name-here", 1], ["x", 22]])
+        lines = [l for l in out.splitlines() if l.startswith("|")]
+        widths = {len(l) for l in lines}
+        assert len(widths) == 1, "all rows must be the same width"
+
+    def test_mismatched_row_raises(self):
+        with pytest.raises(ValueError, match="row 0 has 1 cells"):
+            render_table(["a", "b"], [[1]])
+
+    def test_non_numeric_cells(self):
+        out = render_table(["s"], [["hello"], [None]])
+        assert "hello" in out and "None" in out
+
+    def test_empty_rows_ok(self):
+        out = render_table(["a"], [])
+        assert "| a" in out

@@ -1,0 +1,81 @@
+import time
+
+import pytest
+
+from repro.utils import PhaseTimer, Stopwatch
+
+
+class TestStopwatch:
+    def test_accumulates(self):
+        sw = Stopwatch()
+        sw.start()
+        time.sleep(0.01)
+        first = sw.stop()
+        assert first > 0
+        assert sw.elapsed == pytest.approx(first)
+        sw.start()
+        sw.stop()
+        assert sw.elapsed > first
+
+    def test_double_start_raises(self):
+        sw = Stopwatch()
+        sw.start()
+        with pytest.raises(RuntimeError):
+            sw.start()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_reset(self):
+        sw = Stopwatch()
+        sw.start()
+        sw.stop()
+        sw.reset()
+        assert sw.elapsed == 0.0
+
+
+class TestPhaseTimer:
+    def test_phase_context_accumulates(self):
+        t = PhaseTimer()
+        with t.phase("io"):
+            time.sleep(0.005)
+        with t.phase("io"):
+            time.sleep(0.005)
+        assert t.count("io") == 2
+        assert t.total("io") >= 0.01
+
+    def test_add_simulated_duration(self):
+        t = PhaseTimer()
+        t.add("exchange", 2.5)
+        t.add("exchange", 1.5)
+        assert t.total("exchange") == pytest.approx(4.0)
+
+    def test_negative_add_raises(self):
+        with pytest.raises(ValueError):
+            PhaseTimer().add("x", -1.0)
+
+    def test_totals_snapshot_is_copy(self):
+        t = PhaseTimer()
+        t.add("a", 1.0)
+        snap = t.totals()
+        snap["a"] = 99.0
+        assert t.total("a") == 1.0
+
+    def test_unknown_phase_defaults(self):
+        t = PhaseTimer()
+        assert t.total("nope") == 0.0
+        assert t.count("nope") == 0
+
+    def test_reset(self):
+        t = PhaseTimer()
+        t.add("a", 1.0)
+        t.reset()
+        assert t.totals() == {}
+
+    def test_exception_still_records(self):
+        t = PhaseTimer()
+        with pytest.raises(ValueError):
+            with t.phase("risky"):
+                raise ValueError("boom")
+        assert t.count("risky") == 1
