@@ -14,6 +14,12 @@ Subcommands
     Shuffling-error and convergence-bound table (§IV-B).
 ``volumes``
     Per-worker storage/traffic volumes for one configuration (§III-B).
+``trace``
+    Summarize a trace file produced by a ``--trace`` run: per-phase totals,
+    per-rank byte counts, top spans and an ASCII Gantt timeline.
+
+Subcommands register in ``_HANDLERS`` (one handler function per command);
+``main`` dispatches through that mapping.
 """
 
 from __future__ import annotations
@@ -53,6 +59,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--strategies", nargs="+", default=["global", "local", "partial-0.3"],
         help="global | local | partial-<q>",
     )
+    p_train.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="record per-rank spans and write a Chrome trace-event JSON "
+        "(one pid per rank; with several strategies, one file per strategy "
+        "suffixed -<strategy>)",
+    )
 
     p_plan = sub.add_parser("plan", help="storage planning for a TOP500 machine")
     p_plan.add_argument("machine", nargs="?", default="Fugaku")
@@ -87,6 +99,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("--results-dir", default="benchmarks/results")
     p_rep.add_argument("--output", default="REPORT.md")
 
+    p_trace = sub.add_parser(
+        "trace", help="summarize a trace file (Chrome JSON or JSONL)"
+    )
+    p_trace.add_argument("file", help="trace produced by `repro train --trace`")
+    p_trace.add_argument("--top", type=int, default=10,
+                         help="how many longest spans to list")
+    p_trace.add_argument("--width", type=int, default=72,
+                         help="Gantt chart width in columns")
+    p_trace.add_argument("--no-gantt", action="store_true",
+                         help="skip the ASCII timeline")
+
     return parser
 
 
@@ -105,7 +128,23 @@ def _cmd_train(args) -> int:
     )
     result = run_comparison(
         spec=spec, config=config, workers=args.workers, strategies=args.strategies,
+        tracing=args.trace is not None,
     )
+    if args.trace is not None:
+        from pathlib import Path
+
+        from repro.obs import write_chrome_trace
+
+        base = Path(args.trace)
+        for sname, tracers in result.tracers.items():
+            # One pid per rank inside a file; one file per strategy so pids
+            # stay unambiguous when several strategies were compared.
+            if len(result.tracers) == 1:
+                path = base
+            else:
+                path = base.with_name(f"{base.stem}-{sname}{base.suffix or '.json'}")
+            write_chrome_trace(tracers, path)
+            print(f"wrote trace: {path}", file=sys.stderr)
     rows = [
         [name, f"{h.best_accuracy:.3f}", f"{h.final_accuracy:.3f}",
          h.stats.get("storage_samples", "-")]
@@ -185,45 +224,77 @@ def _cmd_volumes(args) -> int:
     return 0
 
 
-def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
-    if args.command == "train":
-        return _cmd_train(args)
-    if args.command == "plan":
-        from repro.cluster import FIG1_DATASETS, get_machine
-        from repro.shuffle import compute_volumes
+def _cmd_plan(args) -> int:
+    from repro.cluster import FIG1_DATASETS, get_machine
+    from repro.shuffle import compute_volumes
 
-        machine = get_machine(args.machine)
-        per_rank = machine.local_bytes_per_node // machine.ranks_per_node
-        rows = []
-        for ds in FIG1_DATASETS:
-            fits = {}
-            for scheme, q in [("global", None), ("local", None), ("partial", 0.3)]:
-                v = compute_volumes(scheme, workers=args.workers,
-                                    dataset_bytes=ds.nbytes,
-                                    dataset_samples=ds.samples, q=q)
-                fits[v.scheme] = "yes" if v.storage_bytes <= per_rank else "NO"
-            rows.append([ds.name, format_size(ds.nbytes), fits["global"],
-                         fits["local"], fits["partial-0.3"]])
-        print_table(
-            ["dataset", "size", "global fits?", "local fits?", "partial-0.3 fits?"],
-            rows,
-            title=(
-                f"{machine.name}: {format_size(per_rank)} flash per rank, "
-                f"{args.workers} workers"
-            ),
-        )
+    machine = get_machine(args.machine)
+    per_rank = machine.local_bytes_per_node // machine.ranks_per_node
+    rows = []
+    for ds in FIG1_DATASETS:
+        fits = {}
+        for scheme, q in [("global", None), ("local", None), ("partial", 0.3)]:
+            v = compute_volumes(scheme, workers=args.workers,
+                                dataset_bytes=ds.nbytes,
+                                dataset_samples=ds.samples, q=q)
+            fits[v.scheme] = "yes" if v.storage_bytes <= per_rank else "NO"
+        rows.append([ds.name, format_size(ds.nbytes), fits["global"],
+                     fits["local"], fits["partial-0.3"]])
+    print_table(
+        ["dataset", "size", "global fits?", "local fits?", "partial-0.3 fits?"],
+        rows,
+        title=(
+            f"{machine.name}: {format_size(per_rank)} flash per rank, "
+            f"{args.workers} workers"
+        ),
+    )
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from pathlib import Path
+
+    from repro.obs import render_summary, summarize_trace
+
+    path = Path(args.file)
+    if not path.is_file():
+        print(f"no trace file at {path}", file=sys.stderr)
+        return 1
+    try:
+        summary = summarize_trace(path, top=args.top)
+    except (ValueError, KeyError, TypeError, UnicodeDecodeError) as exc:
+        print(f"{path} is not a trace file (Chrome JSON or JSONL): {exc}",
+              file=sys.stderr)
+        return 1
+    if not summary.n_events:
+        print(f"{path} holds no events", file=sys.stderr)
+        return 1
+    print(render_summary(summary, width=args.width, gantt_chart=not args.no_gantt))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code.
+
+    Dispatch is a name -> handler mapping (``_HANDLERS``): new subcommands
+    register a parser in :func:`build_parser` and one entry here.
+    """
+    args = build_parser().parse_args(argv)
+    try:
+        handler = _HANDLERS[args.command]
+    except KeyError:
+        print(f"unhandled command {args.command!r}", file=sys.stderr)
+        return 2
+    try:
+        return handler(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe mid-report; exit quietly.
+        # Point stdout at devnull so the interpreter's shutdown flush
+        # doesn't raise a second time.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
         return 0
-    if args.command == "perf":
-        return _cmd_perf(args)
-    if args.command == "theory":
-        return _cmd_theory(args)
-    if args.command == "volumes":
-        return _cmd_volumes(args)
-    if args.command == "report":
-        return _cmd_report(args)
-    raise AssertionError(f"unhandled command {args.command!r}")
 
 
 # Presentation order for the collated report: paper artefacts first, then
@@ -274,6 +345,18 @@ def _cmd_report(args) -> int:
     Path(args.output).write_text("\n".join(parts))
     print(f"wrote {args.output} ({len(files)} artefacts)")
     return 0
+
+
+#: Subcommand dispatch table — the single registration point ``main`` uses.
+_HANDLERS = {
+    "train": _cmd_train,
+    "plan": _cmd_plan,
+    "perf": _cmd_perf,
+    "theory": _cmd_theory,
+    "volumes": _cmd_volumes,
+    "report": _cmd_report,
+    "trace": _cmd_trace,
+}
 
 
 if __name__ == "__main__":

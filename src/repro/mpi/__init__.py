@@ -21,7 +21,7 @@ Quick example::
 from .communicator import ANY_SOURCE, ANY_TAG, Communicator
 from .errors import MPIAbort, MPIError, MPITimeout, RankFailed
 from .launcher import SpmdResult, run_spmd
-from .message import Message, Status
+from .message import Message, Status, payload_nbytes
 from .request import RecvRequest, Request, SendRequest, testall, waitall
 from .world import World
 
@@ -37,6 +37,7 @@ __all__ = [
     "run_spmd",
     "Message",
     "Status",
+    "payload_nbytes",
     "RecvRequest",
     "Request",
     "SendRequest",

@@ -15,7 +15,9 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
-from .message import ANY_SOURCE, ANY_TAG, Message, Status, copy_payload
+from repro.obs.tracer import NULL_TRACER
+
+from .message import ANY_SOURCE, ANY_TAG, Message, Status, copy_payload, payload_nbytes
 from .request import RecvRequest, Request, SendRequest
 from .world import World
 
@@ -46,12 +48,16 @@ class Communicator:
         *,
         context_id: int = 0,
         group: Sequence[int] | None = None,
+        tracer=None,
     ) -> None:
         if not 0 <= rank < world.size:
             raise ValueError(f"rank {rank} out of range for world of size {world.size}")
         self.world = world
         self._world_rank = rank
         self.context_id = context_id
+        #: Per-rank observability sink (see :mod:`repro.obs`).  Defaults to
+        #: the shared disabled tracer, so instrumentation costs one branch.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         # ``group`` maps communicator-local rank -> world rank.
         self.group: tuple[int, ...] = tuple(group) if group is not None else tuple(
             range(world.size)
@@ -112,6 +118,17 @@ class Communicator:
 
     def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
         """Non-blocking send; completes immediately (buffered semantics)."""
+        tr = self.tracer
+        if tr.enabled:
+            nb = payload_nbytes(obj)
+            with tr.span("isend", cat="comm.p2p", peer=dest, tag=tag, nbytes=nb):
+                req = self._post_send(obj, dest, tag)
+            tr.metrics.counter("comm.p2p.msgs_sent").inc()
+            tr.metrics.counter("comm.p2p.bytes_sent").inc(nb)
+            return req
+        return self._post_send(obj, dest, tag)
+
+    def _post_send(self, obj: Any, dest: int, tag: int) -> Request:
         payload = copy_payload(obj) if self.world.copy_on_send else obj
         world_dest = self._to_world(dest)
         self.world.post(
@@ -126,19 +143,35 @@ class Communicator:
         status: Status | None = None,
     ) -> Any:
         """Blocking receive; returns the payload."""
-        msg = self.world.take_blocking(
-            self._world_rank, self._to_world(source), self._wire_tag(tag)
-        )
+        tr = self.tracer
+        if tr.enabled:
+            with tr.span("recv", cat="comm.p2p", peer=source, tag=tag) as sp:
+                msg = self._take_msg(source, tag)
+                nb = payload_nbytes(msg.payload)
+                sp.set(src=self._from_world(msg.source), nbytes=nb)
+            tr.metrics.counter("comm.p2p.msgs_recv").inc()
+            tr.metrics.counter("comm.p2p.bytes_recv").inc(nb)
+        else:
+            msg = self._take_msg(source, tag)
         if status is not None:
             status.source = self._from_world(msg.source)
             status.tag = msg.tag - self.context_id * (1 << 24)
             status.count = 1
         return msg.payload
 
+    def _take_msg(self, source: int, tag: int) -> Message:
+        return self.world.take_blocking(
+            self._world_rank, self._to_world(source), self._wire_tag(tag)
+        )
+
     def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> RecvRequest:
         """Non-blocking receive; complete it with ``.wait()`` / ``.test()``."""
         return RecvRequest(
-            self.world, self._world_rank, self._to_world(source), self._wire_tag(tag)
+            self.world,
+            self._world_rank,
+            self._to_world(source),
+            self._wire_tag(tag),
+            tracer=self.tracer,
         )
 
     def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Status:
@@ -170,6 +203,16 @@ class Communicator:
     def _rendezvous(self, op: str, contribution: Any) -> dict[int, Any]:
         gen = next(self._coll_gen)
         key = (self.context_id, op, gen, self.size)
+        tr = self.tracer
+        if tr.enabled:
+            # The span covers the whole rendezvous wait, so its duration is
+            # this rank's synchronisation (straggler) time for the call.
+            nb = 0 if contribution is None else payload_nbytes(contribution)
+            with tr.span(f"coll.{op}", cat="comm.coll", op=op, gen=gen, nbytes=nb):
+                slots = self.world.rendezvous(key, self._local_rank, contribution)
+            tr.metrics.counter("comm.coll.calls").inc()
+            tr.metrics.counter("comm.coll.bytes_contrib").inc(nb)
+            return slots
         return self.world.rendezvous(key, self._local_rank, contribution)
 
     def barrier(self) -> None:
@@ -262,14 +305,24 @@ class Communicator:
         # bcast-style rendezvous rather than a per-rank counter.
         ctx_slots = self._rendezvous("split-ctx", next(_context_counter))
         new_ctx = max(ctx_slots.values())
-        return Communicator(self.world, self._world_rank, context_id=new_ctx * 131 + color, group=group)
+        return Communicator(
+            self.world,
+            self._world_rank,
+            context_id=new_ctx * 131 + color,
+            group=group,
+            tracer=self.tracer,
+        )
 
     def dup(self) -> "Communicator":
         """Duplicate the communicator with an isolated matching context."""
         ctx_slots = self._rendezvous("dup-ctx", next(_context_counter))
         new_ctx = max(ctx_slots.values())
         return Communicator(
-            self.world, self._world_rank, context_id=new_ctx * 131 + 7, group=self.group
+            self.world,
+            self._world_rank,
+            context_id=new_ctx * 131 + 7,
+            group=self.group,
+            tracer=self.tracer,
         )
 
 

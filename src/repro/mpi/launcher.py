@@ -14,6 +14,8 @@ from __future__ import annotations
 import threading
 from typing import Any, Callable, Sequence
 
+from repro.obs.tracer import Tracer
+
 from .communicator import Communicator
 from .errors import MPIAbort, RankFailed
 from .world import World
@@ -22,11 +24,14 @@ __all__ = ["run_spmd", "SpmdResult"]
 
 
 class SpmdResult(list):
-    """Per-rank return values, with the world attached for traffic stats."""
+    """Per-rank return values, with the world attached for traffic stats and
+    the per-rank tracers for observability (empty event lists unless the run
+    was launched with ``tracing=True``)."""
 
-    def __init__(self, values: Sequence[Any], world: World):
+    def __init__(self, values: Sequence[Any], world: World, tracers: Sequence[Tracer]):
         super().__init__(values)
         self.world = world
+        self.tracers = list(tracers)
 
 
 def run_spmd(
@@ -37,6 +42,8 @@ def run_spmd(
     copy_on_send: bool = True,
     deadline_s: float | None = 300.0,
     thread_name_prefix: str = "rank",
+    tracing: bool = False,
+    tracers: Sequence[Tracer] | None = None,
 ) -> SpmdResult:
     """Execute ``fn(comm, *args)`` on ``size`` simulated ranks.
 
@@ -52,22 +59,37 @@ def run_spmd(
         copies matter and the program never mutates sent buffers.
     deadline_s:
         Wall-clock budget guarding against deadlock; ``None`` disables.
+    tracing:
+        When True each rank gets an enabled :class:`~repro.obs.Tracer`
+        (reachable as ``comm.tracer`` inside ``fn``); the MPI layer records
+        every p2p call and collective with byte counts.  When False the
+        ranks share disabled tracers and the instrumentation is a no-op.
+    tracers:
+        Explicit per-rank tracers (length ``size``); overrides ``tracing``.
 
     Returns
     -------
     SpmdResult
         ``result[r]`` is rank *r*'s return value; ``result.world`` exposes
-        traffic counters (``bytes_sent`` etc.).
+        traffic counters (``bytes_sent`` etc.) and ``result.tracers`` the
+        per-rank event streams.
     """
     if size < 1:
         raise ValueError(f"size must be >= 1, got {size}")
+    if tracers is not None and len(tracers) != size:
+        raise ValueError(f"need {size} tracers, got {len(tracers)}")
     world = World(size, copy_on_send=copy_on_send, deadline_s=deadline_s)
+    rank_tracers = (
+        list(tracers)
+        if tracers is not None
+        else [Tracer(rank=r, enabled=tracing) for r in range(size)]
+    )
     results: list[Any] = [None] * size
     failures: dict[int, BaseException] = {}
     failures_lock = threading.Lock()
 
     def runner(rank: int) -> None:
-        comm = Communicator(world, rank)
+        comm = Communicator(world, rank, tracer=rank_tracers[rank])
         try:
             results[rank] = fn(comm, *args)
         except MPIAbort as exc:
@@ -94,4 +116,4 @@ def run_spmd(
             r: e for r, e in failures.items() if not isinstance(e, MPIAbort)
         } or failures
         raise RankFailed(primary)
-    return SpmdResult(results, world)
+    return SpmdResult(results, world, rank_tracers)

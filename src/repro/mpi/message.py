@@ -15,7 +15,14 @@ from typing import Any
 
 import numpy as np
 
-__all__ = ["ANY_SOURCE", "ANY_TAG", "Message", "Status", "copy_payload"]
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Message",
+    "Status",
+    "copy_payload",
+    "payload_nbytes",
+]
 
 ANY_SOURCE = -1
 ANY_TAG = -1
@@ -72,7 +79,13 @@ def copy_payload(obj: Any) -> Any:
 
 
 def payload_nbytes(obj: Any) -> int:
-    """Approximate the wire size of a payload (used for traffic accounting)."""
+    """Approximate the wire size of a payload in bytes.
+
+    The single size model shared by the world's traffic counters, the
+    per-rank tracer (``nbytes`` span tags) and the shuffle-layer volume
+    accounting — arrays report ``.nbytes``, scalars a fixed 8 bytes,
+    containers recurse, and anything else falls back to its pickled size.
+    """
     if isinstance(obj, np.ndarray):
         return obj.nbytes
     if isinstance(obj, (bytes, bytearray)):

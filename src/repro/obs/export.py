@@ -1,0 +1,145 @@
+"""Trace exporters: JSONL (lossless) and Chrome trace-event JSON.
+
+Two on-disk formats:
+
+* **JSONL** — one event per line with raw monotonic-second timestamps; the
+  lossless round-trip format used by tests and tooling.
+* **Chrome trace-event JSON** — a single JSON *array* of events with
+  microsecond timestamps, ``pid`` = rank (one process lane per rank, named
+  via ``ph="M"`` metadata), directly loadable in ``chrome://tracing`` and
+  Perfetto.  This is what a multi-rank training run writes for the Figure 4
+  style overlap inspection.
+
+Both loaders accept either format, so ``repro trace`` works on any file the
+subsystem produced.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .tracer import PH_COMPLETE, TraceEvent, Tracer
+
+__all__ = [
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "write_jsonl",
+    "read_jsonl",
+    "load_trace",
+]
+
+
+def _event_lists(
+    tracers: Sequence[Tracer] | Tracer | Sequence[TraceEvent],
+) -> list[TraceEvent]:
+    """Flatten one tracer / many tracers / a plain event list into events."""
+    if isinstance(tracers, Tracer):
+        return list(tracers.events)
+    items = list(tracers)
+    if items and isinstance(items[0], Tracer):
+        return [ev for tr in items for ev in tr.events]
+    return items  # already events
+
+
+def chrome_trace_events(
+    tracers: Sequence[Tracer] | Tracer | Sequence[TraceEvent],
+    *,
+    rank_names: dict[int, str] | None = None,
+) -> list[dict]:
+    """Convert events to a Chrome trace-event list (one ``pid`` per rank).
+
+    Timestamps are rebased to the earliest event so the trace opens at t=0.
+    Metadata events name each process lane ``rank <r>`` (override via
+    ``rank_names``).
+    """
+    events = _event_lists(tracers)
+    base_ts = min((ev.ts for ev in events), default=0.0)
+    ranks = sorted({ev.rank for ev in events})
+    out: list[dict] = []
+    for rank in ranks:
+        name = (rank_names or {}).get(rank, f"rank {rank}")
+        out.append({"name": "process_name", "ph": "M", "pid": rank, "tid": 0,
+                    "args": {"name": name}})
+        out.append({"name": "process_sort_index", "ph": "M", "pid": rank,
+                    "tid": 0, "args": {"sort_index": rank}})
+    out.extend(
+        ev.to_chrome(base_ts=base_ts)
+        for ev in sorted(events, key=lambda e: (e.ts, e.rank))
+    )
+    return out
+
+
+def write_chrome_trace(
+    tracers: Sequence[Tracer] | Tracer | Sequence[TraceEvent],
+    path: str | Path,
+    *,
+    rank_names: dict[int, str] | None = None,
+) -> Path:
+    """Write the Chrome trace-event JSON array; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        json.dump(chrome_trace_events(tracers, rank_names=rank_names), fh)
+    return path
+
+
+def write_jsonl(
+    tracers: Sequence[Tracer] | Tracer | Sequence[TraceEvent],
+    path: str | Path,
+) -> Path:
+    """Write one JSON object per event, raw-second timestamps; lossless."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    events = sorted(_event_lists(tracers), key=lambda e: (e.ts, e.rank))
+    with path.open("w") as fh:
+        for ev in events:
+            fh.write(json.dumps({
+                "name": ev.name, "cat": ev.cat, "ph": ev.ph, "ts": ev.ts,
+                "dur": ev.dur, "rank": ev.rank, "tid": ev.tid, "args": ev.args,
+            }))
+            fh.write("\n")
+    return path
+
+
+def read_jsonl(path: str | Path) -> list[TraceEvent]:
+    """Load events written by :func:`write_jsonl`."""
+    events: list[TraceEvent] = []
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            events.append(TraceEvent(
+                name=row["name"], cat=row.get("cat", ""),
+                ph=row.get("ph", PH_COMPLETE), ts=row["ts"],
+                dur=row.get("dur", 0.0), rank=row.get("rank", 0),
+                tid=row.get("tid", 0), args=row.get("args", {}),
+            ))
+    return events
+
+
+def load_trace(path: str | Path) -> list[TraceEvent]:
+    """Load a trace file in either supported format.
+
+    Chrome-format metadata events (``ph="M"``) are dropped; real events come
+    back as :class:`TraceEvent` with second-resolution timestamps.
+    """
+    path = Path(path)
+    text = path.read_text()
+    stripped = text.lstrip()
+    if stripped.startswith("["):
+        rows = json.loads(text)
+        return [
+            TraceEvent.from_chrome(row)
+            for row in rows
+            if row.get("ph") not in ("M",)
+        ]
+    return read_jsonl(path)
+
+
+def iter_spans(events: Iterable[TraceEvent]) -> Iterable[TraceEvent]:
+    """Only the complete (``ph="X"``) spans of an event stream."""
+    return (ev for ev in events if ev.ph == PH_COMPLETE)

@@ -1,0 +1,164 @@
+"""Counters, gauges and histograms for per-rank runtime metrics.
+
+The tracer answers *when*; the registry answers *how much in total* —
+bytes sent per peer, loss per epoch, allreduce wait distributions — without
+the cost of storing one event per observation.  Instruments are
+created-on-first-use (Prometheus style) so instrumented code never has to
+declare them up front::
+
+    reg = MetricsRegistry()
+    reg.counter("comm.p2p.bytes_sent").inc(4096)
+    reg.gauge("train.loss").set(0.41)
+    reg.histogram("train.straggler_wait_s").observe(0.002)
+    reg.snapshot()  # plain-dict view for export / assertions
+
+All instruments are thread-safe: ranks are threads and a registry may be
+shared across them (e.g. one registry per rank but a shared one in tests).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """Monotonically increasing total."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the total."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (got {amount})")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        """Current total."""
+        return self._value
+
+
+class Gauge:
+    """Last-written value (e.g. the current epoch's validation accuracy)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = math.nan
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge."""
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, delta: float) -> None:
+        """Adjust the gauge by ``delta`` (NaN gauges start from 0)."""
+        with self._lock:
+            base = 0.0 if math.isnan(self._value) else self._value
+            self._value = base + delta
+
+    @property
+    def value(self) -> float:
+        """Current value (NaN when never set)."""
+        return self._value
+
+
+class Histogram:
+    """Streaming summary of observations: count / sum / min / max / mean.
+
+    Deliberately bucket-free: the trace already has the full-resolution
+    series, so the registry only needs cheap aggregates for tables.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Mean of the observations (NaN when empty)."""
+        return self.total / self.count if self.count else math.nan
+
+    def summary(self) -> dict[str, float]:
+        """Plain-dict aggregate view."""
+        if not self.count:
+            return {"count": 0, "sum": 0.0, "min": math.nan, "max": math.nan,
+                    "mean": math.nan}
+        return {"count": self.count, "sum": self.total, "min": self.min,
+                "max": self.max, "mean": self.mean}
+
+
+class MetricsRegistry:
+    """Name -> instrument map with create-on-first-use accessors."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The named counter (created on first use)."""
+        c = self._counters.get(name)
+        if c is None:
+            with self._lock:
+                c = self._counters.setdefault(name, Counter(name))
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        """The named gauge (created on first use)."""
+        g = self._gauges.get(name)
+        if g is None:
+            with self._lock:
+                g = self._gauges.setdefault(name, Gauge(name))
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        """The named histogram (created on first use)."""
+        h = self._histograms.get(name)
+        if h is None:
+            with self._lock:
+                h = self._histograms.setdefault(name, Histogram(name))
+        return h
+
+    def snapshot(self) -> dict[str, Any]:
+        """All instruments as plain values, sorted by name::
+
+            {"counters": {...}, "gauges": {...}, "histograms": {...}}
+        """
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: h.summary() for n, h in sorted(self._histograms.items())
+            },
+        }

@@ -27,6 +27,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.mpi.communicator import Communicator
+from repro.mpi.message import payload_nbytes
 from repro.mpi.request import Request, waitall
 from repro.utils.rng import SeedTree
 
@@ -112,8 +113,14 @@ class Scheduler:
         self._recv_reqs: list[Request] = []
         self._received: list[tuple[np.ndarray, int]] = []
         self._cleaned = True
+        # Observability: the communicator's per-rank tracer (disabled no-op
+        # by default).  Exchange spans carry cat="exchange" so the Figure 4
+        # overlap attribution can tell posting modes apart.
+        self.tracer = comm.tracer
 
-        # Statistics for the performance/accounting benchmarks.
+        # Statistics for the performance/accounting benchmarks.  Byte counts
+        # use the wire-size model (payload_nbytes: sample array + label), so
+        # they agree with the tracer's nbytes tags and the world's counters.
         self.total_sent_samples = 0
         self.total_recv_samples = 0
         self.total_sent_bytes = 0
@@ -129,23 +136,27 @@ class Scheduler:
             )
         self.epoch = int(epoch)
         n_local = len(self.storage)
-        # Shard sizes may differ by one across ranks (N mod M != 0), but the
-        # balanced exchange requires every rank to play the same number of
-        # rounds — otherwise a rank waits for a send its peer never posts.
-        # Agree on the global minimum (collective call: scheduling() must be
-        # invoked on every rank, which is already its contract).
-        k = self.comm.allreduce(exchange_count(n_local, self.fraction), op=min)
-        self._selected_ids = self._select_samples(k, epoch)
-        # Messages carry ``granularity`` samples each; the plan is built at
-        # message granularity so balance holds per message AND per sample.
-        n_messages = -(-k // self.granularity) if k else 0
-        self.plan = ExchangePlan.for_epoch(
-            seed=self.seed,
-            epoch=epoch,
-            size=self.comm.size,
-            rounds=n_messages,
-            allow_self=self.allow_self,
-        )
+        with self.tracer.span(
+            "exchange.scheduling", cat="exchange", epoch=self.epoch, q=self.fraction
+        ) as sp:
+            # Shard sizes may differ by one across ranks (N mod M != 0), but the
+            # balanced exchange requires every rank to play the same number of
+            # rounds — otherwise a rank waits for a send its peer never posts.
+            # Agree on the global minimum (collective call: scheduling() must be
+            # invoked on every rank, which is already its contract).
+            k = self.comm.allreduce(exchange_count(n_local, self.fraction), op=min)
+            self._selected_ids = self._select_samples(k, epoch)
+            # Messages carry ``granularity`` samples each; the plan is built at
+            # message granularity so balance holds per message AND per sample.
+            n_messages = -(-k // self.granularity) if k else 0
+            self.plan = ExchangePlan.for_epoch(
+                seed=self.seed,
+                epoch=epoch,
+                size=self.comm.size,
+                rounds=n_messages,
+                allow_self=self.allow_self,
+            )
+            sp.set(samples=k, rounds=n_messages)
         self._next_round = 0
         self._send_reqs = []
         self._recv_reqs = []
@@ -209,7 +220,7 @@ class Scheduler:
         :meth:`communicate_chunk` calls; it completes the posting.
         """
         self._require_scheduled()
-        self._post_rounds(self.plan.rounds - self._next_round)
+        self._post_rounds(self.plan.rounds - self._next_round, mode="blocking")
         return self._send_reqs, self._recv_reqs
 
     def communicate_chunk(self) -> int:
@@ -218,10 +229,10 @@ class Scheduler:
         self._require_scheduled()
         remaining = self.plan.rounds - self._next_round
         n = min(self.chunk_rounds, remaining)
-        self._post_rounds(n)
+        self._post_rounds(n, mode="overlap")
         return n
 
-    def _post_rounds(self, n: int) -> None:
+    def _post_rounds(self, n: int, *, mode: str = "blocking") -> None:
         if n <= 0:
             return
         rank = self.comm.rank
@@ -229,21 +240,35 @@ class Scheduler:
         srcs = self.plan.recvs_for(rank)
         parity = (self.epoch % 2) * _EPOCH_PARITY_BIT
         g = self.granularity
+        tr = self.tracer
         for i in range(self._next_round, self._next_round + n):
             group_ids = self._selected_ids[i * g : (i + 1) * g]
             payload = []
             for sid in group_ids:
                 sample, label = self.storage.get(sid)
                 payload.append((sample, label))
-                self.total_sent_samples += 1
-                self.total_sent_bytes += sample.nbytes
+            nbytes = payload_nbytes(payload)
+            self.total_sent_samples += len(payload)
+            self.total_sent_bytes += nbytes
             tag = EXCHANGE_TAG_BASE + parity + i
-            self._send_reqs.append(
-                self.comm.isend(payload, dest=int(dests[i]), tag=tag)
-            )
-            # The shared seed tells us the source; matched irecv is
-            # deterministic while remaining wire-identical to ANY_SOURCE.
-            self._recv_reqs.append(self.comm.irecv(source=int(srcs[i]), tag=tag))
+            with tr.span(
+                "exchange.round",
+                cat="exchange",
+                epoch=self.epoch,
+                q=self.fraction,
+                round=i,
+                mode=mode,
+                samples=len(payload),
+                nbytes=nbytes,
+                dest=int(dests[i]),
+                src=int(srcs[i]),
+            ):
+                self._send_reqs.append(
+                    self.comm.isend(payload, dest=int(dests[i]), tag=tag)
+                )
+                # The shared seed tells us the source; matched irecv is
+                # deterministic while remaining wire-identical to ANY_SOURCE.
+                self._recv_reqs.append(self.comm.irecv(source=int(srcs[i]), tag=tag))
         self._next_round += n
 
     # -------------------------------------------------------------- complete
@@ -262,11 +287,16 @@ class Scheduler:
                 f"only {self._next_round}/{self.plan.rounds} rounds posted; "
                 "call communicate() before synchronize()"
             )
-        waitall(send_reqs if send_reqs is not None else self._send_reqs)
-        payloads = waitall(recv_reqs if recv_reqs is not None else self._recv_reqs)
-        self._received = [
-            (np.asarray(s), int(lbl)) for group in payloads for s, lbl in group
-        ]
+        with self.tracer.span(
+            "exchange.synchronize", cat="exchange", epoch=self.epoch,
+            q=self.fraction, rounds=self.plan.rounds,
+        ) as sp:
+            waitall(send_reqs if send_reqs is not None else self._send_reqs)
+            payloads = waitall(recv_reqs if recv_reqs is not None else self._recv_reqs)
+            self._received = [
+                (np.asarray(s), int(lbl)) for group in payloads for s, lbl in group
+            ]
+            sp.set(samples=len(self._received))
         self.total_recv_samples += len(self._received)
 
     def clean_local_storage(self) -> None:

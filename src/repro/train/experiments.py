@@ -9,7 +9,7 @@ the benchmark files print as figure rows.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -38,6 +38,9 @@ class ExperimentResult:
 
     workers: int
     histories: dict[str, RunHistory]
+    #: Per-strategy per-rank tracers when the comparison ran with
+    #: ``tracing=True`` ({strategy: [Tracer, ...]}); empty otherwise.
+    tracers: dict[str, list] = field(default_factory=dict)
 
     def final(self, strategy: str) -> float:
         """Final-epoch accuracy of the named strategy."""
@@ -65,6 +68,7 @@ def run_comparison(
     strategies: list[str],
     deadline_s: float = 600.0,
     strategy_kwargs: dict | None = None,
+    tracing: bool = False,
 ) -> ExperimentResult:
     """Train every strategy on identical data/model/seed; return the curves.
 
@@ -72,6 +76,11 @@ def run_comparison(
     "partial-<q>" (e.g. "partial-0.1").  ``strategy_kwargs`` are forwarded
     to the partial-local constructors (e.g. ``granularity``, ``selection``,
     ``overlap``); global/local shuffling take none and ignore them.
+
+    With ``tracing=True`` every rank records spans (communicator traffic,
+    exchange rounds, Figure-10 phases); the per-strategy tracers come back
+    on ``ExperimentResult.tracers``, ready for
+    :func:`repro.obs.write_chrome_trace`.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
@@ -84,6 +93,7 @@ def run_comparison(
     strategy_kwargs = strategy_kwargs or {}
 
     histories: dict[str, RunHistory] = {}
+    tracers: dict[str, list] = {}
     for name in strategies:
         def worker(comm):
             kwargs = strategy_kwargs if name.startswith("partial") else {}
@@ -91,10 +101,13 @@ def run_comparison(
             return train_worker(comm, config, strategy, train_ds, labels, val_X, val_y)
 
         results = run_spmd(
-            worker, workers, copy_on_send=False, deadline_s=deadline_s
+            worker, workers, copy_on_send=False, deadline_s=deadline_s,
+            tracing=tracing,
         )
         histories[name] = results[0]
-    return ExperimentResult(workers=workers, histories=histories)
+        if tracing:
+            tracers[name] = results.tracers
+    return ExperimentResult(workers=workers, histories=histories, tracers=tracers)
 
 
 def run_pretrain_finetune(

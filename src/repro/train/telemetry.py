@@ -7,6 +7,12 @@ structure of the breakdown (exchange visible time growing with Q, FW+BW
 flat, collective wait absorbing stragglers) can be observed rather than
 modelled.  Absolute numbers reflect this machine, not ABCI; the *shape*
 is the reproducible object.
+
+Since the ``repro.obs`` subsystem landed, this measurement is a *view over
+the trace*: each phase region is recorded as a ``cat="phase"`` tracer span
+and the totals are derived with :func:`repro.obs.phase_totals`, so the
+Figure 10 numbers and a Chrome-trace export of the same run can never
+disagree.
 """
 
 from __future__ import annotations
@@ -20,8 +26,9 @@ from repro.mpi.communicator import Communicator
 from repro.nn import functional as F
 from repro.nn.optim import SGD
 from repro.nn.tensor import Tensor
+from repro.obs.merge import phase_totals
+from repro.obs.tracer import Tracer
 from repro.shuffle.base import ShuffleStrategy
-from repro.utils.timing import PhaseTimer
 
 from .distributed import allreduce_gradients, broadcast_model
 
@@ -68,6 +75,7 @@ def measure_phase_breakdown(
     lr: float = 0.05,
     partition: str = "random",
     seed: int = 0,
+    tracer: Tracer | None = None,
 ) -> PhaseBreakdownResult:
     """Train for ``epochs`` measuring wall-clock per phase on this rank.
 
@@ -79,38 +87,48 @@ def measure_phase_breakdown(
     * GE+WU        — gradient allreduce (includes waiting for stragglers)
                      and the optimiser update.
 
+    Every phase region is a ``cat="phase"`` span on ``tracer`` (the rank's
+    ``comm.tracer`` when enabled, else a private one) and the totals are
+    *derived from those spans*, so exporting the tracer yields a trace whose
+    phase accounting is identical to the returned result.  Pass an explicit
+    ``tracer`` to keep the events for export.
+
     The result is allreduce-averaged across ranks so every rank returns the
     same numbers.
     """
     broadcast_model(model, comm)
     strategy.setup(comm, dataset, labels=labels, partition=partition, seed=seed)
     optimizer = SGD(model.parameters(), lr, momentum=0.9)
-    timer = PhaseTimer()
+    if tracer is None:
+        tracer = comm.tracer if comm.tracer.enabled else Tracer(rank=comm.rank)
+    # The tracer may already hold events (e.g. a traced training run before
+    # this measurement); only the spans recorded here count.
+    events_start = len(tracer.events)
 
     for epoch in range(epochs):
-        with timer.phase("exchange"):
+        with tracer.span("exchange", cat="phase"):
             strategy.begin_epoch(epoch)
         loader = strategy.epoch_loader(epoch, batch_size)
         iters = comm.allreduce(len(loader), op=min)
         it = iter(loader)
         model.train()
         for _ in range(iters):
-            with timer.phase("io"):
+            with tracer.span("io", cat="phase"):
                 xb, yb = next(it)
-            with timer.phase("fw_bw"):
+            with tracer.span("fw_bw", cat="phase"):
                 logits = model(Tensor(np.asarray(xb, dtype=np.float32)))
                 loss = F.cross_entropy(logits, yb)
                 model.zero_grad()
                 loss.backward()
-            with timer.phase("ge_wu"):
+            with tracer.span("ge_wu", cat="phase"):
                 allreduce_gradients(model, comm)
                 optimizer.step()
-            with timer.phase("exchange"):
+            with tracer.span("exchange", cat="phase"):
                 strategy.on_iteration()
-        with timer.phase("exchange"):
+        with tracer.span("exchange", cat="phase"):
             strategy.end_epoch()
 
-    totals = timer.totals()
+    totals = phase_totals(tracer.events[events_start:])
     phases = np.array(
         [totals.get(k, 0.0) for k in ("io", "exchange", "fw_bw", "ge_wu")]
     )

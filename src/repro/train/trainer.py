@@ -10,6 +10,7 @@ measured per epoch — the Y axis of every accuracy figure in the paper.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -150,41 +151,68 @@ def train_worker(
             start_epoch = ckpt.epoch + 1
             strategy.fast_forward(start_epoch)
 
+    # Per-rank observability: phase spans follow the Figure 10 accounting
+    # (cat="phase": io / exchange / fw_bw / ge_wu) so a traced run yields the
+    # same breakdown `measure_phase_breakdown` reports; loss/accuracy land in
+    # gauges and the allreduce's straggler wait in a histogram.
+    tr = comm.tracer
     for epoch in range(start_epoch, config.epochs):
         lr = schedule.step(epoch)
-        strategy.begin_epoch(epoch)
-        loader = strategy.epoch_loader(epoch, config.batch_size)
-        # Every rank must run the same number of iterations or the gradient
-        # allreduce deadlocks; take the collective minimum.
-        iters = comm.allreduce(len(loader), op=min)
-        loss_avg = RunningAverage()
-        samples = 0
-        model.train()
-        it = iter(loader)
-        for _ in range(iters):
-            xb, yb = next(it)
-            logits = model(Tensor(np.asarray(xb, dtype=np.float32)))
-            loss = F.cross_entropy(logits, yb)
-            model.zero_grad()
-            loss.backward()
-            allreduce_gradients(model, comm)
-            optimizer.step()
-            strategy.on_iteration()
-            loss_avg.update(loss.item(), weight=len(yb))
-            samples += len(yb)
-        strategy.end_epoch()
+        with tr.span("epoch", cat="train", epoch=epoch, lr=lr):
+            with tr.span("exchange", cat="phase"):
+                strategy.begin_epoch(epoch)
+            loader = strategy.epoch_loader(epoch, config.batch_size)
+            # Every rank must run the same number of iterations or the gradient
+            # allreduce deadlocks; take the collective minimum.
+            iters = comm.allreduce(len(loader), op=min)
+            loss_avg = RunningAverage()
+            samples = 0
+            model.train()
+            it = iter(loader)
+            for _ in range(iters):
+                with tr.span("io", cat="phase"):
+                    xb, yb = next(it)
+                with tr.span("fw_bw", cat="phase"):
+                    logits = model(Tensor(np.asarray(xb, dtype=np.float32)))
+                    loss = F.cross_entropy(logits, yb)
+                    model.zero_grad()
+                    loss.backward()
+                with tr.span("ge_wu", cat="phase"):
+                    if tr.enabled:
+                        t0 = time.perf_counter()
+                        allreduce_gradients(model, comm)
+                        tr.metrics.histogram("train.straggler_wait_s").observe(
+                            time.perf_counter() - t0
+                        )
+                    else:
+                        allreduce_gradients(model, comm)
+                    optimizer.step()
+                with tr.span("exchange", cat="phase"):
+                    strategy.on_iteration()
+                loss_avg.update(loss.item(), weight=len(yb))
+                samples += len(yb)
+            with tr.span("exchange", cat="phase"):
+                strategy.end_epoch()
 
-        if config.sync_batchnorm_stats:
-            allreduce_batchnorm_stats(model, comm)
-        # Validation on rank 0 (replicas are identical after the reduce),
-        # then shared with everyone.
-        if comm.rank == 0:
-            val_acc, _val_loss = evaluate(model, val_X, val_y)
-        else:
-            val_acc = None
-        val_acc = comm.bcast(val_acc, root=0)
-        mean_loss = comm.allreduce(loss_avg.value) / comm.size
-        total_samples = comm.allreduce(samples)
+            if config.sync_batchnorm_stats:
+                with tr.span("ge_wu", cat="phase"):
+                    allreduce_batchnorm_stats(model, comm)
+            # Validation on rank 0 (replicas are identical after the reduce),
+            # then shared with everyone.
+            with tr.span("validate", cat="train"):
+                if comm.rank == 0:
+                    val_acc, _val_loss = evaluate(model, val_X, val_y)
+                else:
+                    val_acc = None
+                val_acc = comm.bcast(val_acc, root=0)
+            mean_loss = comm.allreduce(loss_avg.value) / comm.size
+            total_samples = comm.allreduce(samples)
+        if tr.enabled:
+            tr.metrics.gauge("train.loss").set(mean_loss)
+            tr.metrics.gauge("train.val_accuracy").set(val_acc)
+            tr.metrics.counter("train.samples_seen").inc(samples)
+            tr.counter("train.loss", mean_loss, cat="train")
+            tr.counter("train.val_accuracy", val_acc, cat="train")
         history.add(
             EpochRecord(
                 epoch=epoch,

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
-__all__ = ["ascii_chart", "sparkline"]
+__all__ = ["ascii_chart", "gantt", "sparkline"]
 
 _SPARK_LEVELS = "▁▂▃▄▅▆▇█"
 
@@ -84,4 +84,53 @@ def ascii_chart(
     lines.append(" " * 7 + "+" + "-" * cols)
     legend = "  ".join(f"{markers[i]}={names[i]}" for i in range(len(names)))
     lines.append(" " * 8 + legend + (f"   (y: {y_label})" if y_label else ""))
+    return "\n".join(lines)
+
+
+def gantt(
+    rows: Mapping[str, Sequence[tuple[float, float]]],
+    *,
+    width: int = 72,
+    t0: float | None = None,
+    t1: float | None = None,
+    fill: str = "#",
+    time_unit: str = "s",
+) -> str:
+    """Horizontal Gantt chart: one labelled lane of (start, end) intervals.
+
+    Used by ``repro trace`` to show the merged per-rank phase timeline (the
+    Figure 4 overlap picture) in a terminal.  Intervals narrower than one
+    column still paint a single cell so short events stay visible.
+    """
+    if not rows:
+        raise ValueError("no rows to plot")
+    if width < 8:
+        raise ValueError(f"width must be >= 8, got {width}")
+    spans = [iv for ivs in rows.values() for iv in ivs]
+    if t0 is None:
+        t0 = min((s for s, _ in spans), default=0.0)
+    if t1 is None:
+        t1 = max((e for _, e in spans), default=t0 + 1.0)
+    if t1 <= t0:
+        t1 = t0 + 1.0
+    scale = width / (t1 - t0)
+
+    label_w = max(len(name) for name in rows)
+    lines = []
+    for name, ivs in rows.items():
+        lane = [" "] * width
+        for start, end in ivs:
+            lo = int((max(start, t0) - t0) * scale)
+            hi = int((min(end, t1) - t0) * scale)
+            lo = min(lo, width - 1)
+            hi = max(hi, lo + 1)
+            for c in range(lo, min(hi, width)):
+                lane[c] = fill
+        lines.append(f"{name:<{label_w}} |{''.join(lane)}|")
+    axis = f"{'':<{label_w}} +{'-' * width}+"
+    ticks = (
+        f"{'':<{label_w}}  {0.0:<10.4g}{f'{(t1 - t0):.4g} {time_unit}':>{width - 10}}"
+    )
+    lines.append(axis)
+    lines.append(ticks)
     return "\n".join(lines)

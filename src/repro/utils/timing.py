@@ -42,6 +42,20 @@ class Stopwatch:
         self.elapsed = 0.0
         self._start = None
 
+    @property
+    def running(self) -> bool:
+        """Whether the stopwatch is currently timing an interval."""
+        return self._start is not None
+
+    def __enter__(self) -> "Stopwatch":
+        """Context-manager form: ``with Stopwatch() as sw: ...``."""
+        self.start()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self.stop()
+        return False
+
 
 class PhaseTimer:
     """Accumulate wall-clock time per named phase.
@@ -59,15 +73,28 @@ class PhaseTimer:
     def __init__(self) -> None:
         self._totals: dict[str, float] = {}
         self._counts: dict[str, int] = {}
+        self._active: set[str] = set()
 
     @contextmanager
     def phase(self, name: str):
-        """Context manager timing one occurrence of the named phase."""
+        """Context manager timing one occurrence of the named phase.
+
+        Re-entering a phase that is still open would double-count the outer
+        interval, so nested entry into the *same* name is an error (distinct
+        phases may still nest).
+        """
+        if name in self._active:
+            raise RuntimeError(
+                f"phase {name!r} is already being timed; re-entrant "
+                "phase() calls with the same name corrupt the accounting"
+            )
+        self._active.add(name)
         start = time.perf_counter()
         try:
             yield
         finally:
             delta = time.perf_counter() - start
+            self._active.discard(name)
             self._totals[name] = self._totals.get(name, 0.0) + delta
             self._counts[name] = self._counts.get(name, 0) + 1
 
@@ -94,3 +121,4 @@ class PhaseTimer:
         """Clear accumulated state."""
         self._totals.clear()
         self._counts.clear()
+        self._active.clear()

@@ -1,0 +1,86 @@
+"""Exporter round-trips: JSONL and Chrome trace-event JSON."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Tracer,
+    chrome_trace_events,
+    load_trace,
+    read_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+@pytest.fixture
+def tracer():
+    tr = Tracer(rank=2)
+    with tr.span("outer", cat="phase"):
+        with tr.span("inner", cat="comm.p2p", peer=1, nbytes=128):
+            pass
+    tr.instant("mark", cat="app", epoch=1)
+    return tr
+
+
+class TestJsonl:
+    def test_round_trip_lossless(self, tracer, tmp_path):
+        path = write_jsonl(tracer, tmp_path / "t.jsonl")
+        events = read_jsonl(path)
+        assert len(events) == 3
+        by_name = {ev.name: ev for ev in events}
+        orig = {ev.name: ev for ev in tracer.events}
+        for name, ev in by_name.items():
+            assert ev.ts == orig[name].ts  # exact: JSONL keeps raw seconds
+            assert ev.dur == orig[name].dur
+            assert ev.rank == 2
+            assert ev.args == orig[name].args
+
+    def test_load_trace_detects_jsonl(self, tracer, tmp_path):
+        path = write_jsonl(tracer, tmp_path / "t.jsonl")
+        assert {ev.name for ev in load_trace(path)} == {"outer", "inner", "mark"}
+
+
+class TestChrome:
+    def test_valid_event_list(self, tracer, tmp_path):
+        path = write_chrome_trace(tracer, tmp_path / "t.json")
+        rows = json.loads(path.read_text())
+        assert isinstance(rows, list)
+        real = [r for r in rows if r["ph"] != "M"]
+        for row in real:
+            assert {"name", "cat", "ph", "ts", "pid", "tid", "args"} <= set(row)
+            assert row["pid"] == 2
+            assert row["ts"] >= 0  # rebased to the earliest event
+        complete = [r for r in real if r["ph"] == "X"]
+        assert all("dur" in r for r in complete)
+
+    def test_process_metadata_one_per_rank(self):
+        trs = [Tracer(rank=r) for r in range(3)]
+        for tr in trs:
+            with tr.span("w"):
+                pass
+        rows = chrome_trace_events(trs)
+        meta = [r for r in rows if r["ph"] == "M" and r["name"] == "process_name"]
+        assert {m["pid"] for m in meta} == {0, 1, 2}
+        assert {m["args"]["name"] for m in meta} == {"rank 0", "rank 1", "rank 2"}
+
+    def test_timestamps_in_microseconds(self, tracer, tmp_path):
+        path = write_chrome_trace(tracer, tmp_path / "t.json")
+        events = load_trace(path)  # back to seconds
+        outer = next(ev for ev in events if ev.name == "outer")
+        orig = next(ev for ev in tracer.events if ev.name == "outer")
+        assert outer.dur == pytest.approx(orig.dur, abs=1e-9)
+
+    def test_nesting_survives_round_trip(self, tracer, tmp_path):
+        path = write_chrome_trace(tracer, tmp_path / "t.json")
+        events = load_trace(path)
+        outer = next(ev for ev in events if ev.name == "outer")
+        inner = next(ev for ev in events if ev.name == "inner")
+        assert outer.ts <= inner.ts + 1e-9
+        assert inner.end <= outer.end + 1e-9
+
+    def test_event_list_input(self, tracer, tmp_path):
+        # Raw event lists (e.g. a merged timeline) export the same way.
+        path = write_chrome_trace(list(tracer.events), tmp_path / "t.json")
+        assert len(json.loads(path.read_text())) >= 3

@@ -1,0 +1,85 @@
+"""MetricsRegistry instruments: counters, gauges, histograms."""
+
+import math
+import threading
+
+import pytest
+
+from repro.obs import MetricsRegistry
+
+
+class TestCounter:
+    def test_accumulates(self):
+        reg = MetricsRegistry()
+        reg.counter("bytes").inc(10)
+        reg.counter("bytes").inc(5.5)
+        assert reg.counter("bytes").value == 15.5
+
+    def test_rejects_decrease(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_thread_safety(self):
+        reg = MetricsRegistry()
+
+        def bump():
+            for _ in range(10_000):
+                reg.counter("c").inc()
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.counter("c").value == 40_000
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("loss")
+        assert math.isnan(g.value)
+        g.set(0.5)
+        g.add(0.25)
+        assert g.value == 0.75
+
+    def test_add_from_unset_starts_at_zero(self):
+        g = MetricsRegistry().gauge("g")
+        g.add(3.0)
+        assert g.value == 3.0
+
+
+class TestHistogram:
+    def test_summary(self):
+        h = MetricsRegistry().histogram("wait")
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 3
+        assert s["sum"] == 6.0
+        assert s["min"] == 1.0
+        assert s["max"] == 3.0
+        assert s["mean"] == pytest.approx(2.0)
+
+    def test_empty_summary(self):
+        s = MetricsRegistry().histogram("h").summary()
+        assert s["count"] == 0
+        assert math.isnan(s["mean"])
+
+
+class TestSnapshot:
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.gauge("b").set(1.0)
+        reg.histogram("c").observe(2.0)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"a": 1.0}
+        assert snap["gauges"] == {"b": 1.0}
+        assert snap["histograms"]["c"]["count"] == 1
+
+    def test_same_instrument_instance_returned(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.gauge("y") is reg.gauge("y")
+        assert reg.histogram("z") is reg.histogram("z")

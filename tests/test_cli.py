@@ -1,5 +1,7 @@
 """CLI subcommands (python -m repro ...)."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -77,6 +79,66 @@ class TestCommands:
         ])
         assert rc == 0
         assert "norm=group" in capsys.readouterr().out
+
+
+class TestTrace:
+    TRAIN = [
+        "train", "--workers", "2", "--epochs", "1", "--samples", "64",
+        "--classes", "4", "--features", "8",
+    ]
+
+    def test_train_writes_chrome_trace(self, tmp_path, capsys):
+        out = tmp_path / "run.json"
+        rc = main([*self.TRAIN, "--strategies", "partial-0.5",
+                   "--trace", str(out)])
+        assert rc == 0
+        assert "wrote trace:" in capsys.readouterr().err
+        rows = json.loads(out.read_text())
+        assert isinstance(rows, list) and rows
+        real = [r for r in rows if r["ph"] != "M"]
+        assert {r["pid"] for r in real} == {0, 1}
+        assert all({"name", "ph", "ts", "pid"} <= set(r) for r in real)
+        assert any(r["ph"] == "X" and r.get("cat") == "phase" for r in real)
+
+    def test_train_multi_strategy_trace_per_strategy(self, tmp_path):
+        out = tmp_path / "run.json"
+        rc = main([*self.TRAIN, "--strategies", "local", "partial-0.5",
+                   "--trace", str(out)])
+        assert rc == 0
+        assert (tmp_path / "run-local.json").exists()
+        assert (tmp_path / "run-partial-0.5.json").exists()
+
+    def test_trace_summarizes_file(self, tmp_path, capsys):
+        out = tmp_path / "run.json"
+        main([*self.TRAIN, "--strategies", "partial-0.5", "--trace", str(out)])
+        capsys.readouterr()
+        assert main(["trace", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "rank(s)" in text
+        assert "exchange" in text
+        assert "fw_bw" in text
+        assert "top spans" in text
+
+    def test_trace_no_gantt(self, tmp_path, capsys):
+        out = tmp_path / "run.json"
+        main([*self.TRAIN, "--strategies", "partial-0.5", "--trace", str(out)])
+        capsys.readouterr()
+        assert main(["trace", str(out), "--no-gantt", "--top", "3"]) == 0
+        assert "timeline" not in capsys.readouterr().out
+
+    def test_trace_missing_file_errors(self, tmp_path):
+        assert main(["trace", str(tmp_path / "nope.json")]) == 1
+
+    def test_trace_empty_file_errors(self, tmp_path):
+        empty = tmp_path / "empty.json"
+        empty.write_text("[]")
+        assert main(["trace", str(empty)]) == 1
+
+    def test_trace_garbage_file_errors_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("this is not a trace\n")
+        assert main(["trace", str(bad)]) == 1
+        assert "not a trace file" in capsys.readouterr().err
 
 
 class TestReport:

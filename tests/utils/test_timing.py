@@ -34,6 +34,24 @@ class TestStopwatch:
         sw.reset()
         assert sw.elapsed == 0.0
 
+    def test_context_manager(self):
+        sw = Stopwatch()
+        with sw:
+            time.sleep(0.005)
+        assert sw.elapsed >= 0.005
+        assert not sw.running
+        with sw:  # re-enterable after exit; keeps accumulating
+            time.sleep(0.005)
+        assert sw.elapsed >= 0.01
+
+    def test_context_manager_stops_on_exception(self):
+        sw = Stopwatch()
+        with pytest.raises(ValueError):
+            with sw:
+                raise ValueError("boom")
+        assert not sw.running
+        assert sw.elapsed >= 0.0
+
 
 class TestPhaseTimer:
     def test_phase_context_accumulates(self):
@@ -79,3 +97,30 @@ class TestPhaseTimer:
             with t.phase("risky"):
                 raise ValueError("boom")
         assert t.count("risky") == 1
+
+    def test_reentrant_same_phase_rejected(self):
+        t = PhaseTimer()
+        with t.phase("io"):
+            with pytest.raises(RuntimeError, match="already being timed"):
+                with t.phase("io"):
+                    pass  # pragma: no cover
+        # The outer interval still lands exactly once.
+        assert t.count("io") == 1
+
+    def test_distinct_phases_may_nest(self):
+        t = PhaseTimer()
+        with t.phase("outer"):
+            with t.phase("inner"):
+                time.sleep(0.001)
+        assert t.count("outer") == 1
+        assert t.count("inner") == 1
+
+    def test_phase_reusable_after_rejection(self):
+        t = PhaseTimer()
+        with t.phase("io"):
+            with pytest.raises(RuntimeError):
+                with t.phase("io"):
+                    pass  # pragma: no cover
+        with t.phase("io"):  # not stuck in the active set
+            pass
+        assert t.count("io") == 2
