@@ -1,0 +1,41 @@
+"""SPMD correctness analysis: static lint + runtime verification.
+
+The shuffle/MPI stack rests on invariants no type checker can see: every
+rank must enter the same collective sequence, the exchange permutation
+must be bit-identical everywhere (Algorithm 1's precondition), requests
+must be completed, and all randomness must flow through the seed tree.
+This package enforces them twice:
+
+* **statically** — :func:`lint_paths` / ``python -m repro lint`` runs the
+  AST rules in :mod:`repro.analysis.rules` (SPMD001-SPMD005) over a
+  source tree and reports structured findings with ``# repro: noqa[...]``
+  suppression;
+* **dynamically** — ``run_spmd(fn, size, verify=True)`` swaps in
+  :class:`CheckedCommunicator`, which cross-checks each collective call's
+  signature across ranks before executing it, asserts shared-stream
+  values are bit-identical, and flags requests left pending at rank exit.
+"""
+
+from repro.mpi.errors import VerificationError
+
+from .findings import Finding, Severity
+from .linter import LintReport, iter_python_files, lint_file, lint_paths, lint_source
+from .rules import DEFAULT_RULES, FileContext, Rule
+from .runtime import CheckedCommunicator, fingerprint, payload_signature
+
+__all__ = [
+    "Finding",
+    "Severity",
+    "LintReport",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "iter_python_files",
+    "Rule",
+    "FileContext",
+    "DEFAULT_RULES",
+    "CheckedCommunicator",
+    "VerificationError",
+    "payload_signature",
+    "fingerprint",
+]

@@ -1,0 +1,54 @@
+"""Structured lint findings and their rendering.
+
+A :class:`Finding` is one rule violation at one source location.  Findings
+are plain frozen dataclasses so the CLI can render them as text or JSON and
+the tests can compare them structurally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from enum import Enum
+
+__all__ = ["Severity", "Finding"]
+
+
+class Severity(str, Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings are correctness hazards (deadlock, corruption,
+    nondeterminism); ``WARNING`` findings are robustness smells (e.g. a
+    bare ``assert`` stripped under ``-O``).  Both fail the lint run — the
+    distinction is for human triage only.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:  # render as "error", not "Severity.ERROR"
+        return self.value
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation: where, which rule, and why it matters."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+    severity: Severity = Severity.ERROR
+
+    def render(self) -> str:
+        """The one-line ``file:line:col: RULE severity: message`` form."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id} {self.severity}: {self.message}"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (severity as its string value)."""
+        d = asdict(self)
+        d["severity"] = str(self.severity)
+        return d

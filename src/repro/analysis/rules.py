@@ -1,0 +1,505 @@
+"""The SPMD lint rules.
+
+Each rule is a small AST pass over one module.  They encode the invariants
+the shuffle/MPI stack's docstrings demand but the type system cannot see:
+
+========  ==================================================================
+SPMD001   collective call under rank-dependent control flow (deadlock risk)
+SPMD002   ``isend``/``irecv`` request discarded or never completed (leak)
+SPMD003   raw RNG outside ``utils/rng.py`` (breaks the seed-tree contract)
+SPMD004   buffer mutated after being sent/contributed (zero-copy aliasing)
+SPMD005   bare ``assert`` in library code (stripped under ``python -O``)
+========  ==================================================================
+
+The rules are deliberately *syntactic*: they reason about one function at a
+time in source order and ignore inter-procedural flow, which keeps them
+fast, dependency-free and predictable.  A finding that is provably safe in
+context can be silenced in place with ``# repro: noqa[SPMD00x]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+from .findings import Finding, Severity
+
+__all__ = [
+    "FileContext",
+    "Rule",
+    "DEFAULT_RULES",
+    "COLLECTIVE_METHODS",
+    "COLLECTIVE_HELPERS",
+    "RankDependentCollective",
+    "LeakedRequest",
+    "RawRandomSource",
+    "MutateAfterSend",
+    "BareAssert",
+]
+
+#: Method names that are collective over the communicator: every rank must
+#: reach them in the same order or the rendezvous deadlocks.
+COLLECTIVE_METHODS = frozenset({
+    "barrier", "bcast", "broadcast", "allreduce", "reduce", "alltoall",
+    "allgather", "gather", "scatter", "split", "dup",
+})
+
+#: Free functions in this repo that wrap collectives and inherit the same
+#: every-rank-must-call contract.
+COLLECTIVE_HELPERS = frozenset({
+    "broadcast_model", "allreduce_gradients", "allreduce_batchnorm_stats",
+    "ring_allreduce", "tree_broadcast", "recursive_doubling_barrier",
+    "hierarchical_exchange",
+})
+
+#: Method names that hand a buffer to a peer (p2p or collective
+#: contribution).  Mutating a bare-name argument afterwards aliases the
+#: receiver's copy under ``copy_on_send=False``.
+_SENDING_METHODS = frozenset({
+    "send", "isend", "bcast", "allreduce", "reduce", "alltoall",
+    "allgather", "gather", "scatter",
+})
+
+#: In-place methods on ndarrays / lists / dicts that count as mutation.
+_MUTATING_METHODS = frozenset({
+    "fill", "sort", "put", "resize", "itemset", "setfield", "partition",
+    "append", "extend", "insert", "remove", "pop", "clear", "update",
+    "setdefault", "popitem", "reverse",
+})
+
+#: Legacy ``np.random`` module-level entry points that draw from (or seed)
+#: hidden global state — never reproducible across SPMD ranks.
+_NUMPY_GLOBAL_STATE = frozenset({
+    "seed", "rand", "randn", "randint", "random", "choice", "shuffle",
+    "permutation", "standard_normal", "uniform", "normal",
+})
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may need to know about the module being linted."""
+
+    path: str
+    tree: ast.Module
+    source: str
+    #: Test/fixture code is exempt from the determinism and assert rules.
+    is_test: bool = False
+    #: ``utils/rng.py`` is the one sanctioned home of raw RNG construction.
+    is_rng_module: bool = False
+
+    @classmethod
+    def for_path(cls, path: str, tree: ast.Module, source: str) -> "FileContext":
+        parts = Path(path).parts
+        name = Path(path).name
+        is_test = (
+            "tests" in parts
+            or "fixtures" in parts
+            or name.startswith(("test_", "conftest"))
+        )
+        is_rng = name == "rng.py" and len(parts) >= 2 and parts[-2] == "utils"
+        return cls(path=path, tree=tree, source=source,
+                   is_test=is_test, is_rng_module=is_rng)
+
+
+class Rule:
+    """Base class: one rule id, one AST pass."""
+
+    id: str = "SPMD000"
+    title: str = ""
+    severity: Severity = Severity.ERROR
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield findings for the module in ``ctx``."""
+        raise NotImplementedError
+
+    def _finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule_id=self.id,
+            message=message,
+            severity=self.severity,
+        )
+
+
+# --------------------------------------------------------------------------
+# helpers shared by several rules
+
+
+def _call_method_name(call: ast.Call) -> str | None:
+    """``obj.meth(...)`` -> ``"meth"``; bare ``fn(...)`` -> None."""
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    return None
+
+
+def _call_free_name(call: ast.Call) -> str | None:
+    """Bare ``fn(...)`` -> ``"fn"``; method calls -> None."""
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    return None
+
+
+def _mentions_rank(node: ast.AST) -> bool:
+    """Does this expression depend on the caller's rank?
+
+    Matches ``<x>.rank`` / ``<x>.Get_rank()`` attribute reads and bare
+    names that are exactly or end in ``rank`` (``rank``, ``vrank``,
+    ``world_rank`` ...) — the naming convention this codebase (and most
+    mpi4py code) uses for the SPMD index.
+    """
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute) and sub.attr in ("rank", "Get_rank"):
+            return True
+        if isinstance(sub, ast.Name) and (
+            sub.id == "rank" or sub.id.endswith("rank")
+        ):
+            return True
+    return False
+
+
+def _function_scopes(tree: ast.Module) -> list[ast.AST]:
+    """Module plus every (async) function definition, outermost first."""
+    scopes: list[ast.AST] = [tree]
+    scopes.extend(
+        n for n in ast.walk(tree)
+        if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+    )
+    return scopes
+
+
+def _scope_nodes(scope: ast.AST) -> Iterator[ast.AST]:
+    """Every node inside ``scope`` without descending into nested function
+    bodies (each nested def is analysed as its own scope)."""
+    stack = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        yield node
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            stack.extend(ast.iter_child_nodes(node))
+
+
+# --------------------------------------------------------------------------
+# SPMD001
+
+
+class RankDependentCollective(Rule):
+    """Collective invoked under rank-dependent control flow.
+
+    A collective is a rendezvous: every rank of the communicator must call
+    it, in the same order.  Guarding one behind ``if comm.rank == 0:`` (or
+    a loop whose trip count depends on the rank) means the other ranks
+    never arrive and the job deadlocks — the failure RINAS/Corgi²-style
+    shuffling stacks hit in exactly this layer.  Hoist the collective out
+    of the branch and make its *argument* rank-dependent instead
+    (``comm.bcast(x if comm.rank == root else None)``).
+    """
+
+    id = "SPMD001"
+    title = "collective under rank-dependent control flow"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        yield from self._visit(ctx, ctx.tree, rank_dep=False)
+
+    def _visit(self, ctx: FileContext, node: ast.AST, rank_dep: bool):
+        for child in ast.iter_child_nodes(node):
+            child_dep = rank_dep
+            if isinstance(child, (ast.If, ast.While)) and _mentions_rank(child.test):
+                child_dep = True
+            elif isinstance(child, ast.For) and _mentions_rank(child.iter):
+                child_dep = True
+            if isinstance(child, ast.Call):
+                name = _call_method_name(child)
+                if rank_dep and name in COLLECTIVE_METHODS:
+                    yield self._finding(
+                        ctx, child,
+                        f"collective '{name}' called under rank-dependent "
+                        "control flow; peers that skip this branch never "
+                        "enter the rendezvous and the job deadlocks",
+                    )
+                free = _call_free_name(child)
+                if rank_dep and free in COLLECTIVE_HELPERS:
+                    yield self._finding(
+                        ctx, child,
+                        f"collective helper '{free}' called under "
+                        "rank-dependent control flow (it must run on every "
+                        "rank)",
+                    )
+            yield from self._visit(ctx, child, child_dep)
+
+
+# --------------------------------------------------------------------------
+# SPMD002
+
+
+class LeakedRequest(Rule):
+    """``isend``/``irecv`` whose ``Request`` is discarded or never used.
+
+    A dropped ``irecv`` request means the matching message is never
+    consumed: it sits in the mailbox and can be stolen by a later
+    wildcard receive, corrupting the exchange an epoch later — a silent
+    accuracy bug, not a crash.  Keep the handle and complete it with
+    ``wait()``/``waitall``.
+    """
+
+    id = "SPMD002"
+    title = "leaked non-blocking request"
+
+    _REQ_CALLS = frozenset({"isend", "irecv"})
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for scope in _function_scopes(ctx.tree):
+            yield from self._check_scope(ctx, scope)
+
+    def _check_scope(self, ctx: FileContext, scope: ast.AST):
+        # Names bound directly to a request-returning call in this scope.
+        bound: dict[str, ast.Call] = {}
+        for node in _scope_nodes(scope):
+            if isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+                call = node.value
+                name = _call_method_name(call)
+                if name in self._REQ_CALLS:
+                    yield self._finding(
+                        ctx, call,
+                        f"result of '{name}' is discarded; the returned "
+                        "Request must be kept and completed with wait()",
+                    )
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                call = node.value
+                name = _call_method_name(call)
+                if name in self._REQ_CALLS and len(node.targets) == 1 and \
+                        isinstance(node.targets[0], ast.Name):
+                    bound[node.targets[0].id] = call
+        if not bound:
+            return
+        # Loads are collected over the full subtree (including nested
+        # closures, which may legitimately complete an enclosing request).
+        loaded = {
+            n.id for n in ast.walk(scope)
+            if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Load)
+        }
+        for var, call in bound.items():
+            if var not in loaded:
+                kind = _call_method_name(call)
+                yield self._finding(
+                    ctx, call,
+                    f"request from '{kind}' is bound to '{var}' but never "
+                    "used; complete it with wait() (or waitall)",
+                )
+
+
+# --------------------------------------------------------------------------
+# SPMD003
+
+
+class RawRandomSource(Rule):
+    """Raw RNG construction outside ``utils/rng.py`` and test code.
+
+    Algorithm 1 is only correct when every rank derives its streams from
+    the shared :class:`~repro.utils.rng.SeedTree`: the stdlib ``random``
+    module is process-global (ranks are threads — they'd share and race on
+    one stream), ``np.random.*`` module functions use hidden global state,
+    and ``np.random.default_rng(<literal>)`` hard-wires one fixed stream
+    into every call site that hits the default path.  Route streams
+    through ``repro.utils.rng`` instead.
+    """
+
+    id = "SPMD003"
+    title = "raw RNG outside utils/rng.py"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.is_rng_module or ctx.is_test:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                yield from self._check_import(ctx, node)
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node)
+
+    def _check_import(self, ctx: FileContext, node: ast.AST):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random":
+                    yield self._finding(
+                        ctx, node,
+                        "stdlib 'random' is process-global state shared by "
+                        "all rank threads; use repro.utils.rng streams",
+                    )
+        elif isinstance(node, ast.ImportFrom) and node.module == "random":
+            yield self._finding(
+                ctx, node,
+                "importing from stdlib 'random' bypasses the seed tree; "
+                "use repro.utils.rng streams",
+            )
+
+    def _check_call(self, ctx: FileContext, call: ast.Call):
+        func = call.func
+        if not isinstance(func, ast.Attribute):
+            return
+        # random.<fn>(...)
+        if isinstance(func.value, ast.Name) and func.value.id == "random":
+            yield self._finding(
+                ctx, call,
+                f"'random.{func.attr}' draws from the process-global "
+                "stdlib stream; use repro.utils.rng streams",
+            )
+            return
+        # <np>.random.<fn>(...) — any alias of the numpy module.
+        value = func.value
+        if not (isinstance(value, ast.Attribute) and value.attr == "random"):
+            return
+        if func.attr in _NUMPY_GLOBAL_STATE:
+            yield self._finding(
+                ctx, call,
+                f"'np.random.{func.attr}' uses numpy's hidden global "
+                "state; derive a Generator via repro.utils.rng",
+            )
+        elif func.attr in ("default_rng", "RandomState"):
+            if not call.args:
+                yield self._finding(
+                    ctx, call,
+                    f"'np.random.{func.attr}()' without a seed is "
+                    "nondeterministic and rank-divergent; derive the "
+                    "stream via repro.utils.rng",
+                )
+            elif isinstance(call.args[0], ast.Constant) and \
+                    isinstance(call.args[0].value, int):
+                yield self._finding(
+                    ctx, call,
+                    f"'np.random.{func.attr}({call.args[0].value})' "
+                    "hard-wires one fixed stream into every caller that "
+                    "hits this default; route it through repro.utils.rng "
+                    "(e.g. utils.rng.default_rng())",
+                )
+
+
+# --------------------------------------------------------------------------
+# SPMD004
+
+
+class MutateAfterSend(Rule):
+    """Variable mutated after being sent/contributed in the same scope.
+
+    With ``copy_on_send=False`` the payload travels by reference: until
+    every peer has completed the matching receive/collective, the sender
+    and receivers alias one buffer, and an in-place write on the sender
+    corrupts data mid-flight (the MPI buffer-ownership rule).  Send a
+    ``.copy()``, or delay the mutation past the synchronisation point.
+
+    The check is linear in source order within one function and does not
+    model loops or synchronisation calls — rebinding the name
+    (``buf = ...``) ends the tracked aliasing.
+    """
+
+    id = "SPMD004"
+    title = "mutation of a sent buffer"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for scope in _function_scopes(ctx.tree):
+            yield from self._check_scope(ctx, scope)
+
+    def _check_scope(self, ctx: FileContext, scope: ast.AST):
+        events: list[tuple[int, int, str, str, ast.AST]] = []
+        for node in _scope_nodes(scope):
+            if isinstance(node, ast.Call):
+                name = _call_method_name(node)
+                if name in _SENDING_METHODS:
+                    for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                        if isinstance(arg, ast.Name):
+                            events.append(
+                                (node.lineno, node.col_offset, "send",
+                                 arg.id, node)
+                            )
+                # <name>.mutator(...)
+                if name in _MUTATING_METHODS and \
+                        isinstance(node.func.value, ast.Name):
+                    events.append(
+                        (node.lineno, node.col_offset, "mutate",
+                         node.func.value.id, node)
+                    )
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Subscript) and \
+                            isinstance(target.value, ast.Name):
+                        events.append(
+                            (node.lineno, node.col_offset, "mutate",
+                             target.value.id, node)
+                        )
+                    elif isinstance(target, ast.Name):
+                        events.append(
+                            (node.lineno, node.col_offset, "rebind",
+                             target.id, node)
+                        )
+            elif isinstance(node, ast.AugAssign):
+                target = node.target
+                if isinstance(target, ast.Name):
+                    events.append(
+                        (node.lineno, node.col_offset, "mutate",
+                         target.id, node)
+                    )
+                elif isinstance(target, ast.Subscript) and \
+                        isinstance(target.value, ast.Name):
+                    events.append(
+                        (node.lineno, node.col_offset, "mutate",
+                         target.value.id, node)
+                    )
+        events.sort(key=lambda e: (e[0], e[1]))
+        in_flight: dict[str, int] = {}
+        for lineno, _col, kind, name, node in events:
+            if kind == "send":
+                in_flight[name] = lineno
+            elif kind == "rebind":
+                in_flight.pop(name, None)
+            elif kind == "mutate" and name in in_flight:
+                yield self._finding(
+                    ctx, node,
+                    f"'{name}' is mutated after being sent/contributed on "
+                    f"line {in_flight[name]}; under copy_on_send=False the "
+                    "peers still alias this buffer — send a .copy() or "
+                    "move the mutation past the synchronisation point",
+                )
+                del in_flight[name]  # one finding per send is enough
+
+
+# --------------------------------------------------------------------------
+# SPMD005
+
+
+class BareAssert(Rule):
+    """``assert`` in library code.
+
+    Asserts vanish under ``python -O``, so an invariant guarded only by
+    one silently stops being checked in optimised production runs —
+    turning a loud failure into the silent-accuracy-loss mode this stack
+    must avoid.  Raise ``ValueError``/``RuntimeError`` instead.  Test code
+    is exempt (pytest rewrites asserts and never runs under ``-O``).
+    """
+
+    id = "SPMD005"
+    title = "bare assert in library code"
+    severity = Severity.WARNING
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.is_test:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assert):
+                yield self._finding(
+                    ctx, node,
+                    "bare assert is stripped under 'python -O'; raise "
+                    "ValueError/RuntimeError so the invariant survives "
+                    "optimised runs",
+                )
+
+
+#: The rule set ``repro lint`` runs by default, in report order.
+DEFAULT_RULES: tuple[Rule, ...] = (
+    RankDependentCollective(),
+    LeakedRequest(),
+    RawRandomSource(),
+    MutateAfterSend(),
+    BareAssert(),
+)

@@ -17,6 +17,9 @@ Subcommands
 ``trace``
     Summarize a trace file produced by a ``--trace`` run: per-phase totals,
     per-rank byte counts, top spans and an ASCII Gantt timeline.
+``lint``
+    SPMD correctness lint (rules SPMD001-SPMD005) over python sources;
+    exits nonzero on findings.  ``--format json`` for machine consumption.
 
 Subcommands register in ``_HANDLERS`` (one handler function per command);
 ``main`` dispatches through that mapping.
@@ -109,6 +112,20 @@ def build_parser() -> argparse.ArgumentParser:
                          help="Gantt chart width in columns")
     p_trace.add_argument("--no-gantt", action="store_true",
                          help="skip the ASCII timeline")
+
+    p_lint = sub.add_parser(
+        "lint", help="SPMD correctness lint (AST rules SPMD001-SPMD005)"
+    )
+    p_lint.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    p_lint.add_argument("--format", choices=["text", "json"], default="text",
+                        help="report format")
+    p_lint.add_argument(
+        "--select", default=None, metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
 
     return parser
 
@@ -273,6 +290,31 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    import json
+
+    from repro.analysis import lint_paths
+
+    select = args.select.split(",") if args.select else None
+    try:
+        report = lint_paths(args.paths, select=select)
+    except ValueError as exc:  # unknown rule id in --select
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        for f in report.findings:
+            print(f.render())
+        suffix = f", {report.suppressed} suppressed" if report.suppressed else ""
+        print(
+            f"{len(report.findings)} finding(s) in "
+            f"{len(report.files)} file(s){suffix}",
+            file=sys.stderr,
+        )
+    return 1 if report.findings else 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code.
 
@@ -356,6 +398,7 @@ _HANDLERS = {
     "volumes": _cmd_volumes,
     "report": _cmd_report,
     "trace": _cmd_trace,
+    "lint": _cmd_lint,
 }
 
 

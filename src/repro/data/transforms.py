@@ -12,6 +12,8 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.utils.rng import default_rng
+
 __all__ = [
     "Compose",
     "Normalize",
@@ -65,7 +67,7 @@ class RandomHorizontalFlip:
         if not 0.0 <= p <= 1.0:
             raise ValueError(f"p must be in [0,1], got {p}")
         self.p = p
-        self.rng = rng or np.random.default_rng(0)
+        self.rng = rng if rng is not None else default_rng()
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
         if self.rng.random() < self.p:
@@ -79,7 +81,7 @@ class RandomCrop:
     def __init__(self, size: int, padding: int = 4, *, rng: np.random.Generator | None = None):
         self.size = size
         self.padding = padding
-        self.rng = rng or np.random.default_rng(0)
+        self.rng = rng if rng is not None else default_rng()
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
         if x.ndim != 3:
@@ -104,7 +106,7 @@ class GaussianNoise:
         if sigma < 0:
             raise ValueError(f"sigma must be >= 0, got {sigma}")
         self.sigma = sigma
-        self.rng = rng or np.random.default_rng(0)
+        self.rng = rng if rng is not None else default_rng()
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
         if self.sigma == 0:

@@ -19,7 +19,7 @@ Quick example::
 """
 
 from .communicator import ANY_SOURCE, ANY_TAG, Communicator
-from .errors import MPIAbort, MPIError, MPITimeout, RankFailed
+from .errors import MPIAbort, MPIError, MPITimeout, RankFailed, VerificationError
 from .launcher import SpmdResult, run_spmd
 from .message import Message, Status, payload_nbytes
 from .request import RecvRequest, Request, SendRequest, testall, waitall
@@ -33,6 +33,7 @@ __all__ = [
     "MPIError",
     "MPITimeout",
     "RankFailed",
+    "VerificationError",
     "SpmdResult",
     "run_spmd",
     "Message",

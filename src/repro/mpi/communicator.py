@@ -66,6 +66,10 @@ class Communicator:
             raise ValueError(f"world rank {rank} not in communicator group {self.group}")
         self._local_rank = self.group.index(rank)
         self._coll_gen = itertools.count()
+        # Non-blocking requests issued through this communicator, for
+        # pending_requests() introspection; pruned of completed entries as
+        # it grows so long runs don't accumulate handles.
+        self._issued_requests: list[Request] = []
 
     # ----------------------------------------------------------------- identity
     @property
@@ -111,10 +115,32 @@ class Communicator:
             raise ValueError(f"tag must be < {self.MAX_TAG}, got {tag}")
         return self.context_id * self.MAX_TAG + tag
 
+    # ---------------------------------------------------- request introspection
+    def _track_request(self, req: Request) -> Request:
+        if len(self._issued_requests) >= 64:
+            self._issued_requests = [
+                r for r in self._issued_requests if not r.completed
+            ]
+        self._issued_requests.append(req)
+        return req
+
+    def pending_requests(self) -> list[Request]:
+        """Non-blocking requests issued here and not yet completed.
+
+        A request counts as completed once ``wait()`` returned or a
+        ``test()``/``testall`` observed it done.  ``run_spmd`` consults
+        this as each rank returns: leftover pending requests mean a
+        message is stranded in a mailbox where a later wildcard receive
+        can steal it (warned about by default, fatal under
+        ``verify=True``).  Communicators created by ``split``/``dup``
+        track their own requests.
+        """
+        return [r for r in self._issued_requests if not r.completed]
+
     # ------------------------------------------------------------ point-to-point
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
         """Blocking (buffered) send."""
-        self.isend(obj, dest, tag)
+        self.isend(obj, dest, tag).wait()
 
     def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
         """Non-blocking send; completes immediately (buffered semantics)."""
@@ -125,8 +151,8 @@ class Communicator:
                 req = self._post_send(obj, dest, tag)
             tr.metrics.counter("comm.p2p.msgs_sent").inc()
             tr.metrics.counter("comm.p2p.bytes_sent").inc(nb)
-            return req
-        return self._post_send(obj, dest, tag)
+            return self._track_request(req)
+        return self._track_request(self._post_send(obj, dest, tag))
 
     def _post_send(self, obj: Any, dest: int, tag: int) -> Request:
         payload = copy_payload(obj) if self.world.copy_on_send else obj
@@ -166,13 +192,15 @@ class Communicator:
 
     def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> RecvRequest:
         """Non-blocking receive; complete it with ``.wait()`` / ``.test()``."""
-        return RecvRequest(
+        req = RecvRequest(
             self.world,
             self._world_rank,
             self._to_world(source),
             self._wire_tag(tag),
             tracer=self.tracer,
         )
+        self._track_request(req)
+        return req
 
     def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Status:
         """Blocking probe: wait until a matching message exists, return its status
@@ -305,7 +333,9 @@ class Communicator:
         # bcast-style rendezvous rather than a per-rank counter.
         ctx_slots = self._rendezvous("split-ctx", next(_context_counter))
         new_ctx = max(ctx_slots.values())
-        return Communicator(
+        # type(self) so subclasses (e.g. the verifying CheckedCommunicator)
+        # keep their behaviour on derived communicators.
+        return type(self)(
             self.world,
             self._world_rank,
             context_id=new_ctx * 131 + color,
@@ -317,7 +347,7 @@ class Communicator:
         """Duplicate the communicator with an isolated matching context."""
         ctx_slots = self._rendezvous("dup-ctx", next(_context_counter))
         new_ctx = max(ctx_slots.values())
-        return Communicator(
+        return type(self)(
             self.world,
             self._world_rank,
             context_id=new_ctx * 131 + 7,

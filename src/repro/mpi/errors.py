@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-__all__ = ["MPIError", "MPIAbort", "MPITimeout", "RankFailed"]
+__all__ = ["MPIError", "MPIAbort", "MPITimeout", "RankFailed", "VerificationError"]
 
 
 class MPIError(RuntimeError):
@@ -15,6 +15,16 @@ class MPIAbort(MPIError):
 
 class MPITimeout(MPIError):
     """A blocking operation exceeded the world's deadline."""
+
+
+class VerificationError(MPIError):
+    """An SPMD invariant was violated under ``run_spmd(verify=True)``.
+
+    Raised by :class:`~repro.analysis.runtime.CheckedCommunicator` when the
+    collective call sequence diverges across ranks or a shared-stream value
+    is not bit-identical, and by the launcher when a rank finishes with
+    non-blocking requests still pending.
+    """
 
 
 class RankFailed(MPIError):

@@ -12,12 +12,13 @@ raised in the caller.
 from __future__ import annotations
 
 import threading
+import warnings
 from typing import Any, Callable, Sequence
 
 from repro.obs.tracer import Tracer
 
 from .communicator import Communicator
-from .errors import MPIAbort, RankFailed
+from .errors import MPIAbort, RankFailed, VerificationError
 from .world import World
 
 __all__ = ["run_spmd", "SpmdResult"]
@@ -44,6 +45,7 @@ def run_spmd(
     thread_name_prefix: str = "rank",
     tracing: bool = False,
     tracers: Sequence[Tracer] | None = None,
+    verify: bool = False,
 ) -> SpmdResult:
     """Execute ``fn(comm, *args)`` on ``size`` simulated ranks.
 
@@ -66,6 +68,15 @@ def run_spmd(
         ranks share disabled tracers and the instrumentation is a no-op.
     tracers:
         Explicit per-rank tracers (length ``size``); overrides ``tracing``.
+    verify:
+        When True each rank gets a
+        :class:`~repro.analysis.runtime.CheckedCommunicator`: every
+        collective is cross-checked across ranks (op + payload signature)
+        before it runs, shared-stream values can be asserted bit-identical
+        (``comm.assert_identical``), and a rank returning with un-waited
+        non-blocking requests raises
+        :class:`~repro.mpi.errors.VerificationError` instead of the
+        default warning.  Costs one extra rendezvous per collective.
 
     Returns
     -------
@@ -84,14 +95,21 @@ def run_spmd(
         if tracers is not None
         else [Tracer(rank=r, enabled=tracing) for r in range(size)]
     )
+    if verify:
+        # Imported lazily: repro.analysis depends on repro.mpi, so a
+        # top-level import here would be circular.
+        from repro.analysis.runtime import CheckedCommunicator as comm_cls
+    else:
+        comm_cls = Communicator
     results: list[Any] = [None] * size
     failures: dict[int, BaseException] = {}
     failures_lock = threading.Lock()
 
     def runner(rank: int) -> None:
-        comm = Communicator(world, rank, tracer=rank_tracers[rank])
+        comm = comm_cls(world, rank, tracer=rank_tracers[rank])
         try:
             results[rank] = fn(comm, *args)
+            _check_pending(comm, rank, verify)
         except MPIAbort as exc:
             # Secondary failure caused by another rank's abort; record it
             # only if no primary failure exists for this rank.
@@ -117,3 +135,28 @@ def run_spmd(
         } or failures
         raise RankFailed(primary)
     return SpmdResult(results, world, rank_tracers)
+
+
+def _check_pending(comm: Communicator, rank: int, verify: bool) -> None:
+    """Flag non-blocking requests a rank left un-waited at exit.
+
+    A pending request means a message sits stranded in a mailbox where a
+    later wildcard receive could steal it — the SPMD002 lint hazard,
+    checked dynamically.  Warns by default; fatal under ``verify=True``.
+    """
+    pending = comm.pending_requests()
+    if not pending:
+        return
+    detail = ", ".join(
+        f"{type(r).__name__}(source={getattr(r, 'source', '?')}, "
+        f"tag={getattr(r, 'tag', '?')})"
+        for r in pending[:4]
+    )
+    message = (
+        f"rank {rank} finished with {len(pending)} pending non-blocking "
+        f"request(s) [{detail}{', ...' if len(pending) > 4 else ''}]; "
+        "complete every isend/irecv with wait()/waitall"
+    )
+    if verify:
+        raise VerificationError(message)
+    warnings.warn(message, RuntimeWarning, stacklevel=2)

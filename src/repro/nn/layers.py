@@ -5,6 +5,8 @@ from __future__ import annotations
 import numpy as np
 
 from . import functional as F
+from repro.utils.rng import default_rng
+
 from .init import kaiming_uniform
 from .module import Module, Parameter
 from .tensor import Tensor
@@ -37,7 +39,7 @@ class Linear(Module):
         rng: np.random.Generator | None = None,
     ):
         super().__init__()
-        rng = rng or np.random.default_rng(0)
+        rng = rng if rng is not None else default_rng()
         self.in_features = in_features
         self.out_features = out_features
         self.weight = Parameter(kaiming_uniform((out_features, in_features), rng=rng))
@@ -66,7 +68,7 @@ class Conv2d(Module):
         rng: np.random.Generator | None = None,
     ):
         super().__init__()
-        rng = rng or np.random.default_rng(0)
+        rng = rng if rng is not None else default_rng()
         self.stride = stride
         self.padding = padding
         self.weight = Parameter(
@@ -154,7 +156,7 @@ class Dropout(Module):
         if not 0.0 <= p < 1.0:
             raise ValueError(f"dropout p must be in [0,1), got {p}")
         self.p = p
-        self.rng = rng or np.random.default_rng(0)
+        self.rng = rng if rng is not None else default_rng()
 
     def forward(self, x: Tensor) -> Tensor:
         """Apply this module to the input."""

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.utils.rng import default_rng
+
 from .layers import (
     Conv2d,
     Flatten,
@@ -71,7 +73,7 @@ class MLPClassifier(Module):
         super().__init__()
         if depth < 1:
             raise ValueError(f"depth must be >= 1, got {depth}")
-        rng = rng or np.random.default_rng(0)
+        rng = rng if rng is not None else default_rng()
         layers: list[Module] = []
         width_in = in_features
         for _ in range(depth):
@@ -103,7 +105,7 @@ class ConvNet(Module):
         super().__init__()
         if depth < 1:
             raise ValueError(f"depth must be >= 1, got {depth}")
-        rng = rng or np.random.default_rng(0)
+        rng = rng if rng is not None else default_rng()
         layers: list[Module] = []
         c_in = in_channels
         for d in range(depth):
@@ -133,7 +135,7 @@ class BasicBlock(Module):
         rng: np.random.Generator | None = None,
     ):
         super().__init__()
-        rng = rng or np.random.default_rng(0)
+        rng = rng if rng is not None else default_rng()
         self.conv1 = Conv2d(channels, channels, 3, padding=1, bias=False, rng=rng)
         self.norm1 = _norm2d(norm, channels)
         self.conv2 = Conv2d(channels, channels, 3, padding=1, bias=False, rng=rng)
@@ -160,7 +162,7 @@ class TinyResNet(Module):
         rng: np.random.Generator | None = None,
     ):
         super().__init__()
-        rng = rng or np.random.default_rng(0)
+        rng = rng if rng is not None else default_rng()
         self.stem = Sequential(
             Conv2d(in_channels, width, 3, padding=1, bias=False, rng=rng),
             _norm2d(norm, width),

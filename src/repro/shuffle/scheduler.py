@@ -156,6 +156,16 @@ class Scheduler:
                 rounds=n_messages,
                 allow_self=self.allow_self,
             )
+            # Under run_spmd(verify=True) the communicator can prove the
+            # Algorithm-1 precondition: every rank derived bit-identical
+            # destination permutations from the shared seed.  scheduling()
+            # is already collective (the allreduce above), so this extra
+            # collective is safe.
+            check_identical = getattr(self.comm, "assert_identical", None)
+            if check_identical is not None:
+                check_identical(
+                    self.plan.destinations, label=f"exchange-plan/epoch{epoch}"
+                )
             sp.set(samples=k, rounds=n_messages)
         self._next_round = 0
         self._send_reqs = []

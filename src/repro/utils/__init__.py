@@ -1,7 +1,7 @@
 """Shared utilities: size units, RNG trees, ASCII tables, phase timers."""
 
 from .ascii_plot import ascii_chart, sparkline
-from .rng import SeedTree, rank_rng, shared_rng
+from .rng import SeedTree, default_rng, rank_rng, seed_default_rng, shared_rng
 from .tables import print_table, render_table
 from .timing import PhaseTimer, Stopwatch
 from .units import GB, GIB, KB, KIB, MB, MIB, PB, PIB, TB, TIB, format_size, parse_size
@@ -10,6 +10,8 @@ __all__ = [
     "ascii_chart",
     "sparkline",
     "SeedTree",
+    "default_rng",
+    "seed_default_rng",
     "rank_rng",
     "shared_rng",
     "print_table",

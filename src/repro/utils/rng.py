@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["SeedTree", "rank_rng", "shared_rng"]
+__all__ = ["SeedTree", "rank_rng", "shared_rng", "default_rng", "seed_default_rng"]
 
 
 class SeedTree:
@@ -69,3 +69,39 @@ def shared_rng(seed: int, name: str = "shared", epoch: int = 0) -> np.random.Gen
 def rank_rng(seed: int, rank: int, name: str = "local", epoch: int = 0) -> np.random.Generator:
     """Convenience: one-off per-rank stream without building a tree."""
     return SeedTree(seed).per_rank(name, rank, epoch)
+
+
+# ---------------------------------------------------------------- default rng
+#: Root seed of the process-wide default stream.  Arbitrary but fixed, so a
+#: run that never passes explicit generators is still reproducible.
+DEFAULT_ROOT_SEED = 0x0DEF
+
+_default_generator: np.random.Generator | None = None
+
+
+def default_rng() -> np.random.Generator:
+    """The process-wide seeded stream for components built without an
+    explicit ``rng``.
+
+    Unlike the old ``np.random.default_rng(0)`` fallbacks scattered through
+    the layers (which handed every caller the *same* fresh stream, so two
+    independently constructed models silently shared their initialization
+    draws), this returns one shared generator that advances with use:
+    deterministic per process, distinct across consumers.  Anything that
+    must be replicated across SPMD ranks should pass an explicit
+    :class:`SeedTree` stream instead — this default is rank-agnostic.
+    """
+    global _default_generator
+    if _default_generator is None:
+        _default_generator = SeedTree(DEFAULT_ROOT_SEED).generator("default")
+    return _default_generator
+
+
+def seed_default_rng(seed: int = DEFAULT_ROOT_SEED) -> np.random.Generator:
+    """Reset the shared default stream (tests / reproducible scripts).
+
+    Returns the fresh generator so callers can also use it directly.
+    """
+    global _default_generator
+    _default_generator = SeedTree(int(seed)).generator("default")
+    return _default_generator

@@ -1,0 +1,362 @@
+"""One fixture per lint rule: a positive (triggers), a negative (clean),
+and a ``# repro: noqa`` suppression case."""
+
+import textwrap
+
+from repro.analysis import lint_source
+
+
+def _lint(src: str, path: str = "src/repro/pkg/mod.py", **kw):
+    findings, suppressed = lint_source(textwrap.dedent(src), path=path, **kw)
+    return findings, suppressed
+
+
+def rule_ids(src: str, path: str = "src/repro/pkg/mod.py", **kw):
+    findings, _ = _lint(src, path, **kw)
+    return [f.rule_id for f in findings]
+
+
+class TestRankDependentCollective:
+    def test_collective_under_rank_if_flagged(self):
+        src = """
+        def f(comm):
+            if comm.rank == 0:
+                comm.barrier()
+        """
+        findings, _ = _lint(src)
+        assert [f.rule_id for f in findings] == ["SPMD001"]
+        assert "barrier" in findings[0].message
+        assert findings[0].line == 4
+
+    def test_collective_in_else_branch_flagged(self):
+        src = """
+        def f(comm):
+            if comm.rank == 0:
+                x = 1
+            else:
+                x = comm.allreduce(1)
+        """
+        assert rule_ids(src) == ["SPMD001"]
+
+    def test_collective_in_rank_while_and_for_flagged(self):
+        src = """
+        def f(comm, rank):
+            while rank > 0:
+                comm.bcast(None)
+            for _ in range(comm.rank):
+                comm.gather(1)
+        """
+        assert rule_ids(src) == ["SPMD001", "SPMD001"]
+
+    def test_collective_helper_flagged(self):
+        src = """
+        def f(model, comm):
+            if comm.rank == 0:
+                allreduce_gradients(model, comm)
+        """
+        assert rule_ids(src) == ["SPMD001"]
+
+    def test_rank_dependent_argument_is_fine(self):
+        # The canonical safe pattern: the *argument* is rank-dependent,
+        # the call itself runs on every rank.
+        src = """
+        def f(comm, state):
+            state = comm.bcast(state if comm.rank == 0 else None)
+            if comm.rank == 0:
+                print(state)
+            return state
+        """
+        assert rule_ids(src) == []
+
+    def test_rank_dependent_p2p_is_fine(self):
+        # Point-to-point under rank branches is the normal SPMD idiom.
+        src = """
+        def f(comm):
+            if comm.rank == 0:
+                comm.send(1, dest=1)
+            else:
+                return comm.recv(source=0)
+        """
+        assert rule_ids(src) == []
+
+    def test_noqa_suppresses(self):
+        src = """
+        def f(comm):
+            if comm.rank == 0:
+                comm.barrier()  # repro: noqa[SPMD001]
+        """
+        findings, suppressed = _lint(src)
+        assert findings == []
+        assert suppressed == 1
+
+
+class TestLeakedRequest:
+    def test_discarded_isend_flagged(self):
+        src = """
+        def f(comm):
+            comm.isend(1, dest=0)
+        """
+        findings, _ = _lint(src)
+        assert [f.rule_id for f in findings] == ["SPMD002"]
+        assert "discarded" in findings[0].message
+
+    def test_never_used_irecv_flagged(self):
+        src = """
+        def f(comm):
+            req = comm.irecv(source=0)
+            return 42
+        """
+        findings, _ = _lint(src)
+        assert [f.rule_id for f in findings] == ["SPMD002"]
+        assert "'req'" in findings[0].message
+
+    def test_waited_request_is_fine(self):
+        src = """
+        def f(comm):
+            req = comm.irecv(source=0)
+            return req.wait()
+        """
+        assert rule_ids(src) == []
+
+    def test_request_in_list_is_fine(self):
+        src = """
+        def f(comm, reqs):
+            reqs.append(comm.isend(1, dest=0))
+            r = comm.irecv()
+            reqs.append(r)
+            return waitall(reqs)
+        """
+        assert rule_ids(src) == []
+
+    def test_returned_request_is_fine(self):
+        src = """
+        def f(comm):
+            return comm.irecv(source=1)
+        """
+        assert rule_ids(src) == []
+
+    def test_noqa_suppresses(self):
+        src = """
+        def f(comm):
+            comm.isend(1, dest=0)  # repro: noqa[SPMD002]
+        """
+        findings, suppressed = _lint(src)
+        assert findings == []
+        assert suppressed == 1
+
+
+class TestRawRandomSource:
+    def test_stdlib_random_flagged(self):
+        src = """
+        import random
+
+        def f():
+            return random.random()
+        """
+        ids = rule_ids(src)
+        assert ids == ["SPMD003", "SPMD003"]  # the import and the call
+
+    def test_literal_default_rng_flagged(self):
+        src = """
+        import numpy as np
+
+        def f(rng=None):
+            rng = rng or np.random.default_rng(0)
+            return rng
+        """
+        findings, _ = _lint(src)
+        assert [f.rule_id for f in findings] == ["SPMD003"]
+        assert "fixed stream" in findings[0].message
+
+    def test_seedless_default_rng_flagged(self):
+        src = """
+        import numpy as np
+
+        def f():
+            return np.random.default_rng()
+        """
+        findings, _ = _lint(src)
+        assert [f.rule_id for f in findings] == ["SPMD003"]
+        assert "nondeterministic" in findings[0].message
+
+    def test_numpy_global_state_flagged(self):
+        src = """
+        import numpy as np
+
+        def f():
+            np.random.seed(3)
+            return np.random.rand(4)
+        """
+        assert rule_ids(src) == ["SPMD003", "SPMD003"]
+
+    def test_derived_seed_is_fine(self):
+        # SeedSequence-derived and variable-seeded generators are the
+        # sanctioned pattern outside utils/rng.py.
+        src = """
+        import numpy as np
+
+        def f(seed):
+            a = np.random.default_rng(np.random.SeedSequence([seed, 7]))
+            b = np.random.default_rng(seed)
+            return a, b
+        """
+        assert rule_ids(src) == []
+
+    def test_rng_module_exempt(self):
+        src = """
+        import numpy as np
+
+        def default():
+            return np.random.default_rng(0)
+        """
+        assert rule_ids(src, path="src/repro/utils/rng.py") == []
+
+    def test_test_code_exempt(self):
+        src = """
+        import random
+
+        def test_thing():
+            return random.random()
+        """
+        assert rule_ids(src, path="tests/test_thing.py") == []
+
+    def test_noqa_suppresses(self):
+        src = """
+        import numpy as np
+
+        def f():
+            return np.random.default_rng(0)  # repro: noqa[SPMD003]
+        """
+        findings, suppressed = _lint(src)
+        assert findings == []
+        assert suppressed == 1
+
+
+class TestMutateAfterSend:
+    def test_subscript_write_after_isend_flagged(self):
+        src = """
+        def f(comm, buf):
+            comm.isend(buf, dest=1).wait()
+            buf[0] = 99
+        """
+        findings, _ = _lint(src)
+        assert [f.rule_id for f in findings] == ["SPMD004"]
+        assert "'buf'" in findings[0].message
+
+    def test_augassign_after_contribute_flagged(self):
+        src = """
+        def f(comm, grad):
+            total = comm.allreduce(grad)
+            grad += 1
+            return total
+        """
+        assert rule_ids(src) == ["SPMD004"]
+
+    def test_mutating_method_after_send_flagged(self):
+        src = """
+        def f(comm, items):
+            comm.send(items, dest=0)
+            items.append(1)
+        """
+        assert rule_ids(src) == ["SPMD004"]
+
+    def test_copy_send_is_fine(self):
+        src = """
+        def f(comm, buf):
+            comm.isend(buf.copy(), dest=1).wait()
+            buf[0] = 99
+        """
+        assert rule_ids(src) == []
+
+    def test_rebind_ends_tracking(self):
+        src = """
+        def f(comm, buf):
+            comm.send(buf, dest=1)
+            buf = make_new_buffer()
+            buf[0] = 99
+        """
+        assert rule_ids(src) == []
+
+    def test_mutation_before_send_is_fine(self):
+        src = """
+        def f(comm, buf):
+            buf[0] = 99
+            comm.send(buf, dest=1)
+        """
+        assert rule_ids(src) == []
+
+    def test_noqa_suppresses(self):
+        src = """
+        def f(comm, buf):
+            comm.send(buf, dest=1)
+            buf[0] = 99  # repro: noqa[SPMD004]
+        """
+        findings, suppressed = _lint(src)
+        assert findings == []
+        assert suppressed == 1
+
+
+class TestBareAssert:
+    def test_assert_in_library_flagged(self):
+        src = """
+        def f(x):
+            assert x > 0, "x must be positive"
+            return x
+        """
+        findings, _ = _lint(src)
+        assert [f.rule_id for f in findings] == ["SPMD005"]
+        assert findings[0].severity.value == "warning"
+
+    def test_raise_is_fine(self):
+        src = """
+        def f(x):
+            if x <= 0:
+                raise ValueError("x must be positive")
+            return x
+        """
+        assert rule_ids(src) == []
+
+    def test_test_code_exempt(self):
+        src = """
+        def test_f():
+            assert 1 + 1 == 2
+        """
+        assert rule_ids(src, path="tests/nn/test_math.py") == []
+
+    def test_noqa_suppresses(self):
+        src = """
+        def f(x):
+            assert x  # repro: noqa[SPMD005]
+        """
+        findings, suppressed = _lint(src)
+        assert findings == []
+        assert suppressed == 1
+
+
+class TestNoqaForms:
+    def test_bare_noqa_suppresses_everything_on_line(self):
+        src = """
+        def f(comm):
+            comm.isend(1, dest=0)  # repro: noqa
+        """
+        findings, suppressed = _lint(src)
+        assert findings == []
+        assert suppressed == 1
+
+    def test_multi_rule_noqa(self):
+        src = """
+        def f(comm, buf):
+            comm.send(buf, dest=1)
+            buf[0] = comm.isend(2, dest=0)  # repro: noqa[SPMD002, SPMD004]
+        """
+        findings, suppressed = _lint(src)
+        assert findings == []
+
+    def test_noqa_for_other_rule_does_not_suppress(self):
+        src = """
+        def f(comm):
+            comm.isend(1, dest=0)  # repro: noqa[SPMD001]
+        """
+        findings, suppressed = _lint(src)
+        assert [f.rule_id for f in findings] == ["SPMD002"]
+        assert suppressed == 0

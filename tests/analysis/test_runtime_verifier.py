@@ -1,0 +1,189 @@
+"""Runtime verification: CheckedCommunicator divergence detection,
+shared-value bit-identity, and pending-request checks at rank exit."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import CheckedCommunicator, VerificationError, fingerprint, payload_signature
+from repro.mpi import RankFailed, run_spmd
+from repro.shuffle import Scheduler, StorageArea
+
+
+def _verification_failures(excinfo):
+    return [e for e in excinfo.value.failures.values() if isinstance(e, VerificationError)]
+
+
+class TestSignatures:
+    def test_payload_signature_ndarray(self):
+        sig = payload_signature(np.zeros((3, 4), dtype=np.float32))
+        assert sig == ("ndarray", (3, 4), "float32")
+
+    def test_payload_signature_containers(self):
+        assert payload_signature(None) == ("none",)
+        assert payload_signature([1, 2, 3])[0] == "list"
+        assert payload_signature({"a": 1})[0] == "dict"
+
+    def test_fingerprint_bit_sensitivity(self):
+        a = np.arange(8, dtype=np.float64)
+        b = a.copy()
+        assert fingerprint(a) == fingerprint(b)
+        b[3] += 1e-12
+        assert fingerprint(a) != fingerprint(b)
+        assert fingerprint(a) != fingerprint(a.astype(np.float32))
+
+
+class TestCheckedCollectives:
+    def test_matching_sequence_passes(self):
+        def main(comm):
+            comm.barrier()
+            total = comm.allreduce(np.full(4, comm.rank, dtype=np.float64))
+            got = comm.bcast(np.arange(3) if comm.rank == 0 else None)
+            return float(total.sum()) + float(got.sum())
+
+        out = run_spmd(main, 4, verify=True)
+        assert len(list(out)) == 4
+
+    def test_op_divergence_raises_instead_of_deadlocking(self):
+        def main(comm):
+            if comm.rank == 2:
+                comm.allreduce(1.0)
+            else:
+                comm.barrier()
+            return None
+
+        with pytest.raises(RankFailed) as ei:
+            run_spmd(main, 4, verify=True, deadline_s=30)
+        errs = _verification_failures(ei)
+        assert errs, ei.value
+        msg = str(errs[0])
+        assert "rank 2" in msg and "allreduce" in msg and "barrier" in msg
+
+    def test_shape_divergence_in_allreduce(self):
+        def main(comm):
+            shape = (4,) if comm.rank != 1 else (5,)
+            return comm.allreduce(np.zeros(shape))
+
+        with pytest.raises(RankFailed) as ei:
+            run_spmd(main, 3, verify=True, deadline_s=30)
+        errs = _verification_failures(ei)
+        assert errs
+        assert "allreduce" in str(errs[0])
+
+    def test_rooted_op_with_asymmetric_payload_is_fine(self):
+        # bcast legitimately has a payload only on the root.
+        def main(comm):
+            return comm.bcast({"k": 1} if comm.rank == 0 else None)
+
+        out = run_spmd(main, 3, verify=True)
+        assert all(r == {"k": 1} for r in out)
+
+    def test_split_preserves_checking(self):
+        def main(comm):
+            sub = comm.split(color=comm.rank % 2, key=comm.rank)
+            assert isinstance(sub, CheckedCommunicator)
+            if comm.rank == 0:
+                sub.barrier()
+            else:
+                sub.allreduce(1.0)
+            return None
+
+        with pytest.raises(RankFailed) as ei:
+            run_spmd(main, 4, verify=True, deadline_s=30)
+        assert _verification_failures(ei)
+
+
+class TestAssertIdentical:
+    def test_identical_values_pass(self):
+        def main(comm):
+            perm = np.random.default_rng(7).permutation(16)
+            comm.assert_identical(perm, label="perm")
+            return True
+
+        assert all(run_spmd(main, 3, verify=True))
+
+    def test_diverging_value_names_rank(self):
+        def main(comm):
+            seed = 7 if comm.rank != 1 else 8
+            perm = np.random.default_rng(seed).permutation(16)
+            comm.assert_identical(perm, label="perm")
+            return True
+
+        with pytest.raises(RankFailed) as ei:
+            run_spmd(main, 3, verify=True, deadline_s=30)
+        errs = _verification_failures(ei)
+        assert errs
+        assert "perm" in str(errs[0]) and "[1]" in str(errs[0])
+
+
+class TestPendingRequests:
+    def test_pending_requests_listed(self):
+        def main(comm):
+            if comm.rank == 0:
+                req = comm.irecv(source=1)
+                pending = [type(r).__name__ for r in comm.pending_requests()]
+                comm.send(None, dest=1)  # let rank 1 proceed
+                req.wait()
+                assert not comm.pending_requests()
+                return pending
+            comm.recv(source=0)
+            comm.send(123, dest=0)
+            return []
+
+        out = run_spmd(main, 2)
+        assert out[0] == ["RecvRequest"]
+
+    def test_unwaited_request_warns_without_verify(self):
+        def main(comm):
+            if comm.rank == 1:
+                comm.irecv(source=0, tag=99)  # repro: noqa[SPMD002]
+            return None
+
+        with pytest.warns(RuntimeWarning, match="pending non-blocking"):
+            run_spmd(main, 2)
+
+    def test_unwaited_request_raises_under_verify(self):
+        def main(comm):
+            if comm.rank == 1:
+                comm.irecv(source=0, tag=99)  # repro: noqa[SPMD002]
+            return None
+
+        with pytest.raises(RankFailed) as ei:
+            run_spmd(main, 2, verify=True, deadline_s=30)
+        errs = _verification_failures(ei)
+        assert errs
+        assert "pending" in str(errs[0])
+
+
+class TestSchedulerIntegration:
+    def test_exchange_plan_verified_identical(self):
+        def main(comm):
+            storage = StorageArea()
+            for i in range(8):
+                storage.add(np.full(4, comm.rank * 100 + i, dtype=np.float32), label=comm.rank)
+            sched = Scheduler(storage, comm, fraction=0.5, batch_size=4, seed=11)
+            for epoch in range(2):
+                sched.run_exchange(epoch)
+            return len(storage)
+
+        out = run_spmd(main, 4, verify=True, deadline_s=120)
+        assert list(out) == [8, 8, 8, 8]
+
+    def test_diverging_seed_caught_by_plan_check(self):
+        """The Algorithm-1 precondition: every rank must derive the exchange
+        permutation from the same seed.  A rank with a different seed is
+        named instead of the run deadlocking or silently corrupting data."""
+
+        def main(comm):
+            storage = StorageArea()
+            for i in range(8):
+                storage.add(np.full(4, float(i), dtype=np.float32), label=comm.rank)
+            seed = 11 if comm.rank != 2 else 12
+            sched = Scheduler(storage, comm, fraction=0.5, batch_size=4, seed=seed)
+            sched.run_exchange(0)
+            return None
+
+        with pytest.raises(RankFailed) as ei:
+            run_spmd(main, 4, verify=True, deadline_s=60)
+        errs = _verification_failures(ei)
+        assert errs
+        assert "exchange-plan" in str(errs[0])
