@@ -5,10 +5,17 @@ replicate.  Three fully independent replications (fresh dataset draw +
 fresh training seed) of the skewed-shard comparison: the claimed strategy
 separations must be consistent across every seed and large relative to
 seed noise.
+
+The second scenario stresses a different kind of robustness: a rank is
+killed mid-run and elastic shard recovery must finish the run with zero
+sample loss and accuracy within noise of the uninterrupted run, at a
+measurable time-to-recover.
 """
 
 from repro.data import SyntheticSpec
+from repro.elastic import run_elastic
 from repro.train import TrainConfig, run_multi_seed
+from repro.train.experiments import make_experiment_data
 from repro.utils import render_table
 
 from _common import emit, once
@@ -59,3 +66,59 @@ def test_conclusions_robust_across_seeds(benchmark):
     assert report.is_robust("partial-0.3", "local", min_separation=3.0)
     # partial-0.3 vs global is NOT expected to separate (that's the claim!).
     assert report.separation("partial-0.3", "global") < 3.0
+
+
+# ------------------------------------------------------------ failure recovery
+RECOVERY_SPEC = SyntheticSpec(
+    n_samples=512, n_classes=4, n_features=32, seed=0,
+)
+RECOVERY_WORKERS = 4
+KILL = "1@2:mid_exchange"  # kill rank 1 halfway through epoch 2
+
+
+def run_recovery():
+    train_ds, labels, val_X, val_y = make_experiment_data(RECOVERY_SPEC)
+    config = TrainConfig(
+        model="mlp", in_shape=(RECOVERY_SPEC.n_features,),
+        num_classes=RECOVERY_SPEC.n_classes, epochs=6, batch_size=8,
+        base_lr=0.05, partition="class_sorted", seed=0,
+    )
+    kwargs = dict(
+        config=config, workers=RECOVERY_WORKERS, q=0.3,
+        train_dataset=train_ds, labels=labels, val_X=val_X, val_y=val_y,
+    )
+    failed = run_elastic(failures=KILL, **kwargs)
+    clean = run_elastic(failures="", **kwargs)
+    return failed, clean
+
+
+def test_recovery_time_and_accuracy(benchmark):
+    failed, clean = once(benchmark, run_recovery)
+    rec = failed.recoveries[0]
+    rows = [
+        ["clean", f"{RECOVERY_WORKERS}", "-", "-", "-", "-",
+         f"{clean.final_accuracy:.3f}"],
+        ["1 rank killed", f"{RECOVERY_WORKERS}->{RECOVERY_WORKERS - 1}",
+         f"{rec['lost_gids']}", f"{rec['from_replica']}",
+         f"{rec['from_source']}",
+         f"{(rec['detection_latency_s'] + rec['wall_s']) * 1e3:.1f}",
+         f"{failed.final_accuracy:.3f}"],
+    ]
+    table = render_table(
+        ["scenario", "workers", "lost", "replica", "pfs", "recover ms", "top-1"],
+        rows,
+        title=(
+            f"Elastic recovery — kill rank 1 mid-epoch-2 of 6 "
+            f"(Q=0.3, {RECOVERY_SPEC.n_samples} samples)"
+        ),
+    )
+    delta = failed.final_accuracy - clean.final_accuracy
+    table += f"\naccuracy delta vs clean run: {delta:+.3f}"
+    emit("robustness_recovery", table)
+
+    # Zero sample loss: every lost sample was re-homed somewhere.
+    assert rec["lost_gids"] > 0
+    assert rec["from_replica"] + rec["from_source"] == rec["lost_gids"]
+    # The interrupted run completes all epochs within noise of the clean one.
+    assert len(failed.history.records) == 6
+    assert abs(delta) <= 0.1

@@ -43,7 +43,7 @@ __all__ = [
 #: reach them in the same order or the rendezvous deadlocks.
 COLLECTIVE_METHODS = frozenset({
     "barrier", "bcast", "broadcast", "allreduce", "reduce", "alltoall",
-    "allgather", "gather", "scatter", "split", "dup",
+    "allgather", "gather", "scatter", "split", "dup", "shrink",
 })
 
 #: Free functions in this repo that wrap collectives and inherit the same

@@ -94,7 +94,7 @@ class CheckedCommunicator(Communicator):
         gen = next(self._verify_gen)
         sig = (op, payload_signature(contribution))
         key = ("spmd-verify", self.context_id, gen, self.size)
-        slots = self.world.rendezvous(key, self._local_rank, sig)
+        slots = self.world.rendezvous(key, self._local_rank, sig, group=self.group)
         self._check_signatures(gen, sig, slots)
         return super()._rendezvous(op, contribution)
 

@@ -17,6 +17,11 @@ Subcommands
 ``trace``
     Summarize a trace file produced by a ``--trace`` run: per-phase totals,
     per-rank byte counts, top spans and an ASCII Gantt timeline.
+``elastic-train``
+    PLS training with injected rank failures and shard recovery: kill
+    ranks mid-run per ``--kill rank@epoch[:point]``, recover from replicas
+    and the source dataset, and optionally compare the final accuracy to an
+    uninterrupted run (``--compare-clean``).
 ``lint``
     SPMD correctness lint (rules SPMD001-SPMD005) over python sources;
     exits nonzero on findings.  ``--format json`` for machine consumption.
@@ -112,6 +117,39 @@ def build_parser() -> argparse.ArgumentParser:
                          help="Gantt chart width in columns")
     p_trace.add_argument("--no-gantt", action="store_true",
                          help="skip the ASCII timeline")
+
+    p_el = sub.add_parser(
+        "elastic-train",
+        help="PLS training with injected rank failures and shard recovery",
+    )
+    p_el.add_argument("--samples", type=int, default=512)
+    p_el.add_argument("--classes", type=int, default=4)
+    p_el.add_argument("--features", type=int, default=32)
+    p_el.add_argument("--workers", type=int, default=4)
+    p_el.add_argument("--epochs", type=int, default=6)
+    p_el.add_argument("--batch-size", type=int, default=8)
+    p_el.add_argument("--lr", type=float, default=0.05)
+    p_el.add_argument("--q", type=float, default=0.3, help="exchange fraction Q")
+    p_el.add_argument(
+        "--partition",
+        choices=["random", "contiguous", "strided", "class_sorted", "dirichlet"],
+        default="class_sorted",
+    )
+    p_el.add_argument("--seed", type=int, default=0)
+    p_el.add_argument(
+        "--kill", default="", metavar="SPEC",
+        help="failure schedule: rank@epoch[:point][,...] with point one of "
+        "begin/mid_exchange/end (e.g. '1@2:mid_exchange')",
+    )
+    p_el.add_argument(
+        "--compare-clean", action="store_true",
+        help="also run uninterrupted with the same seed and report the "
+        "accuracy delta; exits 1 if it exceeds --tolerance",
+    )
+    p_el.add_argument(
+        "--tolerance", type=float, default=0.05,
+        help="max |acc(elastic) - acc(clean)| allowed with --compare-clean",
+    )
 
     p_lint = sub.add_parser(
         "lint", help="SPMD correctness lint (AST rules SPMD001-SPMD005)"
@@ -290,6 +328,66 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_elastic_train(args) -> int:
+    from repro.data import SyntheticSpec
+    from repro.elastic import run_elastic
+    from repro.train import TrainConfig
+    from repro.train.experiments import make_experiment_data
+
+    spec = SyntheticSpec(
+        n_samples=args.samples, n_classes=args.classes,
+        n_features=args.features, seed=args.seed,
+    )
+    config = TrainConfig(
+        model="mlp", in_shape=(args.features,), num_classes=args.classes,
+        epochs=args.epochs, batch_size=args.batch_size, base_lr=args.lr,
+        partition=args.partition, seed=args.seed,
+    )
+    train_ds, labels, val_X, val_y = make_experiment_data(spec)
+    result = run_elastic(
+        config=config, workers=args.workers, q=args.q, failures=args.kill,
+        train_dataset=train_ds, labels=labels, val_X=val_X, val_y=val_y,
+    )
+    rows = [
+        [
+            f"rank {r['dead_ranks']}", f"epoch {r['epoch']}",
+            r["lost_gids"], r["from_replica"], r["from_source"],
+            format_size(r["bytes_transferred"]),
+            f"{1e3 * (r['detection_latency_s'] + r['wall_s']):.1f} ms",
+        ]
+        for r in result.recoveries
+    ]
+    if rows:
+        print_table(
+            ["died", "at", "lost", "replica", "source", "moved", "recovery"],
+            rows,
+            title=f"failures injected: {args.kill}",
+        )
+    else:
+        print("no failures injected")
+    print(
+        f"elastic run: {args.workers} -> "
+        f"{result.history.stats.get('final_workers', args.workers)} workers, "
+        f"final top-1 {result.final_accuracy:.3f}"
+    )
+    if not args.compare_clean:
+        return 0
+
+    clean = run_elastic(
+        config=config, workers=args.workers, q=args.q, failures="",
+        train_dataset=train_ds, labels=labels, val_X=val_X, val_y=val_y,
+    )
+    delta = abs(result.final_accuracy - clean.final_accuracy)
+    print(
+        f"clean run final top-1 {clean.final_accuracy:.3f} "
+        f"(|delta| = {delta:.3f}, tolerance {args.tolerance:.3f})"
+    )
+    if delta > args.tolerance:
+        print("accuracy after failure outside tolerance", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_lint(args) -> int:
     import json
 
@@ -398,6 +496,7 @@ _HANDLERS = {
     "volumes": _cmd_volumes,
     "report": _cmd_report,
     "trace": _cmd_trace,
+    "elastic-train": _cmd_elastic_train,
     "lint": _cmd_lint,
 }
 

@@ -1,0 +1,35 @@
+"""Elastic training: failure detection, shard recovery, and rank-loss
+tolerant PLS training.
+
+The paper's exchange machinery assumes a fixed set of ``M`` workers; this
+package removes that assumption.  The MPI layer's epitaph channel
+(:meth:`repro.mpi.World.mark_dead`, :class:`repro.mpi.PeerFailure`,
+:meth:`repro.mpi.Communicator.shrink`) detects dead ranks; the
+:class:`ReplicaLedger` tracks which rank holds every sample across
+exchanges; :class:`ShardRecovery` re-homes a dead rank's samples onto the
+survivors (cold exchange replicas first, source-dataset re-read as the PFS
+fallback) under the re-based ``(1+Q)·N/(M-1)`` storage bound; and
+:func:`elastic_train_worker` ties it together: snapshot at each epoch
+boundary, catch the failure, shrink, recover, redo the epoch over ``M-1``
+workers — with zero sample loss.
+
+Failure schedules for tests/benchmarks come from :class:`FailurePlan`
+(``"1@2:mid_exchange"`` kills rank 1 midway through epoch 2).
+"""
+
+from .failure import FailureEvent, FailurePlan
+from .ledger import ReplicaLedger, reconstruct_ledger
+from .recovery import RecoveryReport, ShardRecovery
+from .trainer import ElasticRunResult, elastic_train_worker, run_elastic
+
+__all__ = [
+    "FailureEvent",
+    "FailurePlan",
+    "ReplicaLedger",
+    "reconstruct_ledger",
+    "RecoveryReport",
+    "ShardRecovery",
+    "ElasticRunResult",
+    "elastic_train_worker",
+    "run_elastic",
+]

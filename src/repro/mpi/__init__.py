@@ -19,7 +19,15 @@ Quick example::
 """
 
 from .communicator import ANY_SOURCE, ANY_TAG, Communicator
-from .errors import MPIAbort, MPIError, MPITimeout, RankFailed, VerificationError
+from .errors import (
+    MPIAbort,
+    MPIError,
+    MPITimeout,
+    PeerFailure,
+    RankDied,
+    RankFailed,
+    VerificationError,
+)
 from .launcher import SpmdResult, run_spmd
 from .message import Message, Status, payload_nbytes
 from .request import RecvRequest, Request, SendRequest, testall, waitall
@@ -32,6 +40,8 @@ __all__ = [
     "MPIAbort",
     "MPIError",
     "MPITimeout",
+    "PeerFailure",
+    "RankDied",
     "RankFailed",
     "VerificationError",
     "SpmdResult",

@@ -66,6 +66,9 @@ class Communicator:
             raise ValueError(f"world rank {rank} not in communicator group {self.group}")
         self._local_rank = self.group.index(rank)
         self._coll_gen = itertools.count()
+        # Per-communicator shrink sequence: survivors advance it in lockstep
+        # (each shrink() call is collective), so the consensus key agrees.
+        self._shrink_seq = itertools.count()
         # Non-blocking requests issued through this communicator, for
         # pending_requests() introspection; pruned of completed entries as
         # it grows so long runs don't accumulate handles.
@@ -237,11 +240,15 @@ class Communicator:
             # this rank's synchronisation (straggler) time for the call.
             nb = 0 if contribution is None else payload_nbytes(contribution)
             with tr.span(f"coll.{op}", cat="comm.coll", op=op, gen=gen, nbytes=nb):
-                slots = self.world.rendezvous(key, self._local_rank, contribution)
+                slots = self.world.rendezvous(
+                    key, self._local_rank, contribution, group=self.group
+                )
             tr.metrics.counter("comm.coll.calls").inc()
             tr.metrics.counter("comm.coll.bytes_contrib").inc(nb)
             return slots
-        return self.world.rendezvous(key, self._local_rank, contribution)
+        return self.world.rendezvous(
+            key, self._local_rank, contribution, group=self.group
+        )
 
     def barrier(self) -> None:
         """Block until every rank in the communicator has entered."""
@@ -352,6 +359,54 @@ class Communicator:
             self._world_rank,
             context_id=new_ctx * 131 + 7,
             group=self.group,
+            tracer=self.tracer,
+        )
+
+    # ---------------------------------------------------------------- failures
+    def alive_ranks(self) -> tuple[int, ...]:
+        """Communicator-local ranks whose world rank is still alive."""
+        dead = self.world.dead_ranks()
+        return tuple(i for i, wr in enumerate(self.group) if wr not in dead)
+
+    def dead_peers(self) -> dict[int, str]:
+        """Dead members of this communicator: local rank -> epitaph."""
+        dead = self.world.dead_ranks()
+        return {
+            i: self.world.epitaphs.get(wr, "")
+            for i, wr in enumerate(self.group)
+            if wr in dead
+        }
+
+    def shrink(self) -> "Communicator":
+        """Rebuild a consistent communicator over the surviving ranks.
+
+        The ULFM-style recovery collective: every *live* member of this
+        communicator must call it (typically from a
+        :class:`~repro.mpi.errors.PeerFailure` handler).  Unlike
+        :meth:`split`, it cannot use the normal rendezvous — the dead ranks
+        would never arrive — so it runs a dynamic-membership consensus in
+        the world that converges even if further ranks die mid-shrink.
+        Survivors keep their relative order; the returned communicator has a
+        fresh matching context, so messages of the old (broken) communicator
+        can never be mis-matched by the new one.
+        """
+        key = ("shrink", self.context_id, next(self._shrink_seq))
+        survivors, gen = self.world.shrink_rendezvous(
+            key, self._world_rank, self.group
+        )
+        if self._world_rank not in survivors:
+            raise RuntimeError(
+                f"world rank {self._world_rank} called shrink() but is "
+                "marked dead"
+            )
+        # type(self) so CheckedCommunicator keeps verification post-shrink.
+        # The 1<<20 offset keeps shrink contexts out of the split/dup id
+        # space, so a shrunk communicator can never alias a sibling's tags.
+        return type(self)(
+            self.world,
+            self._world_rank,
+            context_id=(1 << 20) + gen * 131 + 97,
+            group=survivors,
             tracer=self.tracer,
         )
 

@@ -2,7 +2,15 @@
 
 from __future__ import annotations
 
-__all__ = ["MPIError", "MPIAbort", "MPITimeout", "RankFailed", "VerificationError"]
+__all__ = [
+    "MPIError",
+    "MPIAbort",
+    "MPITimeout",
+    "RankFailed",
+    "RankDied",
+    "PeerFailure",
+    "VerificationError",
+]
 
 
 class MPIError(RuntimeError):
@@ -25,6 +33,42 @@ class VerificationError(MPIError):
     is not bit-identical, and by the launcher when a rank finishes with
     non-blocking requests still pending.
     """
+
+
+class RankDied(MPIError):
+    """A rank terminated *as a fault*, not as an error in the program.
+
+    Raising this inside an SPMD function models a node crash in an elastic
+    run: the launcher marks the rank dead in the :class:`~repro.mpi.World`
+    (its epitaph channel) instead of aborting the whole world, so the
+    surviving ranks can observe the death via :class:`PeerFailure`, call
+    :meth:`~repro.mpi.Communicator.shrink` and keep going.  In a
+    non-elastic program a dead peer still surfaces promptly: any matched
+    receive from, or collective with, the dead rank raises
+    :class:`PeerFailure` on the survivors.
+    """
+
+    def __init__(self, reason: str = "rank died"):
+        self.reason = reason
+        super().__init__(reason)
+
+
+class PeerFailure(MPIError):
+    """An operation cannot complete because a peer rank is dead.
+
+    Raised on the *surviving* side: a blocking receive matched to a dead
+    source with no buffered message left, or a collective rendezvous one of
+    whose participants died before depositing.  ``rank`` is the dead peer's
+    world rank; ``epitaph`` its recorded reason, if any.
+    """
+
+    def __init__(self, rank: int, epitaph: str | None = None, op: str = ""):
+        self.rank = rank
+        self.epitaph = epitaph
+        self.op = op
+        where = f" during {op}" if op else ""
+        why = f" ({epitaph})" if epitaph else ""
+        super().__init__(f"peer rank {rank} is dead{where}{why}")
 
 
 class RankFailed(MPIError):

@@ -18,7 +18,7 @@ from typing import Any, Callable, Sequence
 from repro.obs.tracer import Tracer
 
 from .communicator import Communicator
-from .errors import MPIAbort, RankFailed, VerificationError
+from .errors import MPIAbort, RankDied, RankFailed, VerificationError
 from .world import World
 
 __all__ = ["run_spmd", "SpmdResult"]
@@ -110,6 +110,14 @@ def run_spmd(
         try:
             results[rank] = fn(comm, *args)
             _check_pending(comm, rank, verify)
+        except RankDied as exc:
+            # A simulated node crash, not a program error: record the death
+            # in the world's epitaph channel so survivors observe it as a
+            # PeerFailure, and keep the world alive.  The dead rank's
+            # "result" is its epitaph; pending requests are expected (the
+            # crash interrupted it mid-flight) and are not checked.
+            world.mark_dead(rank, str(exc))
+            results[rank] = exc
         except MPIAbort as exc:
             # Secondary failure caused by another rank's abort; record it
             # only if no primary failure exists for this rank.

@@ -20,6 +20,9 @@ __all__ = ["Request", "SendRequest", "RecvRequest", "waitall", "testall"]
 class Request:
     """Abstract non-blocking operation handle."""
 
+    #: Whether the request was abandoned via :meth:`cancel`.
+    cancelled: bool = False
+
     def test(self) -> tuple[bool, Any]:
         """Non-blocking completion check; returns ``(done, payload_or_None)``."""
         raise NotImplementedError
@@ -31,6 +34,12 @@ class Request:
     @property
     def completed(self) -> bool:
         """Whether the operation has finished."""
+        raise NotImplementedError
+
+    def cancel(self) -> None:
+        """Abandon the operation (MPI_Cancel): mark it complete without a
+        payload.  Used by elastic recovery to retire receives whose sender
+        died; a cancelled request no longer counts as pending."""
         raise NotImplementedError
 
 
@@ -56,6 +65,9 @@ class SendRequest(Request):
     def completed(self) -> bool:
         """Whether the operation has finished."""
         return True
+
+    def cancel(self) -> None:
+        """No-op: a buffered send is already complete."""
 
 
 class RecvRequest(Request):
@@ -114,6 +126,14 @@ class RecvRequest(Request):
         self._payload = msg.payload
         self.status = Status(source=msg.source, tag=msg.tag, count=1)
         self._done = True
+
+    def cancel(self) -> None:
+        """Abandon the receive: it completes with a ``None`` payload and no
+        longer counts as pending.  An already-matched message stays
+        consumed; an unmatched one stays in the mailbox (harmless once the
+        communicator context is retired)."""
+        self._done = True
+        self.cancelled = True
 
     @property
     def completed(self) -> bool:

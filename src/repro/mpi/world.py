@@ -8,11 +8,12 @@ wait polls the world's ``aborted`` flag so that a crash on one rank unblocks
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
-from typing import Any
+from typing import Any, Sequence
 
-from .errors import MPIAbort, MPITimeout
+from .errors import MPIAbort, MPITimeout, PeerFailure
 from .message import Message, payload_nbytes
 
 __all__ = ["World"]
@@ -105,6 +106,20 @@ class World:
         self.bytes_sent = [0] * size
         self.messages_sent = [0] * size
 
+        # Failure detector state (the epitaph channel): ranks that died as a
+        # *fault* rather than an error, plus the reason each one recorded.
+        # Unlike ``aborted`` this is per-rank and non-fatal — survivors see a
+        # dead peer as a PeerFailure on the specific operation that needs it,
+        # not as a world-wide MPIAbort.
+        self._dead: set[int] = set()
+        self.epitaphs: dict[int, str] = {}
+        # Dynamic-membership rendezvous used by Communicator.shrink(): keyed
+        # slots of arrived survivors plus an agreed generation number.
+        self._shrink_slots: dict[tuple, set[int]] = {}
+        self._shrink_result: dict[tuple, tuple[tuple[int, ...], int]] = {}
+        self._shrink_readers: dict[tuple, int] = {}
+        self._shrink_counter = itertools.count(1)
+
     # ------------------------------------------------------------------ abort
     def abort(self, reason: str) -> None:
         """Mark the world dead and wake every blocked waiter."""
@@ -124,6 +139,33 @@ class World:
             self.abort("deadline exceeded")
             raise MPITimeout("world deadline exceeded")
 
+    # --------------------------------------------------------------- failures
+    def mark_dead(self, rank: int, reason: str = "rank died") -> None:
+        """Record a rank's death (non-fatally) and wake every blocked waiter.
+
+        Waiters re-evaluate their wait condition: those that depend on the
+        dead rank raise :class:`PeerFailure`, everyone else keeps waiting.
+        This is the epitaph channel: the reason string is retained so
+        survivors can report *why* the peer went away.
+        """
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} out of range [0,{self.size})")
+        with self._coll_cond:
+            self._dead.add(rank)
+            self.epitaphs.setdefault(rank, reason)
+            self._coll_cond.notify_all()
+        for box in self.mailboxes:
+            with box.cond:
+                box.cond.notify_all()
+
+    def dead_ranks(self) -> frozenset[int]:
+        """World ranks that have died (snapshot)."""
+        return frozenset(self._dead)
+
+    def is_dead(self, rank: int) -> bool:
+        """Whether ``rank`` has been marked dead."""
+        return rank in self._dead
+
     # ------------------------------------------------------------- point2point
     def post(self, msg: Message) -> None:
         """Deliver a message to its destination mailbox (with accounting)."""
@@ -136,7 +178,13 @@ class World:
         self.mailboxes[msg.dest].deposit(msg)
 
     def take_blocking(self, dest: int, source: int, tag: int) -> Message:
-        """Block until a matching message is available for rank ``dest``."""
+        """Block until a matching message is available for rank ``dest``.
+
+        A receive matched to a *specific* dead source fails fast with
+        :class:`PeerFailure` once no buffered message can satisfy it —
+        buffered sends posted before the death are still delivered, exactly
+        like a real network drains in-flight packets of a crashed peer.
+        """
         box = self.mailboxes[dest]
         while True:
             self.check_alive()
@@ -144,6 +192,10 @@ class World:
                 msg = box._take_locked(source, tag)
                 if msg is not None:
                     return msg
+                if source >= 0 and source in self._dead:
+                    raise PeerFailure(
+                        source, self.epitaphs.get(source), op="recv"
+                    )
                 # Timed wait so abort/deadline are observed even if no new
                 # message ever arrives.
                 box.cond.wait(timeout=_POLL_INTERVAL)
@@ -154,11 +206,17 @@ class World:
         key: tuple,
         rank: int,
         contribution: Any,
+        group: Sequence[int] | None = None,
     ) -> dict[int, Any]:
         """Deposit ``contribution`` under ``key`` and block until all ranks of
         the participant count embedded in the key have deposited.  Returns the
         full ``{rank: contribution}`` map.  The slot is garbage-collected once
         every participant has read it.
+
+        ``group`` (communicator-local rank -> world rank) enables failure
+        detection: if a participant that has not yet deposited is dead, the
+        rendezvous can never complete, so the waiters raise
+        :class:`PeerFailure` instead of hanging until the deadline.
         """
         nparticipants = key[-1]
         with self._coll_cond:
@@ -173,6 +231,15 @@ class World:
             while len(self._coll_slots.get(key, slots)) < nparticipants:
                 if self.aborted:
                     raise MPIAbort(f"world aborted: {self.abort_reason}")
+                if group is not None and self._dead:
+                    current = self._coll_slots.get(key, slots)
+                    for local, world_rank in enumerate(group):
+                        if world_rank in self._dead and local not in current:
+                            raise PeerFailure(
+                                world_rank,
+                                self.epitaphs.get(world_rank),
+                                op=str(key[1]) if len(key) > 1 else "collective",
+                            )
                 self._check_deadline_locked()
                 self._coll_cond.wait(timeout=_POLL_INTERVAL)
             result = dict(self._coll_slots[key])
@@ -183,6 +250,50 @@ class World:
             else:
                 self._coll_readers[key] = readers
             return result
+
+    def shrink_rendezvous(
+        self, key: tuple, rank: int, group: Sequence[int]
+    ) -> tuple[tuple[int, ...], int]:
+        """Consensus over the surviving members of ``group`` (ULFM-style
+        ``MPI_Comm_shrink``).
+
+        Every *live* member of ``group`` calls this with the same ``key``;
+        the call returns once every current survivor has arrived.  Because
+        the dead set only grows, the wait converges even when further deaths
+        happen mid-shrink: the survivor set is re-evaluated on every wake.
+        Returns ``(survivors, generation)`` — identical on all participants
+        — where ``generation`` is a world-unique id for deriving the new
+        communicator's context.
+        """
+        with self._coll_cond:
+            slot = self._shrink_slots.setdefault(key, set())
+            slot.add(rank)
+            self._coll_cond.notify_all()
+            while key not in self._shrink_result:
+                if self.aborted:
+                    raise MPIAbort(f"world aborted: {self.abort_reason}")
+                self._check_deadline_locked()
+                survivors = tuple(r for r in group if r not in self._dead)
+                if not survivors or all(r in slot for r in survivors):
+                    # First arrival to observe completion freezes the agreed
+                    # (survivors, generation) pair; everyone else reads the
+                    # frozen value.  Without the freeze a rank dying *right
+                    # after* the shrink completes could make late-exiting
+                    # participants compute a smaller survivor set than early
+                    # ones — divergent groups, divergent contexts, deadlock.
+                    self._shrink_result[key] = (survivors, next(self._shrink_counter))
+                    self._coll_cond.notify_all()
+                    break
+                self._coll_cond.wait(timeout=_POLL_INTERVAL)
+            survivors, gen = self._shrink_result[key]
+            readers = self._shrink_readers.get(key, 0) + 1
+            if readers >= len(survivors):
+                self._shrink_slots.pop(key, None)
+                self._shrink_result.pop(key, None)
+                self._shrink_readers.pop(key, None)
+            else:
+                self._shrink_readers[key] = readers
+            return survivors, gen
 
     def _check_deadline_locked(self) -> None:
         if self._deadline is not None and time.monotonic() > self._deadline:

@@ -51,7 +51,10 @@ class LocalShuffle(ShuffleStrategy):
         )
         for idx in shard:
             sample, label = dataset[int(idx)]
-            self.storage.add(np.asarray(sample), int(label))
+            # The dataset index is the sample's *global* id: it gives every
+            # sample a cluster-wide identity the elastic layer can track
+            # across exchanges and re-fetch by after a failure.
+            self.storage.add(np.asarray(sample), int(label), gid=int(idx))
 
     def epoch_loader(self, epoch: int, batch_size: int) -> DataLoader:
         """Batches this worker trains on during the epoch."""

@@ -42,6 +42,9 @@ class PartialLocalShuffle(LocalShuffle):
     allow_self:
         Whether the destination permutation may map a rank to itself (the
         paper's plain draw).  See :class:`ExchangePlan`.
+    ledger:
+        Optional :class:`~repro.elastic.ReplicaLedger` the scheduler commits
+        every epoch's sample movements to (see :class:`Scheduler`).
     """
 
     def __init__(
@@ -54,6 +57,7 @@ class PartialLocalShuffle(LocalShuffle):
         allow_self: bool = True,
         granularity: int = 1,
         selection: str = "random",
+        ledger=None,
     ) -> None:
         super().__init__(capacity_bytes=capacity_bytes)
         if not 0.0 <= q <= 1.0:
@@ -64,6 +68,7 @@ class PartialLocalShuffle(LocalShuffle):
         self.allow_self = allow_self
         self.granularity = granularity
         self.selection = selection
+        self.ledger = ledger
         self.name = f"partial-{q:g}"
         self.scheduler: Scheduler | None = None
         self._epoch_active = False
@@ -79,15 +84,21 @@ class PartialLocalShuffle(LocalShuffle):
     ) -> None:
         """Stage this worker's initial data distribution."""
         super().setup(comm, dataset, labels=labels, partition=partition, seed=seed)
-        self.scheduler = Scheduler(
+        if self.ledger is not None:
+            self.ledger.seed_partition(comm, self.storage.hot_gids())
+        self.scheduler = self._make_scheduler(comm)
+
+    def _make_scheduler(self, comm: Communicator) -> Scheduler:
+        return Scheduler(
             self.storage,
             comm,
             fraction=self.q,
             batch_size=self.batch_size_hint,
-            seed=seed,
+            seed=self.seed,
             allow_self=self.allow_self,
             granularity=self.granularity,
             selection=self.selection,
+            ledger=self.ledger,
         )
 
     # ------------------------------------------------------------ epoch hooks
@@ -121,6 +132,33 @@ class PartialLocalShuffle(LocalShuffle):
         self.scheduler.clean_local_storage()
         self.remote_reads += self.scheduler.total_recv_samples - recv_before
         self._epoch_active = False
+
+    # --------------------------------------------------------------- elastic
+    def abort_epoch(self) -> None:
+        """Abandon the in-flight epoch after a peer failure: cancel the
+        partially posted exchange and reset so ``begin_epoch`` can run again
+        (typically on a shrunk communicator after :meth:`attach_comm`)."""
+        if self.scheduler is not None:
+            self.scheduler.abort_exchange()
+        self._epoch_active = False
+
+    def attach_comm(self, comm: Communicator) -> None:
+        """Re-bind the strategy to a (typically shrunk) communicator.
+
+        The storage area, ledger and accumulated traffic statistics carry
+        over; only the scheduler is rebuilt, so subsequent exchange plans
+        are drawn over the new communicator's size."""
+        if self._epoch_active:
+            raise RuntimeError("abort_epoch() before attaching a new communicator")
+        old = self.scheduler
+        self.comm = comm
+        self.scheduler = self._make_scheduler(comm)
+        if old is not None:
+            self.scheduler.total_sent_samples = old.total_sent_samples
+            self.scheduler.total_recv_samples = old.total_recv_samples
+            self.scheduler.total_sent_bytes = old.total_sent_bytes
+            self.scheduler._arrival_epoch = old._arrival_epoch
+            self.scheduler._scores = old._scores
 
     def fast_forward(self, epochs: int) -> None:
         """Replay ``epochs`` exchanges so the shard matches a run that

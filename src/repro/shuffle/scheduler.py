@@ -62,6 +62,12 @@ class Scheduler:
         permutations (and their own local selection stream).
     allow_self:
         Forwarded to the plan; see :class:`ExchangePlan`.
+    ledger:
+        Optional :class:`~repro.elastic.ReplicaLedger`.  When given, every
+        ``clean_local_storage()`` commits the epoch's sample movements to it
+        (a small allgather of ``(gid, dest)`` deltas), keeping a replicated
+        record of which rank holds which sample — the map shard recovery
+        consults after a failure.
     """
 
     def __init__(
@@ -75,6 +81,7 @@ class Scheduler:
         allow_self: bool = True,
         granularity: int = 1,
         selection: str = "random",
+        ledger=None,
     ):
         if not 0.0 <= fraction <= 1.0:
             raise ValueError(f"fraction Q must be in [0,1], got {fraction}")
@@ -101,6 +108,7 @@ class Scheduler:
         # "importance" uses externally supplied scores (highest first) — the
         # §IV-B future-work hook for importance-sampling-aware exchange.
         self.selection = selection
+        self.ledger = ledger
         self._scores: dict[int, float] = {}
         self._arrival_epoch: dict[int, int] = {}
         self._tree = SeedTree(seed)
@@ -111,7 +119,8 @@ class Scheduler:
         self._next_round = 0  # chunked-communication cursor
         self._send_reqs: list[Request] = []
         self._recv_reqs: list[Request] = []
-        self._received: list[tuple[np.ndarray, int]] = []
+        self._received: list[tuple[np.ndarray, int, int | None]] = []
+        self._sent_moves: list[tuple[int, int]] = []  # (gid, dest local rank)
         self._cleaned = True
         # Observability: the communicator's per-rank tracer (disabled no-op
         # by default).  Exchange spans carry cat="exchange" so the Figure 4
@@ -171,6 +180,7 @@ class Scheduler:
         self._send_reqs = []
         self._recv_reqs = []
         self._received = []
+        self._sent_moves = []
         self._cleaned = False
 
     def _select_samples(self, k: int, epoch: int) -> list[int]:
@@ -256,7 +266,10 @@ class Scheduler:
             payload = []
             for sid in group_ids:
                 sample, label = self.storage.get(sid)
-                payload.append((sample, label))
+                gid = self.storage.gid_of(sid)
+                payload.append((sample, label, gid))
+                if gid is not None:
+                    self._sent_moves.append((gid, int(dests[i])))
             nbytes = payload_nbytes(payload)
             self.total_sent_samples += len(payload)
             self.total_sent_bytes += nbytes
@@ -304,31 +317,68 @@ class Scheduler:
             waitall(send_reqs if send_reqs is not None else self._send_reqs)
             payloads = waitall(recv_reqs if recv_reqs is not None else self._recv_reqs)
             self._received = [
-                (np.asarray(s), int(lbl)) for group in payloads for s, lbl in group
+                (np.asarray(s), int(lbl), gid)
+                for group in payloads
+                for s, lbl, gid in group
             ]
             sp.set(samples=len(self._received))
         self.total_recv_samples += len(self._received)
 
     def clean_local_storage(self) -> None:
-        """Install received samples, then evict the transmitted ones.
+        """Install received samples, then retire the transmitted ones.
 
         Ordering note: installing before evicting transiently holds
         ``(1+Q) * N/M`` samples — exactly the paper's stated peak storage
         requirement (§III-A), which :class:`StorageArea` records via
         ``peak_nbytes``/``peak_count``.
+
+        Transmitted samples with a global id are *demoted* to the storage
+        area's cold replica cache rather than deleted: the bytes already
+        resident become recovery replicas for the elastic layer, evicted
+        automatically whenever a hot add needs the room.
         """
         self._require_scheduled()
         if len(self._received) != len(self._selected_ids):
             raise RuntimeError("call synchronize() before clean_local_storage()")
-        for sample, label in self._received:
-            new_id = self.storage.add(sample, label)
+        if self.ledger is not None:
+            # Replicate this epoch's movement record on every rank (small
+            # allgather of (gid, dest) pairs) so any survivor can locate
+            # every sample's holder after a failure.  Committed *before*
+            # any storage mutation: if a peer died, the allgather raises
+            # PeerFailure on every survivor with both ledger and storage
+            # untouched, so abort_exchange() leaves a consistent state.
+            self.ledger.commit_epoch(self.comm, self.epoch, self._sent_moves)
+        for sample, label, gid in self._received:
+            new_id = self.storage.add(sample, label, gid=gid)
             self._arrival_epoch[new_id] = self.epoch
         for sid in self._selected_ids:
-            self.storage.remove(sid)
+            self.storage.demote(sid)
             self._arrival_epoch.pop(sid, None)
             self._scores.pop(sid, None)
         self._received = []
         self._selected_ids = []
+        self._sent_moves = []
+        self._cleaned = True
+
+    def abort_exchange(self) -> None:
+        """Abandon a partially posted exchange after a peer failure.
+
+        Cancels every outstanding request and resets the per-epoch state so
+        :meth:`scheduling` can be called again (typically on a shrunk
+        communicator via a rebuilt scheduler).  Local storage is untouched:
+        nothing was installed or evicted, so the hot set is exactly what it
+        was at ``scheduling()`` time."""
+        for req in self._send_reqs + self._recv_reqs:
+            if not req.completed:
+                req.cancel()
+        self._send_reqs = []
+        self._recv_reqs = []
+        self._received = []
+        self._selected_ids = []
+        self._sent_moves = []
+        self._next_round = 0
+        self.plan = None
+        self.epoch = None
         self._cleaned = True
 
     def run_exchange(self, epoch: int) -> None:

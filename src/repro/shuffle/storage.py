@@ -10,6 +10,22 @@ area." (§III-A)
 paper's ``(1+Q) * N/M`` storage bound can be asserted rather than assumed.
 A memory-backed store models node-local RAM/tmpfs; a directory-backed store
 (:class:`DiskStorageArea`) models node-local SSD with real files.
+
+Two layers of identity coexist:
+
+* **sid** — an opaque storage-local id, stable across removals.  The
+  exchange scheduler addresses entries by sid.
+* **gid** — the sample's *global* id (its index in the source dataset),
+  attached at ``add`` time.  Gids are what the elastic layer reasons
+  about: the :class:`~repro.elastic.ReplicaLedger` records which rank
+  holds which gid, and shard recovery re-fetches lost gids from peers.
+
+On top of the hot (trainable) entries sits a **cold replica cache**:
+when the exchange scheduler retires a sent sample it is *demoted* rather
+than deleted, so the bytes already paid for double as a replica another
+rank can recover from after a failure.  Cold entries share the capacity
+budget but are evicted automatically whenever a hot add needs the room,
+so the paper's storage bound still holds for the working set.
 """
 
 from __future__ import annotations
@@ -47,21 +63,44 @@ class StorageArea:
         self._nbytes = 0
         self.peak_nbytes = 0
         self.peak_count = 0
+        # Global-id bookkeeping for the hot entries (sid <-> gid), plus the
+        # cold replica cache keyed by gid.  Cold entries are insertion
+        # ordered so eviction is oldest-first.
+        self._gid_of: dict[int, int] = {}
+        self._sid_of: dict[int, int] = {}
+        self._cold: dict[int, tuple[np.ndarray, int]] = {}
+        self._cold_nbytes = 0
 
     # ------------------------------------------------------------------ CRUD
-    def add(self, sample: np.ndarray, label: int) -> int:
-        """Store a sample; returns its id.  Raises StorageFullError if the
-        configured capacity would be exceeded."""
+    def add(self, sample: np.ndarray, label: int, gid: int | None = None) -> int:
+        """Store a sample; returns its id.  ``gid`` attaches the sample's
+        global identity (source-dataset index) for replica tracking.
+
+        If the configured capacity would be exceeded, cold replicas are
+        evicted oldest-first to make room; only when the *hot* set alone
+        cannot fit is :class:`StorageFullError` raised."""
         sample = np.asarray(sample)
         size = sample.nbytes
-        if self.capacity_bytes is not None and self._nbytes + size > self.capacity_bytes:
-            raise StorageFullError(
-                f"adding {size} B would exceed capacity "
-                f"({self._nbytes}/{self.capacity_bytes} B used)"
-            )
+        if gid is not None:
+            # A hot add supersedes any cold replica of the same sample.
+            self._evict_cold_gid(gid)
+        if self.capacity_bytes is not None:
+            while (
+                self._nbytes + self._cold_nbytes + size > self.capacity_bytes
+                and self._cold
+            ):
+                self._evict_cold_gid(next(iter(self._cold)))
+            if self._nbytes + size > self.capacity_bytes:
+                raise StorageFullError(
+                    f"adding {size} B would exceed capacity "
+                    f"({self._nbytes}/{self.capacity_bytes} B used)"
+                )
         sid = next(self._ids)
         self._entries[sid] = (sample, int(label))
         self._nbytes += size
+        if gid is not None:
+            self._gid_of[sid] = int(gid)
+            self._sid_of[int(gid)] = sid
         self.peak_nbytes = max(self.peak_nbytes, self._nbytes)
         self.peak_count = max(self.peak_count, len(self._entries))
         return sid
@@ -78,6 +117,113 @@ class StorageArea:
         sample, _ = self.get(sid)
         del self._entries[sid]
         self._nbytes -= sample.nbytes
+        gid = self._gid_of.pop(sid, None)
+        if gid is not None and self._sid_of.get(gid) == sid:
+            del self._sid_of[gid]
+
+    # -------------------------------------------------------- global identity
+    def gid_of(self, sid: int) -> int | None:
+        """Global id attached to a hot entry, or None if untracked."""
+        return self._gid_of.get(sid)
+
+    def sid_of(self, gid: int) -> int | None:
+        """Hot storage id currently holding ``gid``, or None."""
+        return self._sid_of.get(gid)
+
+    def has_gid(self, gid: int) -> bool:
+        """Whether ``gid`` is held hot (trainable) in this area."""
+        return gid in self._sid_of
+
+    def hot_gids(self) -> list[int]:
+        """Global ids of all hot entries that carry one, insertion order."""
+        return [self._gid_of[sid] for sid in self._entries if sid in self._gid_of]
+
+    def get_by_gid(self, gid: int) -> tuple[np.ndarray, int]:
+        """Fetch ``(sample, label)`` for a global id, hot or cold."""
+        sid = self._sid_of.get(gid)
+        if sid is not None:
+            return self._entries[sid]
+        try:
+            return self._cold[gid]
+        except KeyError:
+            raise KeyError(f"gid {gid} neither hot nor cold in storage") from None
+
+    # ----------------------------------------------------- cold replica cache
+    def demote(self, sid: int) -> bool:
+        """Retire a hot entry into the cold replica cache.
+
+        The entry stops being trainable (it leaves ``ids()``/``items()``)
+        but its bytes stay resident as a recovery replica, evictable the
+        moment a hot add needs the room.  Entries without a gid cannot be
+        addressed for recovery, so they are simply removed; returns True
+        iff a cold replica was retained."""
+        gid = self._gid_of.get(sid)
+        sample, label = self.get(sid)
+        self.remove(sid)
+        if gid is None:
+            return False
+        self._cold[gid] = (sample, label)
+        self._cold_nbytes += sample.nbytes
+        return True
+
+    def promote(self, gid: int) -> int:
+        """Re-activate a cold replica as a hot entry; returns its new sid."""
+        try:
+            sample, label = self._cold[gid]
+        except KeyError:
+            raise KeyError(f"gid {gid} has no cold replica to promote") from None
+        self._evict_cold_gid(gid)
+        return self.add(sample, label, gid=gid)
+
+    def cold_gids(self) -> list[int]:
+        """Global ids of the cold replicas currently cached (oldest first)."""
+        return list(self._cold.keys())
+
+    def has_cold(self, gid: int) -> bool:
+        """Whether a cold replica of ``gid`` is cached."""
+        return gid in self._cold
+
+    def _evict_cold_gid(self, gid: int) -> None:
+        entry = self._cold.pop(gid, None)
+        if entry is not None:
+            self._cold_nbytes -= entry[0].nbytes
+
+    def drop_cold(self) -> int:
+        """Evict every cold replica; returns the number evicted."""
+        n = len(self._cold)
+        self._cold.clear()
+        self._cold_nbytes = 0
+        return n
+
+    @property
+    def cold_nbytes(self) -> int:
+        """Bytes held by cold replicas (shares the capacity budget)."""
+        return self._cold_nbytes
+
+    @property
+    def free_bytes(self) -> int | None:
+        """Capacity headroom counting only hot bytes (cold is evictable);
+        None when the area is unbounded."""
+        if self.capacity_bytes is None:
+            return None
+        return self.capacity_bytes - self._nbytes
+
+    def resize(self, capacity_bytes: int | None) -> None:
+        """Change the capacity bound (elastic recovery grows it to
+        ``(1+Q)*N/(M-1)`` after a shrink).  Cold replicas are evicted as
+        needed; shrinking below the hot footprint raises
+        :class:`StorageFullError`."""
+        if capacity_bytes is not None:
+            if capacity_bytes <= 0:
+                raise ValueError(f"capacity must be positive, got {capacity_bytes}")
+            if self._nbytes > capacity_bytes:
+                raise StorageFullError(
+                    f"hot entries occupy {self._nbytes} B; cannot resize to "
+                    f"{capacity_bytes} B"
+                )
+            while self._cold and self._nbytes + self._cold_nbytes > capacity_bytes:
+                self._evict_cold_gid(next(iter(self._cold)))
+        self.capacity_bytes = capacity_bytes
 
     def ids(self) -> list[int]:
         """Current ids in insertion order."""
@@ -132,9 +278,9 @@ class DiskStorageArea(StorageArea):
     def _path(self, sid: int, label: int) -> Path:
         return self.root / f"sample_{sid:08d}_label_{label}.npy"
 
-    def add(self, sample: np.ndarray, label: int) -> int:
+    def add(self, sample: np.ndarray, label: int, gid: int | None = None) -> int:
         """Append/record one entry."""
-        sid = super().add(sample, label)
+        sid = super().add(sample, label, gid=gid)
         np.save(self._path(sid, int(label)), np.asarray(sample))
         return sid
 

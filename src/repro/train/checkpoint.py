@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.nn.module import Module
 from repro.nn.optim import Optimizer
+from repro.utils.rng import default_rng_state, restore_default_rng_state
 
 from .history import EpochRecord, RunHistory
 
@@ -36,11 +37,13 @@ class Checkpoint:
         model_state: dict[str, np.ndarray],
         optimizer_state: list[np.ndarray | None],
         history: RunHistory | None = None,
+        rng_state: dict | None = None,
     ):
         self.epoch = epoch
         self.model_state = model_state
         self.optimizer_state = optimizer_state
         self.history = history
+        self.rng_state = rng_state
 
 
 def _optimizer_velocity(optimizer: Optimizer) -> list[np.ndarray | None]:
@@ -66,6 +69,10 @@ def save_checkpoint(
         "model_state": model.state_dict(),
         "optimizer_velocity": _optimizer_velocity(optimizer),
         "optimizer_lr": optimizer.lr,
+        # The default-stream state (position + seed-tree root): restoring it
+        # makes a resumed run replay the exact draws an uninterrupted run
+        # would have made, bit for bit.
+        "rng": default_rng_state(),
         "history": None
         if history is None
         else {
@@ -113,7 +120,12 @@ def load_checkpoint(
         model_state=payload["model_state"],
         optimizer_state=payload["optimizer_velocity"],
         history=history,
+        rng_state=payload.get("rng"),
     )
+    if ckpt.rng_state is not None:
+        # Asserts the seed-tree position before splicing the stream back in
+        # (pre-rng checkpoints simply skip the restore).
+        restore_default_rng_state(ckpt.rng_state)
     if model is not None:
         model.load_state_dict(ckpt.model_state)
     if optimizer is not None:

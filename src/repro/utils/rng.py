@@ -16,7 +16,15 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["SeedTree", "rank_rng", "shared_rng", "default_rng", "seed_default_rng"]
+__all__ = [
+    "SeedTree",
+    "rank_rng",
+    "shared_rng",
+    "default_rng",
+    "seed_default_rng",
+    "default_rng_state",
+    "restore_default_rng_state",
+]
 
 
 class SeedTree:
@@ -77,6 +85,10 @@ def rank_rng(seed: int, rank: int, name: str = "local", epoch: int = 0) -> np.ra
 DEFAULT_ROOT_SEED = 0x0DEF
 
 _default_generator: np.random.Generator | None = None
+#: Root seed the current default stream was derived from (its seed-tree
+#: position); recorded in checkpoints so a restore can assert it resumes
+#: the *same* stream rather than silently splicing a different one.
+_default_root_seed: int = DEFAULT_ROOT_SEED
 
 
 def default_rng() -> np.random.Generator:
@@ -102,6 +114,36 @@ def seed_default_rng(seed: int = DEFAULT_ROOT_SEED) -> np.random.Generator:
 
     Returns the fresh generator so callers can also use it directly.
     """
-    global _default_generator
+    global _default_generator, _default_root_seed
     _default_generator = SeedTree(int(seed)).generator("default")
+    _default_root_seed = int(seed)
     return _default_generator
+
+
+def default_rng_state() -> dict:
+    """Snapshot the default stream for checkpointing.
+
+    Captures both the bit-generator state (the stream's exact position) and
+    the seed-tree root it was derived from, so a restore can verify it is
+    splicing into the same stream."""
+    gen = default_rng()
+    return {
+        "root_seed": _default_root_seed,
+        "state": gen.bit_generator.state,
+    }
+
+
+def restore_default_rng_state(snapshot: dict) -> None:
+    """Restore the default stream to a checkpointed position.
+
+    Asserts the seed-tree position: the checkpoint must have been taken
+    from a stream rooted at the same seed as the current one, otherwise the
+    resumed run would silently mix two unrelated streams."""
+    if snapshot["root_seed"] != _default_root_seed:
+        raise ValueError(
+            f"checkpointed default stream is rooted at seed "
+            f"{snapshot['root_seed']:#x} but this process uses "
+            f"{_default_root_seed:#x}; call seed_default_rng("
+            f"{snapshot['root_seed']:#x}) before restoring"
+        )
+    default_rng().bit_generator.state = snapshot["state"]
