@@ -122,3 +122,86 @@ def test_recovery_time_and_accuracy(benchmark):
     # The interrupted run completes all epochs within noise of the clean one.
     assert len(failed.history.records) == 6
     assert abs(delta) <= 0.1
+
+
+# --------------------------------------------------------- transient chaos
+CHAOS_RATES = (0.01, 0.05)  # corrupt+drop probability per exchange message
+SLOW_PROFILE = "slow:rank=1,x=40,epochs=1-2"
+
+
+def run_chaos():
+    from repro.faults import run_chaos_train
+
+    train_ds, labels, val_X, val_y = make_experiment_data(RECOVERY_SPEC)
+    config = TrainConfig(
+        model="mlp", in_shape=(RECOVERY_SPEC.n_features,),
+        num_classes=RECOVERY_SPEC.n_classes, epochs=5, batch_size=8,
+        base_lr=0.05, partition="class_sorted", seed=0,
+    )
+    kwargs = dict(
+        config=config, workers=RECOVERY_WORKERS, q=0.3,
+        resend_timeout_s=0.05,
+        train_dataset=train_ds, labels=labels, val_X=val_X, val_y=val_y,
+    )
+    clean = run_chaos_train(profile="", seed=0, **kwargs)
+    sweep = [
+        (p, run_chaos_train(
+            profile=f"corrupt:p={p};drop:p={p}", seed=1, **kwargs,
+        ))
+        for p in CHAOS_RATES
+    ]
+    slow = run_chaos_train(
+        profile=SLOW_PROFILE, seed=0, exchange_deadline_s=0.15, **kwargs
+    )
+    return clean, sweep, slow
+
+
+def test_degraded_q_and_fault_sweep(benchmark):
+    clean, sweep, slow = once(benchmark, run_chaos)
+
+    def row(name, r):
+        fs = r.fault_stats
+        eq = fs.get("effective_q", [])
+        return [
+            name,
+            f"{sum(r.injected.values())}",
+            f"{fs.get('resends', 0)}",
+            f"{r.retry_stats.get('retries', 0)}",
+            f"{fs.get('degraded_epochs', 0)}",
+            " ".join(f"{x:.2f}" for x in eq),
+            f"{r.final_accuracy - clean.final_accuracy:+.3f}",
+        ]
+
+    rows = [row("clean", clean)]
+    rows += [row(f"corrupt+drop p={p}", r) for p, r in sweep]
+    rows.append(row("straggler + 0.15s deadline", slow))
+    table = render_table(
+        ["profile", "injected", "resends", "read retries", "degraded",
+         "effective Q by epoch", "top-1 delta"],
+        rows,
+        title=(
+            f"Transient chaos — Q=0.3, {RECOVERY_WORKERS} workers, "
+            f"5 epochs ({RECOVERY_SPEC.n_samples} samples)"
+        ),
+    )
+    slow_fs = slow.fault_stats
+    table += (
+        f"\nstraggler deficit repaid: final q_deficit = "
+        f"{slow_fs['q_deficit']}, sum(effective Q) = "
+        f"{sum(slow_fs['effective_q']):.2f} "
+        f"(clean {sum(clean.fault_stats['effective_q']):.2f})"
+    )
+    emit("robustness_degraded_q", table)
+
+    # Message faults are bit-invisible: recovery reconstructs the clean run.
+    for p, r in sweep:
+        assert sum(r.injected.values()) > 0, f"p={p} injected nothing"
+        assert r.final_accuracy == clean.final_accuracy
+        assert r.unrecovered == 0
+    # The straggler degrades at least one epoch, then the deficit is repaid
+    # in full — long-run exchange volume matches the clean run's (which
+    # differs from nominal 0.3 only by exchange_count rounding).
+    assert slow_fs["degraded_epochs"] >= 1
+    assert slow_fs["q_deficit"] == 0
+    clean_volume = sum(clean.fault_stats["effective_q"])
+    assert abs(sum(slow_fs["effective_q"]) - clean_volume) < 1e-9

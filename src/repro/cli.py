@@ -22,6 +22,14 @@ Subcommands
     ranks mid-run per ``--kill rank@epoch[:point]``, recover from replicas
     and the source dataset, and optionally compare the final accuracy to an
     uninterrupted run (``--compare-clean``).
+``chaos-train``
+    PLS training under a deterministic transient-fault profile
+    (``--chaos "corrupt:p=0.01;flaky-read:p=0.05;..."``): message
+    corruption/drops/delays/duplicates, flaky or torn storage reads,
+    per-rank slowdown, and fail-stop kills, all recovered by the
+    checksummed exchange, retrying I/O and (with ``--exchange-deadline``)
+    degraded-Q machinery.  ``--compare-clean`` asserts the final accuracy
+    matches an un-faulted run (default tolerance 0: bit-identical).
 ``lint``
     SPMD correctness lint (rules SPMD001-SPMD005) over python sources;
     exits nonzero on findings.  ``--format json`` for machine consumption.
@@ -149,6 +157,54 @@ def build_parser() -> argparse.ArgumentParser:
     p_el.add_argument(
         "--tolerance", type=float, default=0.05,
         help="max |acc(elastic) - acc(clean)| allowed with --compare-clean",
+    )
+
+    p_ch = sub.add_parser(
+        "chaos-train",
+        help="PLS training under a deterministic transient-fault profile",
+    )
+    p_ch.add_argument("--samples", type=int, default=512)
+    p_ch.add_argument("--classes", type=int, default=4)
+    p_ch.add_argument("--features", type=int, default=32)
+    p_ch.add_argument("--workers", type=int, default=4)
+    p_ch.add_argument("--epochs", type=int, default=5)
+    p_ch.add_argument("--batch-size", type=int, default=8)
+    p_ch.add_argument("--lr", type=float, default=0.05)
+    p_ch.add_argument("--q", type=float, default=0.3, help="exchange fraction Q")
+    p_ch.add_argument(
+        "--partition",
+        choices=["random", "contiguous", "strided", "class_sorted", "dirichlet"],
+        default="class_sorted",
+    )
+    p_ch.add_argument("--seed", type=int, default=0, help="training seed")
+    p_ch.add_argument(
+        "--chaos", default="", metavar="SPEC",
+        help="fault profile: ';'-separated clauses, e.g. "
+        "'corrupt:p=0.01;drop:p=0.01;flaky-read:p=0.05;"
+        "slow:rank=3,x=10;kill:rank=1,epoch=2'",
+    )
+    p_ch.add_argument(
+        "--chaos-seed", type=int, default=0,
+        help="seed of the injection schedule (independent of --seed)",
+    )
+    p_ch.add_argument(
+        "--exchange-deadline", type=float, default=None, metavar="SECONDS",
+        help="per-epoch exchange deadline; past it the exchange commits the "
+        "verified prefix (degraded Q) and repays the deficit next epoch",
+    )
+    p_ch.add_argument(
+        "--resend-timeout", type=float, default=0.25, metavar="SECONDS",
+        help="initial NACK timeout of the checksummed exchange",
+    )
+    p_ch.add_argument(
+        "--compare-clean", action="store_true",
+        help="also run without faults (same seeds, same data substrate) and "
+        "report the accuracy delta; exits 1 if it exceeds --tolerance",
+    )
+    p_ch.add_argument(
+        "--tolerance", type=float, default=0.0,
+        help="max |acc(chaos) - acc(clean)| allowed with --compare-clean "
+        "(default 0: recoverable faults must be bit-invisible)",
     )
 
     p_lint = sub.add_parser(
@@ -388,6 +444,94 @@ def _cmd_elastic_train(args) -> int:
     return 0
 
 
+def _cmd_chaos_train(args) -> int:
+    from repro.data import SyntheticSpec
+    from repro.faults import FaultProfile, run_chaos_train
+    from repro.train import TrainConfig
+    from repro.train.experiments import make_experiment_data
+
+    try:
+        profile = FaultProfile.parse(args.chaos)
+    except ValueError as exc:
+        print(f"bad --chaos spec: {exc}", file=sys.stderr)
+        return 2
+    spec = SyntheticSpec(
+        n_samples=args.samples, n_classes=args.classes,
+        n_features=args.features, seed=args.seed,
+    )
+    config = TrainConfig(
+        model="mlp", in_shape=(args.features,), num_classes=args.classes,
+        epochs=args.epochs, batch_size=args.batch_size, base_lr=args.lr,
+        partition=args.partition, seed=args.seed,
+    )
+    train_ds, labels, val_X, val_y = make_experiment_data(spec)
+    common = dict(
+        config=config, workers=args.workers, q=args.q,
+        exchange_deadline_s=args.exchange_deadline,
+        resend_timeout_s=args.resend_timeout,
+        train_dataset=train_ds, labels=labels, val_X=val_X, val_y=val_y,
+    )
+    result = run_chaos_train(
+        profile=profile, seed=args.chaos_seed, **common,
+    )
+
+    injected = result.injected or {"(none)": 0}
+    print_table(
+        ["fault", "injected"],
+        [[k, v] for k, v in sorted(injected.items())],
+        title=f"chaos profile: {args.chaos or '(clean)'}",
+    )
+    fs = result.fault_stats
+    if fs:
+        eq = fs.get("effective_q", [])
+        print(
+            f"recovery: {fs.get('resends', 0)} resends "
+            f"({format_size(fs.get('resent_bytes', 0))}), "
+            f"{fs.get('crc_rejects', 0)} crc rejects, "
+            f"{fs.get('timeout_nacks', 0)} timeout nacks, "
+            f"{fs.get('stale_discards', 0)} stale discards"
+        )
+        print(
+            f"degraded epochs: {fs.get('degraded_epochs', 0)}, "
+            f"final q deficit: {fs.get('q_deficit', 0)}, "
+            f"effective Q: [{', '.join(f'{x:.2f}' for x in eq)}]"
+        )
+    rs = result.retry_stats
+    if rs.get("retries") or rs.get("giveups"):
+        print(f"storage reads: {rs.get('retries', 0)} retried, "
+              f"{rs.get('giveups', 0)} gave up")
+    for r in result.recoveries:
+        print(
+            f"rank {r['dead_ranks']} died at epoch {r['epoch']}: recovered "
+            f"{r['lost_gids']} samples ({r['from_replica']} replica, "
+            f"{r['from_source']} source)"
+        )
+    print(
+        f"chaos run: {args.workers} -> "
+        f"{result.history.stats.get('final_workers', args.workers)} workers, "
+        f"final top-1 {result.final_accuracy:.3f}"
+    )
+    if not args.compare_clean:
+        return 0
+
+    # Same training seed, zero injections, and — when the profile touched
+    # storage — the same on-disk substrate (folder layout reorders samples
+    # by class, so only a materialized baseline sees the same partition).
+    clean = run_chaos_train(
+        profile="", seed=args.chaos_seed,
+        materialize=profile.has_storage_faults, **common,
+    )
+    delta = abs(result.final_accuracy - clean.final_accuracy)
+    print(
+        f"clean run final top-1 {clean.final_accuracy:.3f} "
+        f"(|delta| = {delta:.6f}, tolerance {args.tolerance:.6f})"
+    )
+    if delta > args.tolerance:
+        print("accuracy under chaos outside tolerance", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_lint(args) -> int:
     import json
 
@@ -497,6 +641,7 @@ _HANDLERS = {
     "report": _cmd_report,
     "trace": _cmd_trace,
     "elastic-train": _cmd_elastic_train,
+    "chaos-train": _cmd_chaos_train,
     "lint": _cmd_lint,
 }
 

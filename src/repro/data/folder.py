@@ -14,6 +14,11 @@ single distinct physical file" (§III-E) and wraps PyTorch's ``ImageFolder``.
 where each ``.npy`` holds one sample array.  It also provides the
 ``save_sample`` / ``remove_sample`` hooks the PLS wrapper needs to persist
 received samples and evict transmitted ones (§III-C).
+
+Reads retry transient I/O failures (``OSError``/``ValueError``) with capped
+exponential backoff — parallel file systems drop the occasional read — and
+writes go through :func:`~repro.utils.fileio.atomic_save` so a crash
+mid-write can never leave a torn ``.npy``.
 """
 
 from __future__ import annotations
@@ -24,16 +29,41 @@ from typing import Iterable
 
 import numpy as np
 
+from repro.utils.fileio import atomic_save
+from repro.utils.retry import Retrier, default_retrier
+
 from .dataset import Dataset
 
 __all__ = ["FolderDataset", "materialize_folder_dataset"]
 
 
 class FolderDataset(Dataset):
-    """Map-style dataset over per-sample ``.npy`` files in class sub-dirs."""
+    """Map-style dataset over per-sample ``.npy`` files in class sub-dirs.
 
-    def __init__(self, root: str | os.PathLike):
+    Parameters
+    ----------
+    root:
+        Dataset root directory (one sub-directory per class).
+    retrier:
+        :class:`~repro.utils.retry.Retrier` governing read retries; the
+        process-wide default when omitted, so retry counts aggregate.
+    fault_hook:
+        Optional ``hook(op, path, attempt)`` run before every physical read
+        attempt; the chaos-injection seam
+        (:meth:`repro.faults.ChaosEngine.storage_hook`) — it raises the
+        injected fault, which the retrier then recovers from.
+    """
+
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        *,
+        retrier: Retrier | None = None,
+        fault_hook=None,
+    ):
         self.root = Path(root)
+        self.retrier = retrier if retrier is not None else default_retrier()
+        self.fault_hook = fault_hook
         if not self.root.is_dir():
             raise FileNotFoundError(f"dataset root {self.root} is not a directory")
         self.classes = sorted(p.name for p in self.root.iterdir() if p.is_dir())
@@ -49,7 +79,13 @@ class FolderDataset(Dataset):
 
     def __getitem__(self, index: int) -> tuple[np.ndarray, int]:
         path, label = self._entries[index]
-        return np.load(path), label
+
+        def load(attempt: int) -> np.ndarray:
+            if self.fault_hook is not None:
+                self.fault_hook("read", str(path), attempt)
+            return np.load(path)
+
+        return self.retrier.call(load, key=str(path)), label
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -71,7 +107,7 @@ class FolderDataset(Dataset):
         path = self.root / cls / f"{name}.npy"
         if path.exists():
             raise FileExistsError(f"sample file {path} already exists")
-        np.save(path, sample)
+        atomic_save(path, sample)
         self._entries.append((path, label))
         return len(self._entries) - 1
 
@@ -92,12 +128,15 @@ def materialize_folder_dataset(
     *,
     num_classes: int | None = None,
     prefix: str = "sample",
+    retrier: Retrier | None = None,
+    fault_hook=None,
 ) -> FolderDataset:
     """Write ``(features, labels)`` to disk in FolderDataset layout.
 
     Creates every class directory (even empty ones) so all ranks agree on
     the ``class_to_idx`` mapping — the role the paper's ``class_file`` plays
-    in ``PLS.ImageFolder(train_dir, class_file, ...)``.
+    in ``PLS.ImageFolder(train_dir, class_file, ...)``.  ``retrier`` and
+    ``fault_hook`` are forwarded to the returned :class:`FolderDataset`.
     """
     root = Path(root)
     labels = np.asarray(list(labels))
@@ -107,5 +146,5 @@ def materialize_folder_dataset(
     for c in range(num_classes):
         (root / f"class_{c:0{width}d}").mkdir(parents=True, exist_ok=True)
     for i, (x, y) in enumerate(zip(features, labels)):
-        np.save(root / f"class_{int(y):0{width}d}" / f"{prefix}_{i:06d}.npy", x)
-    return FolderDataset(root)
+        atomic_save(root / f"class_{int(y):0{width}d}" / f"{prefix}_{i:06d}.npy", x)
+    return FolderDataset(root, retrier=retrier, fault_hook=fault_hook)

@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.mpi.request import waitall
 from repro.shuffle.storage import StorageArea, StorageFullError
+from repro.utils.retry import default_retrier
 
 from .ledger import ReplicaLedger
 
@@ -286,7 +287,12 @@ class ShardRecovery:
             if src == me:
                 self.storage.promote(gid)
             elif src is None:
-                sample, label = self.dataset[gid]
+                # PFS fallback read: the source dataset may sit on a flaky
+                # parallel file system, so recovery retries like any other
+                # storage read (shared policy -> shared counters).
+                sample, label = default_retrier().call(
+                    lambda attempt: self.dataset[gid], key=f"recover:{gid}"
+                )
                 self._install(np.asarray(sample), int(label), gid)
         # Byte count is global (every survivor reports the same number).
         nbytes = comm.allreduce(nbytes)

@@ -322,6 +322,7 @@ def run_elastic(
     strategy_kwargs: dict | None = None,
     deadline_s: float = 600.0,
     tracing: bool = False,
+    world_factory=None,
 ) -> ElasticRunResult:
     """Launch an elastic PLS training run with an injected failure schedule.
 
@@ -342,7 +343,7 @@ def run_elastic(
 
     results = run_spmd(
         worker_fn or worker, workers, copy_on_send=False,
-        deadline_s=deadline_s, tracing=tracing,
+        deadline_s=deadline_s, tracing=tracing, world_factory=world_factory,
     )
     survivors = [r for r in results if isinstance(r, RunHistory)]
     dead = tuple(

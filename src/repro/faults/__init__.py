@@ -1,0 +1,32 @@
+"""Deterministic chaos injection for the PLS stack.
+
+The paper's exchange path lives on flaky substrates — lossy interconnects,
+stragglers, parallel file systems that time out or return torn reads.  This
+package generalises :class:`repro.elastic.FailurePlan` beyond fail-stop: a
+:class:`FaultProfile` describes *transient* faults (message corruption,
+drops, delays, duplicates, flaky/torn storage reads, per-rank slowdown) and
+a :class:`ChaosEngine` injects them deterministically from a seed, so the
+same seed always produces the same fault sequence — and, because every
+fault is recoverable by the defensive machinery in ``mpi``/``shuffle``
+(checksummed exchange with NACK/resend, retrying storage I/O, deadline-based
+degraded-Q), the same final model.
+
+Division of labour with :mod:`repro.elastic`: elastic handles *fail-stop*
+(a rank dies and never comes back — shrink, recover shards, retrain);
+faults handles *transient* (the rank and its data survive, the operation
+is retried/resent until it succeeds).  A ``kill:`` clause in a profile is
+simply forwarded to a ``FailurePlan``, so one spec can exercise both.
+"""
+
+from .engine import ChaosEngine, ChaosWorld
+from .profile import FaultClause, FaultProfile
+from .runner import ChaosRunResult, run_chaos_train
+
+__all__ = [
+    "ChaosEngine",
+    "ChaosWorld",
+    "FaultClause",
+    "FaultProfile",
+    "ChaosRunResult",
+    "run_chaos_train",
+]

@@ -1,0 +1,181 @@
+"""Chaos-train harness: elastic PLS training under a transient-fault profile.
+
+:func:`run_chaos_train` is the composition point of the whole fault stack:
+
+* the profile's *transient* clauses drive a :class:`ChaosEngine`, wired into
+  message delivery via a :class:`ChaosWorld` (the ``world_factory`` seam of
+  :func:`~repro.mpi.launcher.run_spmd`) and into storage reads via the
+  engine's ``storage_hook``;
+* its ``kill`` clauses become an :class:`~repro.elastic.FailurePlan`, so one
+  spec exercises fail-stop recovery and transient recovery together — and
+  the run proves a transient fault is never misdiagnosed as a rank death;
+* the scheduler's reliable exchange (checksums + NACK/resend + deadline
+  degradation) and the retrying storage readers absorb everything injected,
+  which is why a chaotic run's final model is bit-identical to a clean one
+  for recoverable profiles.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.elastic.trainer import ElasticRunResult, run_elastic
+from repro.train.history import RunHistory
+from repro.train.trainer import TrainConfig
+from repro.utils.retry import default_retrier
+
+from .engine import ChaosEngine, ChaosWorld
+from .profile import FaultProfile
+
+__all__ = ["ChaosRunResult", "run_chaos_train"]
+
+
+@dataclass
+class ChaosRunResult:
+    """Outcome of one :func:`run_chaos_train` launch."""
+
+    history: RunHistory
+    #: The profile that was injected (parsed form).
+    profile: FaultProfile
+    #: Injected-fault counts by kind, as the engine recorded them.
+    injected: dict = field(default_factory=dict)
+    #: Storage-read retry counters (process-wide policy snapshot delta).
+    retry_stats: dict = field(default_factory=dict)
+    #: World ranks killed by ``kill`` clauses.
+    dead_ranks: tuple[int, ...] = ()
+    #: Fail-stop recovery summaries (one dict per recovery).
+    recoveries: list = field(default_factory=list)
+    #: The underlying elastic result (world, tracers, raw per-rank returns).
+    elastic: ElasticRunResult | None = None
+
+    @property
+    def final_accuracy(self) -> float:
+        return self.history.final_accuracy
+
+    @property
+    def fault_stats(self) -> dict:
+        """The first survivor's exchange fault-recovery counters
+        (resends, crc_rejects, q_deficit, effective_q, ...)."""
+        stats = self.history.stats
+        return {
+            k: stats[k]
+            for k in (
+                "resends", "resent_bytes", "crc_rejects", "timeout_nacks",
+                "stale_discards", "degraded_epochs", "q_deficit",
+                "effective_q",
+            )
+            if k in stats
+        }
+
+    @property
+    def unrecovered(self) -> int:
+        """Faults that defeated the defensive machinery (0 on success:
+        the run only returns normally when everything was recovered, so
+        this counts storage-read give-ups)."""
+        return int(self.retry_stats.get("giveups", 0))
+
+
+def run_chaos_train(
+    *,
+    config: TrainConfig,
+    workers: int,
+    q: float = 0.3,
+    profile: str | FaultProfile = "",
+    seed: int = 0,
+    exchange_deadline_s: float | None = None,
+    resend_timeout_s: float = 0.25,
+    train_dataset=None,
+    labels=None,
+    val_X=None,
+    val_y=None,
+    data_root=None,
+    materialize: bool | None = None,
+    deadline_s: float = 600.0,
+    tracing: bool = False,
+) -> ChaosRunResult:
+    """Run elastic PLS training with ``profile``'s faults injected.
+
+    Parameters mirror :func:`~repro.elastic.run_elastic`, plus:
+
+    profile:
+        Chaos spec (string grammar of :mod:`repro.faults.profile`) or a
+        parsed :class:`FaultProfile`.  Empty means a clean run — still the
+        reliable protocol, zero injections — which is what
+        ``--compare-clean`` baselines against.
+    seed:
+        Chaos seed: the root of every injection decision (independent of
+        ``config.seed`` so the *same training run* can face different fault
+        sequences).
+    exchange_deadline_s:
+        Per-epoch exchange deadline forwarded to the scheduler; required
+        for ``slow:`` clauses to degrade rather than stall.
+    data_root:
+        Directory for the on-disk copy of the training set used when the
+        profile injects storage faults (a fresh temp dir when omitted).
+        Without storage clauses the in-memory dataset is used as-is.
+    materialize:
+        Force (True) or suppress (False) the on-disk copy; the default
+        materializes exactly when the profile has storage clauses.  A clean
+        baseline being compared against a storage-fault run must pass
+        ``materialize=True``: the folder layout orders samples by class, so
+        only a baseline on the same substrate sees the same global indices
+        (and can be bit-identical).
+    """
+    prof = FaultProfile.parse(profile) if isinstance(profile, str) else profile
+    engine = ChaosEngine(prof, seed=seed)
+
+    world_factory = None
+    if prof.has_message_faults:
+        def world_factory(size, **kwargs):
+            return ChaosWorld(size, chaos=engine, **kwargs)
+
+    dataset = train_dataset
+    if materialize if materialize is not None else prof.has_storage_faults:
+        # Put the training set on real files so flaky/torn reads have a
+        # physical read path to perturb; the retrying FolderDataset recovers.
+        from repro.data.folder import materialize_folder_dataset
+
+        root = data_root if data_root is not None else tempfile.mkdtemp(
+            prefix="chaos-data-"
+        )
+        features = np.stack([np.asarray(train_dataset[i][0])
+                             for i in range(len(train_dataset))])
+        dataset = materialize_folder_dataset(
+            root, features, np.asarray(labels),
+            num_classes=config.num_classes,
+            fault_hook=engine.storage_hook,
+        )
+
+    retry_before = default_retrier().stats()
+    elastic = run_elastic(
+        config=config,
+        workers=workers,
+        q=q,
+        failures=prof.failure_plan(),
+        train_dataset=dataset,
+        labels=labels,
+        val_X=val_X,
+        val_y=val_y,
+        strategy_kwargs=dict(
+            exchange_deadline_s=exchange_deadline_s,
+            resend_timeout_s=resend_timeout_s,
+        ),
+        deadline_s=deadline_s,
+        tracing=tracing,
+        world_factory=world_factory,
+    )
+    retry_after = default_retrier().stats()
+    return ChaosRunResult(
+        history=elastic.history,
+        profile=prof,
+        injected=engine.snapshot(),
+        retry_stats={
+            k: retry_after[k] - retry_before.get(k, 0) for k in retry_after
+        },
+        dead_ranks=elastic.dead_ranks,
+        recoveries=list(elastic.recoveries),
+        elastic=elastic,
+    )

@@ -10,6 +10,7 @@ __all__ = [
     "RankDied",
     "PeerFailure",
     "VerificationError",
+    "UnrecoveredFaultError",
 ]
 
 
@@ -32,6 +33,17 @@ class VerificationError(MPIError):
     collective call sequence diverges across ranks or a shared-stream value
     is not bit-identical, and by the launcher when a rank finishes with
     non-blocking requests still pending.
+    """
+
+
+class UnrecoveredFaultError(MPIError):
+    """A transient-fault recovery protocol exhausted its attempt budget.
+
+    Raised by the reliable exchange when a round could not be verified (or
+    acknowledged) within ``max_attempts`` NACK/resend cycles — i.e. the
+    fault stopped looking transient.  Distinct from :class:`PeerFailure`:
+    the peer is *alive* but the channel (or its data) stayed bad, so the
+    elastic fail-stop machinery deliberately does not engage.
     """
 
 

@@ -46,6 +46,7 @@ def run_spmd(
     tracing: bool = False,
     tracers: Sequence[Tracer] | None = None,
     verify: bool = False,
+    world_factory: Callable[..., World] | None = None,
 ) -> SpmdResult:
     """Execute ``fn(comm, *args)`` on ``size`` simulated ranks.
 
@@ -77,6 +78,10 @@ def run_spmd(
         non-blocking requests raises
         :class:`~repro.mpi.errors.VerificationError` instead of the
         default warning.  Costs one extra rendezvous per collective.
+    world_factory:
+        Alternative :class:`World` constructor (same keyword signature);
+        the seam through which :class:`~repro.faults.ChaosWorld` injects
+        message faults without the MPI layer knowing about chaos.
 
     Returns
     -------
@@ -89,7 +94,8 @@ def run_spmd(
         raise ValueError(f"size must be >= 1, got {size}")
     if tracers is not None and len(tracers) != size:
         raise ValueError(f"need {size} tracers, got {len(tracers)}")
-    world = World(size, copy_on_send=copy_on_send, deadline_s=deadline_s)
+    make_world = world_factory if world_factory is not None else World
+    world = make_world(size, copy_on_send=copy_on_send, deadline_s=deadline_s)
     rank_tracers = (
         list(tracers)
         if tracers is not None

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import itertools
 import pickle
+import zlib
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -20,7 +21,9 @@ __all__ = [
     "ANY_TAG",
     "Message",
     "Status",
+    "Checksummed",
     "copy_payload",
+    "payload_crc32",
     "payload_nbytes",
 ]
 
@@ -65,6 +68,65 @@ class Message:
         )
 
 
+def _crc(obj: Any, acc: int) -> int:
+    if isinstance(obj, np.ndarray):
+        acc = zlib.crc32(repr((obj.dtype.str, obj.shape)).encode(), acc)
+        return zlib.crc32(obj.tobytes(), acc)
+    if isinstance(obj, (bytes, bytearray)):
+        return zlib.crc32(bytes(obj), acc)
+    if isinstance(obj, str):
+        return zlib.crc32(obj.encode(), acc)
+    if isinstance(obj, (bool, int, float, complex, type(None))):
+        return zlib.crc32(repr(obj).encode(), acc)
+    if isinstance(obj, (tuple, list)):
+        acc = zlib.crc32(f"[{len(obj)}".encode(), acc)
+        for item in obj:
+            acc = _crc(item, acc)
+        return zlib.crc32(b"]", acc)
+    if isinstance(obj, dict):
+        acc = zlib.crc32(f"{{{len(obj)}".encode(), acc)
+        for k, v in obj.items():
+            acc = _crc(v, _crc(k, acc))
+        return zlib.crc32(b"}", acc)
+    return zlib.crc32(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL), acc)
+
+
+def payload_crc32(obj: Any) -> int:
+    """Content CRC32 of a payload (arrays hashed over dtype+shape+bytes).
+
+    Computed structurally rather than over a serialisation so the in-process
+    zero-copy transport (``copy_on_send=False``) checksums the same bytes a
+    wire transfer would have carried.
+    """
+    return _crc(obj, 0) & 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class Checksummed:
+    """A data-plane payload wrapped in an integrity envelope.
+
+    ``meta`` identifies the transfer (the exchange uses
+    ``(epoch, round, attempt)``) and is *not* covered by the CRC — it is the
+    control information a receiver needs to classify a message even when the
+    payload is damaged.  Frozen so in-flight corruption (the chaos engine)
+    must build a new envelope around a *copy*, never mutate a sender's
+    buffer.
+    """
+
+    meta: tuple
+    payload: Any
+    crc: int
+
+    @classmethod
+    def wrap(cls, payload: Any, meta: tuple = ()) -> "Checksummed":
+        """Seal ``payload`` with its content CRC."""
+        return cls(meta=tuple(meta), payload=payload, crc=payload_crc32(payload))
+
+    def ok(self) -> bool:
+        """Whether the payload still matches the CRC computed at wrap time."""
+        return payload_crc32(self.payload) == self.crc
+
+
 def copy_payload(obj: Any) -> Any:
     """Copy a payload so sender-side mutation after ``isend`` is safe.
 
@@ -75,6 +137,12 @@ def copy_payload(obj: Any) -> Any:
         return obj.copy()
     if isinstance(obj, (int, float, complex, str, bytes, bool, type(None))):
         return obj
+    if isinstance(obj, Checksummed):
+        # Keep the envelope cheap to copy: the CRC was computed at wrap
+        # time and stays valid for a faithful payload copy.
+        return Checksummed(
+            meta=obj.meta, payload=copy_payload(obj.payload), crc=obj.crc
+        )
     return pickle.loads(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
 
 
@@ -98,6 +166,9 @@ def payload_nbytes(obj: Any) -> int:
         return sum(payload_nbytes(x) for x in obj)
     if isinstance(obj, dict):
         return sum(payload_nbytes(k) + payload_nbytes(v) for k, v in obj.items())
+    if isinstance(obj, Checksummed):
+        # Envelope overhead: the meta tuple plus a 4-byte CRC word.
+        return payload_nbytes(obj.payload) + payload_nbytes(obj.meta) + 4
     try:
         return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
     except Exception:

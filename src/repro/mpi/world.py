@@ -168,13 +168,27 @@ class World:
 
     # ------------------------------------------------------------- point2point
     def post(self, msg: Message) -> None:
-        """Deliver a message to its destination mailbox (with accounting)."""
+        """Deliver a message to its destination mailbox (with accounting).
+
+        Split into :meth:`_account` and :meth:`_deliver` so transports that
+        sit between sender and mailbox (the chaos-injecting world in
+        :mod:`repro.faults`) can charge the sender once while altering,
+        dropping, delaying or duplicating what actually arrives.
+        """
         self.check_alive()
         if not 0 <= msg.dest < self.size:
             raise ValueError(f"destination rank {msg.dest} out of range [0,{self.size})")
+        self._account(msg)
+        self._deliver(msg)
+
+    def _account(self, msg: Message) -> None:
+        """Charge the send to the source rank's traffic counters."""
         with self._traffic_lock:
             self.bytes_sent[msg.source] += payload_nbytes(msg.payload)
             self.messages_sent[msg.source] += 1
+
+    def _deliver(self, msg: Message) -> None:
+        """Deposit a message into its destination mailbox."""
         self.mailboxes[msg.dest].deposit(msg)
 
     def take_blocking(self, dest: int, source: int, tag: int) -> Message:

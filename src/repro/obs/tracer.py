@@ -104,6 +104,29 @@ class _NullSpan:
 _NULL_SPAN = _NullSpan()
 
 
+class _Suspension:
+    """Context manager flipping a tracer's ``enabled`` off and back.
+
+    Re-entrant on one rank's thread (the previous state is restored on
+    exit); tracers are single-rank so no cross-thread state is involved.
+    """
+
+    __slots__ = ("_tracer", "_prev")
+
+    def __init__(self, tracer: "Tracer") -> None:
+        self._tracer = tracer
+        self._prev = False
+
+    def __enter__(self) -> "_Suspension":
+        self._prev = self._tracer.enabled
+        self._tracer.enabled = False
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self._tracer.enabled = self._prev
+        return False
+
+
 class _Span:
     """Live span context manager; emits one complete event on exit."""
 
@@ -179,6 +202,16 @@ class Tracer:
         if not self.enabled:
             return _NULL_SPAN
         return _Span(self, name, cat, args)
+
+    def suspended(self):
+        """Context manager: temporarily disable recording on this tracer.
+
+        Used by instrumentation that performs wire operations whose *timing*
+        is inherently racy (the reliable exchange's ACK/NACK control plane)
+        and instead emits equivalent, deterministically-ordered events
+        itself — keeping per-rank traces reproducible run-to-run.
+        """
+        return _Suspension(self)
 
     def instant(self, name: str, cat: str = "", **args: Any) -> None:
         """Record a zero-duration marker event."""

@@ -45,6 +45,11 @@ class PartialLocalShuffle(LocalShuffle):
     ledger:
         Optional :class:`~repro.elastic.ReplicaLedger` the scheduler commits
         every epoch's sample movements to (see :class:`Scheduler`).
+    reliable / exchange_deadline_s / resend_timeout_s / max_attempts:
+        Transient-fault controls forwarded to :class:`Scheduler`: checksummed
+        ACK/NACK exchange (on by default), the per-epoch exchange deadline
+        that turns stragglers into graceful Q-degradation, and the resend
+        timing/budget.
     """
 
     def __init__(
@@ -58,6 +63,10 @@ class PartialLocalShuffle(LocalShuffle):
         granularity: int = 1,
         selection: str = "random",
         ledger=None,
+        reliable: bool = True,
+        exchange_deadline_s: float | None = None,
+        resend_timeout_s: float = 0.25,
+        max_attempts: int = 16,
     ) -> None:
         super().__init__(capacity_bytes=capacity_bytes)
         if not 0.0 <= q <= 1.0:
@@ -69,6 +78,10 @@ class PartialLocalShuffle(LocalShuffle):
         self.granularity = granularity
         self.selection = selection
         self.ledger = ledger
+        self.reliable = reliable
+        self.exchange_deadline_s = exchange_deadline_s
+        self.resend_timeout_s = resend_timeout_s
+        self.max_attempts = max_attempts
         self.name = f"partial-{q:g}"
         self.scheduler: Scheduler | None = None
         self._epoch_active = False
@@ -99,6 +112,10 @@ class PartialLocalShuffle(LocalShuffle):
             granularity=self.granularity,
             selection=self.selection,
             ledger=self.ledger,
+            reliable=self.reliable,
+            deadline_s=self.exchange_deadline_s,
+            resend_timeout_s=self.resend_timeout_s,
+            max_attempts=self.max_attempts,
         )
 
     # ------------------------------------------------------------ epoch hooks
@@ -159,6 +176,17 @@ class PartialLocalShuffle(LocalShuffle):
             self.scheduler.total_sent_bytes = old.total_sent_bytes
             self.scheduler._arrival_epoch = old._arrival_epoch
             self.scheduler._scores = old._scores
+            # Fault-recovery state survives the re-bind: the Q-deficit is
+            # owed by the *run*, not by one communicator incarnation, and
+            # the counters must keep aggregating across recoveries.
+            self.scheduler.resent_bytes = old.resent_bytes
+            self.scheduler.resends = old.resends
+            self.scheduler.crc_rejects = old.crc_rejects
+            self.scheduler.timeout_nacks = old.timeout_nacks
+            self.scheduler.stale_discards = old.stale_discards
+            self.scheduler.degraded_epochs = old.degraded_epochs
+            self.scheduler.q_deficit = old.q_deficit
+            self.scheduler.effective_q = old.effective_q
 
     def fast_forward(self, epochs: int) -> None:
         """Replay ``epochs`` exchanges so the shard matches a run that
@@ -185,6 +213,8 @@ class PartialLocalShuffle(LocalShuffle):
                 recv_samples=self.scheduler.total_recv_samples,
                 sent_bytes=self.scheduler.total_sent_bytes,
             )
+            if self.scheduler.reliable:
+                out.update(self.scheduler.fault_stats())
         return out
 
 

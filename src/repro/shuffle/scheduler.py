@@ -11,6 +11,7 @@ Mirrors the paper's user-facing object (Figure 3)::
         send_req, recv_req = scheduler.communicate()   # non-blocking
         scheduler.synchronize(send_req, recv_req)      # wait for exchange
         scheduler.clean_local_storage()      # evict sent, install received
+    scheduler.run_exchange(epoch)            # or: all four steps at once
 
 The exchange follows :class:`~repro.shuffle.exchange_plan.ExchangePlan`
 (Algorithm 1): per round one isend/irecv pair per rank, matched by round
@@ -18,23 +19,47 @@ tag, seed-synchronised destinations, hence balanced traffic.  Per-iteration
 chunking sends ``Q*b`` samples per training iteration, which is exactly the
 paper's overlap granularity ("in each iteration, Q*b samples are
 sent/received", §III-C).
+
+Reliable mode (the default) hardens the exchange against *transient* faults
+— corrupted or dropped messages, stragglers — without changing the clean-run
+results:
+
+* every data payload travels in a CRC32 :class:`~repro.mpi.message.Checksummed`
+  envelope tagged ``(epoch, round, attempt)``;
+* the receiver verifies on receipt and answers with an ACK, or a NACK that
+  makes the sender retransmit from its retained buffer (bounded attempts,
+  exponential NACK backoff) — a send buffer is only released once ACKed;
+* an optional per-epoch ``deadline_s`` turns a straggling exchange into
+  *graceful degradation*: the ranks agree (via an allreduce of their longest
+  contiguous verified-round prefix) on how many rounds to commit, train this
+  epoch at the lower effective Q, and repay the recorded Q-deficit by
+  enlarging the next epochs' exchange, so the long-run exchanged fraction
+  converges to the configured Q.
+
+Fail-stop faults remain :mod:`repro.elastic`'s business: the reliable loop
+polls ``comm.dead_peers()`` and re-raises a genuine death as
+:class:`~repro.mpi.errors.PeerFailure`, so a transient fault is never
+misdiagnosed as a rank death and vice versa.
 """
 
 from __future__ import annotations
 
+import time
 from typing import Sequence
 
 import numpy as np
 
 from repro.mpi.communicator import Communicator
-from repro.mpi.message import payload_nbytes
+from repro.mpi.errors import PeerFailure, UnrecoveredFaultError
+from repro.mpi.message import ANY_SOURCE, Checksummed, payload_nbytes
 from repro.mpi.request import Request, waitall
+from repro.utils.retry import Backoff
 from repro.utils.rng import SeedTree
 
 from .exchange_plan import ExchangePlan, exchange_count
 from .storage import StorageArea
 
-__all__ = ["Scheduler", "EXCHANGE_TAG_BASE"]
+__all__ = ["Scheduler", "EXCHANGE_TAG_BASE", "EXCHANGE_CTRL_TAG"]
 
 # Tag space reserved for sample-exchange rounds: one tag per round within an
 # epoch, plus an epoch-parity bit.  Ranks can be at most one epoch apart
@@ -42,6 +67,37 @@ __all__ = ["Scheduler", "EXCHANGE_TAG_BASE"]
 # FIFO matching keeps epochs unambiguous.
 EXCHANGE_TAG_BASE = 1 << 16
 _EPOCH_PARITY_BIT = 1 << 20
+# Control plane of the reliable exchange: ACK/NACK messages, one tag per
+# epoch parity.  Kept outside the data-round tag range so a control message
+# can never be matched by a data irecv.
+EXCHANGE_CTRL_TAG = 1 << 18
+
+
+class _Round:
+    """Per-round protocol state of one reliable exchange round."""
+
+    __slots__ = (
+        "index", "dest", "src", "tag", "buffer", "moves", "nbytes", "samples",
+        "send_attempts", "acked", "verified", "payload", "recv_req", "nacks",
+        "next_nack_t",
+    )
+
+    def __init__(self, index: int, dest: int, src: int, tag: int) -> None:
+        self.index = index
+        self.dest = dest            # where our round-``index`` send goes
+        self.src = src              # who our round-``index`` receive is from
+        self.tag = tag
+        self.buffer = None          # retained send payload until ACKed
+        self.moves: list[tuple[int, int]] = []
+        self.nbytes = 0
+        self.samples = 0
+        self.send_attempts = 0      # resends performed (0 = original only)
+        self.acked = False          # our send was verified by the receiver
+        self.verified = False       # our receive passed its CRC check
+        self.payload = None         # the verified received payload
+        self.recv_req = None        # outstanding irecv (None once verified)
+        self.nacks = 0              # NACKs we sent for this round
+        self.next_nack_t = 0.0      # when to NACK again absent progress
 
 
 class Scheduler:
@@ -68,6 +124,21 @@ class Scheduler:
         (a small allgather of ``(gid, dest)`` deltas), keeping a replicated
         record of which rank holds which sample — the map shard recovery
         consults after a failure.
+    reliable:
+        When True (default) payloads travel checksummed with ACK/NACK
+        retransmission and the degraded-Q deadline machinery is available.
+        When False the exchange is the bare fire-and-forget protocol of the
+        original Algorithm 1 (no envelopes, no control traffic).
+    resend_timeout_s:
+        Base interval after which an unverified round is NACKed again
+        (exponential backoff, deterministic jitter).  Reliable mode only.
+    max_attempts:
+        Per-round bound on both resends and NACKs before the exchange gives
+        up with :class:`~repro.mpi.errors.UnrecoveredFaultError`.
+    deadline_s:
+        Optional per-epoch exchange deadline (seconds, measured from
+        ``scheduling()``); on expiry the remaining rounds are abandoned and
+        the epoch commits at a lower effective Q.  ``None`` waits forever.
     """
 
     def __init__(
@@ -82,6 +153,10 @@ class Scheduler:
         granularity: int = 1,
         selection: str = "random",
         ledger=None,
+        reliable: bool = True,
+        resend_timeout_s: float = 0.25,
+        max_attempts: int = 16,
+        deadline_s: float | None = None,
     ):
         if not 0.0 <= fraction <= 1.0:
             raise ValueError(f"fraction Q must be in [0,1], got {fraction}")
@@ -93,6 +168,8 @@ class Scheduler:
             raise ValueError(
                 f"selection must be random/stale/importance, got {selection!r}"
             )
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
         self.storage = storage
         self.comm = comm
         self.fraction = fraction
@@ -109,6 +186,13 @@ class Scheduler:
         # §IV-B future-work hook for importance-sampling-aware exchange.
         self.selection = selection
         self.ledger = ledger
+        self.reliable = reliable
+        self.resend_timeout_s = resend_timeout_s
+        self.max_attempts = max_attempts
+        self.deadline_s = deadline_s
+        self._nack_backoff = Backoff(
+            resend_timeout_s, factor=2.0, cap_s=max(resend_timeout_s * 8, 0.05)
+        )
         self._scores: dict[int, float] = {}
         self._arrival_epoch: dict[int, int] = {}
         self._tree = SeedTree(seed)
@@ -122,6 +206,10 @@ class Scheduler:
         self._received: list[tuple[np.ndarray, int, int | None]] = []
         self._sent_moves: list[tuple[int, int]] = []  # (gid, dest local rank)
         self._cleaned = True
+        self._rounds: list[_Round] = []
+        self._epoch_t0 = 0.0        # monotonic clock at scheduling()
+        self._n_local = 0           # shard size at scheduling()
+        self._planned_extra = 0     # deficit repayment baked into this plan
         # Observability: the communicator's per-rank tracer (disabled no-op
         # by default).  Exchange spans carry cat="exchange" so the Figure 4
         # overlap attribution can tell posting modes apart.
@@ -130,21 +218,47 @@ class Scheduler:
         # Statistics for the performance/accounting benchmarks.  Byte counts
         # use the wire-size model (payload_nbytes: sample array + label), so
         # they agree with the tracer's nbytes tags and the world's counters.
+        # In reliable mode sent totals are counted at *commit* (what the
+        # exchange actually achieved); retransmissions go to resent_bytes.
         self.total_sent_samples = 0
         self.total_recv_samples = 0
         self.total_sent_bytes = 0
+        self.resent_bytes = 0
+
+        # Fault-recovery accounting (reliable mode).
+        self.resends = 0            # payload retransmissions performed
+        self.crc_rejects = 0        # received payloads that failed their CRC
+        self.timeout_nacks = 0      # NACKs sent because a round timed out
+        self.stale_discards = 0     # leftover messages of a previous epoch
+        self.degraded_epochs = 0    # epochs committed below their plan
+        self.q_deficit = 0          # samples owed to the configured Q
+        self.effective_q: list[float] = []  # realised Q per epoch
 
     # ------------------------------------------------------------- scheduling
     def scheduling(self, epoch: int) -> None:
         """Line 1-3 of Algorithm 1: pick the global partition and the
-        destination permutations for this epoch."""
+        destination permutations for this epoch.
+
+        In reliable mode the agreed exchange size also repays any Q-deficit
+        left by earlier degraded epochs: each rank offers
+        ``base + q_deficit`` (capped at its shard size), and the global
+        minimum of the offers is adopted — still a uniform collective, still
+        balanced, and never *below* what a deficit-free run would pick."""
         if not self._cleaned:
             raise RuntimeError(
                 "previous epoch's exchange not finished: call synchronize() "
                 "and clean_local_storage() first"
             )
         self.epoch = int(epoch)
+        self._epoch_t0 = time.monotonic()
+        # Chaos-injection hook (duck-typed: plain Worlds have no ``chaos``).
+        # Telling the engine which epoch this rank entered lets epoch-scoped
+        # fault clauses activate without the mpi layer importing faults.
+        chaos = getattr(self.comm.world, "chaos", None)
+        if chaos is not None:
+            chaos.note_epoch(self.comm.group[self.comm.rank], self.epoch)
         n_local = len(self.storage)
+        self._n_local = n_local
         with self.tracer.span(
             "exchange.scheduling", cat="exchange", epoch=self.epoch, q=self.fraction
         ) as sp:
@@ -153,7 +267,19 @@ class Scheduler:
             # rounds — otherwise a rank waits for a send its peer never posts.
             # Agree on the global minimum (collective call: scheduling() must be
             # invoked on every rank, which is already its contract).
-            k = self.comm.allreduce(exchange_count(n_local, self.fraction), op=min)
+            base = exchange_count(n_local, self.fraction)
+            if self.reliable:
+                want = min(n_local, base + self.q_deficit)
+                agreed = self.comm.allreduce(
+                    np.array([want, base], dtype=np.int64), op=np.minimum
+                )
+                k = int(agreed[0])
+                # How much of this plan is repayment rather than baseline:
+                # settled against q_deficit at commit time.
+                self._planned_extra = k - int(agreed[1])
+            else:
+                k = self.comm.allreduce(base, op=min)
+                self._planned_extra = 0
             self._selected_ids = self._select_samples(k, epoch)
             # Messages carry ``granularity`` samples each; the plan is built at
             # message granularity so balance holds per message AND per sample.
@@ -181,6 +307,7 @@ class Scheduler:
         self._recv_reqs = []
         self._received = []
         self._sent_moves = []
+        self._rounds = []
         self._cleaned = False
 
     def _select_samples(self, k: int, epoch: int) -> list[int]:
@@ -264,15 +391,14 @@ class Scheduler:
         for i in range(self._next_round, self._next_round + n):
             group_ids = self._selected_ids[i * g : (i + 1) * g]
             payload = []
+            moves = []
             for sid in group_ids:
                 sample, label = self.storage.get(sid)
                 gid = self.storage.gid_of(sid)
                 payload.append((sample, label, gid))
                 if gid is not None:
-                    self._sent_moves.append((gid, int(dests[i])))
+                    moves.append((gid, int(dests[i])))
             nbytes = payload_nbytes(payload)
-            self.total_sent_samples += len(payload)
-            self.total_sent_bytes += nbytes
             tag = EXCHANGE_TAG_BASE + parity + i
             with tr.span(
                 "exchange.round",
@@ -286,12 +412,44 @@ class Scheduler:
                 dest=int(dests[i]),
                 src=int(srcs[i]),
             ):
-                self._send_reqs.append(
-                    self.comm.isend(payload, dest=int(dests[i]), tag=tag)
-                )
-                # The shared seed tells us the source; matched irecv is
-                # deterministic while remaining wire-identical to ANY_SOURCE.
-                self._recv_reqs.append(self.comm.irecv(source=int(srcs[i]), tag=tag))
+                if self.reliable:
+                    st = _Round(i, int(dests[i]), int(srcs[i]), tag)
+                    st.buffer = payload
+                    st.moves = moves
+                    st.nbytes = nbytes
+                    st.samples = len(payload)
+                    env = Checksummed.wrap(payload, meta=(self.epoch, i, 0))
+                    # Wire ops run untraced; the deterministic equivalent
+                    # events are emitted below (see _Suspension: the racy
+                    # protocol must not make traces unreproducible).
+                    with tr.suspended():
+                        self._send_reqs.append(
+                            self.comm.isend(env, dest=st.dest, tag=tag)
+                        )
+                        st.recv_req = self.comm.irecv(source=st.src, tag=tag)
+                    if tr.enabled:
+                        with tr.span(
+                            "isend", cat="comm.p2p", peer=st.dest, tag=tag,
+                            nbytes=nbytes,
+                        ):
+                            pass
+                        tr.metrics.counter("comm.p2p.msgs_sent").inc()
+                        tr.metrics.counter("comm.p2p.bytes_sent").inc(nbytes)
+                    self._recv_reqs.append(st.recv_req)
+                    self._rounds.append(st)
+                else:
+                    self._sent_moves.extend(moves)
+                    self.total_sent_samples += len(payload)
+                    self.total_sent_bytes += nbytes
+                    self._send_reqs.append(
+                        self.comm.isend(payload, dest=int(dests[i]), tag=tag)
+                    )
+                    # The shared seed tells us the source; matched irecv is
+                    # deterministic while remaining wire-identical to
+                    # ANY_SOURCE.
+                    self._recv_reqs.append(
+                        self.comm.irecv(source=int(srcs[i]), tag=tag)
+                    )
         self._next_round += n
 
     # -------------------------------------------------------------- complete
@@ -303,7 +461,10 @@ class Scheduler:
         """Line 7 of Algorithm 1: wait for all outstanding requests.
 
         The request lists are optional (the scheduler tracks its own); they
-        are accepted to mirror the paper's script-facing API."""
+        are accepted to mirror the paper's script-facing API.  In reliable
+        mode this runs the verify/ACK/NACK/resend event loop and then the
+        commit collective; the request lists are ignored (the per-round
+        state supersedes them)."""
         self._require_scheduled()
         if self._next_round < self.plan.rounds:
             raise RuntimeError(
@@ -314,16 +475,268 @@ class Scheduler:
             "exchange.synchronize", cat="exchange", epoch=self.epoch,
             q=self.fraction, rounds=self.plan.rounds,
         ) as sp:
-            waitall(send_reqs if send_reqs is not None else self._send_reqs)
-            payloads = waitall(recv_reqs if recv_reqs is not None else self._recv_reqs)
-            self._received = [
-                (np.asarray(s), int(lbl), gid)
-                for group in payloads
-                for s, lbl, gid in group
-            ]
-            sp.set(samples=len(self._received))
+            if self.reliable:
+                committed = self._complete_reliable()
+                self._apply_commit(committed, sp)
+            else:
+                waitall(send_reqs if send_reqs is not None else self._send_reqs)
+                payloads = waitall(
+                    recv_reqs if recv_reqs is not None else self._recv_reqs
+                )
+                self._received = [
+                    (np.asarray(s), int(lbl), gid)
+                    for group in payloads
+                    for s, lbl, gid in group
+                ]
+                sp.set(samples=len(self._received))
+                self.total_recv_samples += len(self._received)
+
+    # ----------------------------------------------------- reliable protocol
+    def _metric_inc(self, name: str, n: int = 1) -> None:
+        tr = self.tracer
+        if tr.enabled:
+            tr.metrics.counter(name).inc(n)
+
+    def _complete_reliable(self) -> int:
+        """Run the verify/ACK/NACK/resend loop, then agree what to commit.
+
+        Returns the globally agreed number of committed rounds: the minimum
+        over ranks of each rank's longest contiguous verified-round prefix.
+        Without a deadline the loop runs until every send is ACKed and every
+        receive verified (so the commit is total); with one, expiry stops
+        the waiting and the commit shrinks accordingly.
+
+        Termination: epochs are in lockstep (the training loop allreduces
+        every iteration), so every rank is inside this loop for the same
+        epoch.  A rank leaves only once all its sends are ACKed, hence a
+        NACK always finds its sender still serving resends; leftover control
+        or duplicate data messages are discarded by the epoch check when the
+        same-parity tag comes around again."""
+        parity = (self.epoch % 2) * _EPOCH_PARITY_BIT
+        ctrl_tag = EXCHANGE_CTRL_TAG + parity
+        deadline = (
+            None if self.deadline_s is None else self._epoch_t0 + self.deadline_s
+        )
+        now = time.monotonic()
+        for st in self._rounds:
+            st.next_nack_t = now + self._nack_backoff.delay(
+                0, key=(self.epoch, st.index)
+            )
+        pending = [st for st in self._rounds if not st.verified]
+        unacked = {st.index: st for st in self._rounds if not st.acked}
+        while pending or unacked:
+            self.comm.world.check_alive()
+            self._raise_on_dead_peers(pending, unacked)
+            progress = self._service_control(ctrl_tag, unacked)
+            still = []
+            for st in pending:
+                done, env = st.recv_req.test()
+                if done:
+                    progress = True
+                    self._handle_data(st, env, ctrl_tag)
+                if st.verified:
+                    continue
+                if time.monotonic() >= st.next_nack_t:
+                    self._nack(st, ctrl_tag, timed_out=True)
+                still.append(st)
+            pending = still
+            if not progress:
+                # Deadline check only on idle passes: content already
+                # delivered is always drained and verified, even late.
+                if deadline is not None and time.monotonic() >= deadline:
+                    break
+                if pending or unacked:
+                    time.sleep(0.001)
+        prefix = 0
+        for st in self._rounds:
+            if not st.verified:
+                break
+            prefix += 1
+        # Uniform collective: every rank reaches it exactly once per epoch
+        # (either with a full prefix or at its deadline).
+        return int(self.comm.allreduce(prefix, op=min))
+
+    def _service_control(self, ctrl_tag: int, unacked: dict[int, _Round]) -> bool:
+        """Drain ACK/NACK traffic; returns whether anything advanced."""
+        progress = False
+        while self.comm.iprobe(source=ANY_SOURCE, tag=ctrl_tag):
+            with self.tracer.suspended():
+                kind, ep, idx = self.comm.recv(source=ANY_SOURCE, tag=ctrl_tag)
+            if ep != self.epoch or not 0 <= idx < len(self._rounds):
+                self.stale_discards += 1
+                self._metric_inc("exchange.stale_discards")
+                continue
+            st = self._rounds[idx]
+            if kind == "ack":
+                if not st.acked:
+                    st.acked = True
+                    st.buffer = None  # released: receiver verified the bytes
+                    unacked.pop(idx, None)
+                    progress = True
+            elif not st.acked:  # NACK for a round we still owe
+                st.send_attempts += 1
+                if st.send_attempts > self.max_attempts:
+                    raise UnrecoveredFaultError(
+                        f"exchange round {idx} of epoch {self.epoch}: "
+                        f"{st.send_attempts} attempts to rank {st.dest} all "
+                        "failed"
+                    )
+                self.resends += 1
+                self.resent_bytes += st.nbytes
+                self._metric_inc("exchange.resends")
+                env = Checksummed.wrap(
+                    st.buffer, meta=(self.epoch, idx, st.send_attempts)
+                )
+                with self.tracer.suspended():
+                    self._send_reqs.append(
+                        self.comm.isend(env, dest=st.dest, tag=st.tag)
+                    )
+                progress = True
+        return progress
+
+    def _handle_data(self, st: _Round, env, ctrl_tag: int) -> None:
+        """Classify one completed data receive for round ``st``."""
+        if not isinstance(env, Checksummed) or len(env.meta) != 3:
+            raise UnrecoveredFaultError(
+                f"exchange round {st.index}: rank {st.src} sent an "
+                "unchecksummed payload; reliable mode must match on all ranks"
+            )
+        ep, idx, _attempt = env.meta
+        if ep != self.epoch or idx != st.index:
+            # Leftover of an earlier same-parity epoch (a duplicate delivery
+            # or a resend that raced a deadline): discard, keep listening.
+            self.stale_discards += 1
+            self._metric_inc("exchange.stale_discards")
+            st.recv_req = self.comm.irecv(source=st.src, tag=st.tag)
+            return
+        if env.ok():
+            st.verified = True
+            st.payload = env.payload
+            st.recv_req = None
+            with self.tracer.suspended():
+                self.comm.send(
+                    ("ack", self.epoch, st.index), dest=st.src, tag=ctrl_tag
+                )
+        else:
+            self.crc_rejects += 1
+            self._metric_inc("exchange.crc_rejects")
+            self._nack(st, ctrl_tag, timed_out=False)
+            st.recv_req = self.comm.irecv(source=st.src, tag=st.tag)
+
+    def _nack(self, st: _Round, ctrl_tag: int, *, timed_out: bool) -> None:
+        """Ask ``st.src`` to retransmit round ``st.index``."""
+        st.nacks += 1
+        if st.nacks > self.max_attempts:
+            raise UnrecoveredFaultError(
+                f"exchange round {st.index} of epoch {self.epoch}: no valid "
+                f"payload from rank {st.src} after {st.nacks - 1} NACKs"
+            )
+        if timed_out:
+            self.timeout_nacks += 1
+            self._metric_inc("exchange.timeout_nacks")
+        with self.tracer.suspended():
+            self.comm.send(
+                ("nack", self.epoch, st.index), dest=st.src, tag=ctrl_tag
+            )
+        st.next_nack_t = time.monotonic() + self._nack_backoff.delay(
+            st.nacks, key=(self.epoch, st.index)
+        )
+
+    def _raise_on_dead_peers(
+        self, pending: list[_Round], unacked: dict[int, _Round]
+    ) -> None:
+        """A genuinely dead counterparty is fail-stop, not transient: hand
+        it to the elastic layer as a PeerFailure instead of NACKing a corpse
+        until the attempt budget runs out."""
+        dead = self.comm.dead_peers()
+        if not dead:
+            return
+        for st in pending:
+            if st.src in dead:
+                raise PeerFailure(
+                    self.comm.group[st.src], dead[st.src] or None, op="exchange"
+                )
+        for st in unacked.values():
+            if st.dest in dead:
+                raise PeerFailure(
+                    self.comm.group[st.dest], dead[st.dest] or None, op="exchange"
+                )
+
+    def _apply_commit(self, committed: int, sp) -> None:
+        """Install the agreed prefix of rounds as this epoch's exchange.
+
+        Rounds beyond ``committed`` are rolled back symmetrically: the
+        receiver discards their payloads (even if verified) and the sender
+        keeps their samples (they drop out of ``_selected_ids``), so no
+        sample is lost or duplicated and every shard keeps its size."""
+        rounds = len(self._rounds)
+        for st in self._rounds:
+            if st.recv_req is not None and not st.recv_req.completed:
+                st.recv_req.cancel()
+                st.recv_req = None
+        kept = self._rounds[:committed]
+        tr = self.tracer
+        if tr.enabled:
+            # Receive events are emitted here, in round order, rather than at
+            # the (racy) moment each payload verified — keeping per-rank
+            # traces deterministic while preserving the byte accounting.
+            for st in kept:
+                with tr.span(
+                    "recv", cat="comm.p2p", peer=st.src, tag=st.tag,
+                    nbytes=st.nbytes,
+                ):
+                    pass
+                tr.metrics.counter("comm.p2p.msgs_recv").inc()
+                tr.metrics.counter("comm.p2p.bytes_recv").inc(st.nbytes)
+        self._received = [
+            (np.asarray(s), int(lbl), gid)
+            for st in kept
+            for s, lbl, gid in st.payload
+        ]
+        committed_samples = sum(st.samples for st in kept)
+        self._selected_ids = self._selected_ids[:committed_samples]
+        self._sent_moves = [mv for st in kept for mv in st.moves]
+        self.total_sent_samples += committed_samples
+        self.total_sent_bytes += sum(st.nbytes for st in kept)
         self.total_recv_samples += len(self._received)
 
+        # Deficit bookkeeping: this plan contained ``_planned_extra`` samples
+        # of repayment; whatever the commit fell short of the plan is newly
+        # owed.  Both quantities are globally agreed, so q_deficit stays
+        # identical on every rank (and provably >= 0: the agreed k never
+        # exceeds min(base) + deficit).
+        planned_samples = sum(st.samples for st in self._rounds)
+        short = planned_samples - committed_samples
+        self.q_deficit = self.q_deficit - self._planned_extra + short
+        if committed < rounds:
+            self.degraded_epochs += 1
+            self._metric_inc("exchange.degraded_epochs")
+        self.effective_q.append(
+            committed_samples / self._n_local if self._n_local else 0.0
+        )
+        tr = self.tracer
+        if tr.enabled:
+            tr.metrics.gauge("exchange.q_deficit").set(self.q_deficit)
+        sp.set(
+            samples=len(self._received),
+            committed_rounds=committed,
+            planned_rounds=rounds,
+        )
+
+    def fault_stats(self) -> dict:
+        """Fault-recovery counters (reliable mode) for reporting layers."""
+        return {
+            "resends": self.resends,
+            "resent_bytes": self.resent_bytes,
+            "crc_rejects": self.crc_rejects,
+            "timeout_nacks": self.timeout_nacks,
+            "stale_discards": self.stale_discards,
+            "degraded_epochs": self.degraded_epochs,
+            "q_deficit": self.q_deficit,
+            "effective_q": list(self.effective_q),
+        }
+
+    # ----------------------------------------------------------------- commit
     def clean_local_storage(self) -> None:
         """Install received samples, then retire the transmitted ones.
 
@@ -358,16 +771,23 @@ class Scheduler:
         self._received = []
         self._selected_ids = []
         self._sent_moves = []
+        self._rounds = []
         self._cleaned = True
 
     def abort_exchange(self) -> None:
         """Abandon a partially posted exchange after a peer failure.
 
-        Cancels every outstanding request and resets the per-epoch state so
+        Cancels every outstanding request — including irecvs re-posted by
+        the reliable loop after a NACK — and resets the per-epoch state so
         :meth:`scheduling` can be called again (typically on a shrunk
         communicator via a rebuilt scheduler).  Local storage is untouched:
         nothing was installed or evicted, so the hot set is exactly what it
         was at ``scheduling()`` time."""
+        for st in self._rounds:
+            if st.recv_req is not None and not st.recv_req.completed:
+                st.recv_req.cancel()
+            st.recv_req = None
+            st.buffer = None
         for req in self._send_reqs + self._recv_reqs:
             if not req.completed:
                 req.cancel()
@@ -376,14 +796,25 @@ class Scheduler:
         self._received = []
         self._selected_ids = []
         self._sent_moves = []
+        self._rounds = []
         self._next_round = 0
+        self._planned_extra = 0
         self.plan = None
         self.epoch = None
         self._cleaned = True
 
-    def run_exchange(self, epoch: int) -> None:
-        """Convenience: the full blocking exchange for one epoch."""
-        self.scheduling(epoch)
-        send_reqs, recv_reqs = self.communicate()
-        self.synchronize(send_reqs, recv_reqs)
-        self.clean_local_storage()
+    def run_exchange(self, epoch: int, deadline_s: float | None = None) -> None:
+        """Convenience: the full blocking exchange for one epoch.
+
+        ``deadline_s`` overrides the scheduler's per-epoch exchange deadline
+        for this call only (reliable mode)."""
+        prev = self.deadline_s
+        if deadline_s is not None:
+            self.deadline_s = deadline_s
+        try:
+            self.scheduling(epoch)
+            send_reqs, recv_reqs = self.communicate()
+            self.synchronize(send_reqs, recv_reqs)
+            self.clean_local_storage()
+        finally:
+            self.deadline_s = prev

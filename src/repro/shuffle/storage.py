@@ -37,6 +37,8 @@ from typing import Iterator
 import numpy as np
 
 from repro.data.dataset import Dataset
+from repro.utils.fileio import atomic_save
+from repro.utils.retry import Retrier, default_retrier
 
 __all__ = ["StorageArea", "DiskStorageArea", "StorageFullError", "StorageDataset"]
 
@@ -261,27 +263,51 @@ class DiskStorageArea(StorageArea):
     area can be memory, local storage (e.g., local SSDs) as well as a
     parallel file system"): entries survive process restart and the byte
     accounting reflects actual files.
+
+    Writes go through :func:`~repro.utils.fileio.atomic_save` (temp file +
+    ``os.replace``), so a crash mid-write can never leave a torn ``.npy``
+    behind; reads retry transient ``OSError``/``ValueError`` with capped
+    exponential backoff.  ``fault_hook(op, path, attempt)`` is the chaos
+    seam: it runs before each physical read attempt and may raise the
+    injected fault (see :class:`repro.faults.ChaosEngine.storage_hook`).
     """
 
-    def __init__(self, root: str | Path, *, capacity_bytes: int | None = None):
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        capacity_bytes: int | None = None,
+        retrier: Retrier | None = None,
+        fault_hook=None,
+    ):
         super().__init__(capacity_bytes=capacity_bytes)
         self.root = Path(root)
+        self.retrier = retrier if retrier is not None else default_retrier()
+        self.fault_hook = fault_hook
         self.root.mkdir(parents=True, exist_ok=True)
         # Reload anything already on disk (restart support).
         for f in sorted(self.root.glob("sample_*.npy")):
             label = int(f.stem.split("_label_")[1])
-            super().add(np.load(f), label)
+            super().add(self._read(f), label)
             f.unlink()  # re-persisted below with the new id
         for sid, sample, label in list(self.items()):
-            np.save(self._path(sid, label), sample)
+            atomic_save(self._path(sid, label), sample)
 
     def _path(self, sid: int, label: int) -> Path:
         return self.root / f"sample_{sid:08d}_label_{label}.npy"
 
+    def _read(self, path: Path) -> np.ndarray:
+        def load(attempt: int) -> np.ndarray:
+            if self.fault_hook is not None:
+                self.fault_hook("read", str(path), attempt)
+            return np.load(path)
+
+        return self.retrier.call(load, key=str(path))
+
     def add(self, sample: np.ndarray, label: int, gid: int | None = None) -> int:
         """Append/record one entry."""
         sid = super().add(sample, label, gid=gid)
-        np.save(self._path(sid, int(label)), np.asarray(sample))
+        atomic_save(self._path(sid, int(label)), np.asarray(sample))
         return sid
 
     def remove(self, sid: int) -> None:

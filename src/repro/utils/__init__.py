@@ -1,7 +1,10 @@
-"""Shared utilities: size units, RNG trees, ASCII tables, phase timers."""
+"""Shared utilities: size units, RNG trees, retry/backoff, ASCII tables,
+phase timers, crash-safe file writes."""
 
 from .ascii_plot import ascii_chart, sparkline
-from .rng import SeedTree, default_rng, rank_rng, seed_default_rng, shared_rng
+from .fileio import atomic_save
+from .retry import Backoff, Retrier, default_retrier, retry_call
+from .rng import SeedTree, default_rng, hash_unit, rank_rng, seed_default_rng, shared_rng
 from .tables import print_table, render_table
 from .timing import PhaseTimer, Stopwatch
 from .units import GB, GIB, KB, KIB, MB, MIB, PB, PIB, TB, TIB, format_size, parse_size
@@ -9,9 +12,15 @@ from .units import GB, GIB, KB, KIB, MB, MIB, PB, PIB, TB, TIB, format_size, par
 __all__ = [
     "ascii_chart",
     "sparkline",
+    "atomic_save",
+    "Backoff",
+    "Retrier",
+    "default_retrier",
+    "retry_call",
     "SeedTree",
     "default_rng",
     "seed_default_rng",
+    "hash_unit",
     "rank_rng",
     "shared_rng",
     "print_table",

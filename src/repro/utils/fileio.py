@@ -1,0 +1,38 @@
+"""Crash-safe file helpers for the on-disk sample stores.
+
+``np.save(path, arr)`` writes in place: a crash (or an injected fault)
+mid-write leaves a torn ``.npy`` that poisons every later read.
+:func:`atomic_save` writes to a sibling temp file and ``os.replace``\\ s it
+over the target, so readers only ever observe the old content or the
+complete new content — never a partial file.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["atomic_save"]
+
+
+def atomic_save(path: str | os.PathLike, array: np.ndarray) -> None:
+    """Persist ``array`` as ``.npy`` at ``path``, atomically.
+
+    The temp file lives next to the target (``<name>.tmp`` — outside any
+    ``*.npy`` glob, so a leftover from a crash is never scanned as a
+    sample) and is fsync'd before the rename, so the visible file is
+    always complete even across a process crash mid-write.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "wb") as f:
+            np.save(f, np.asarray(array))
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise

@@ -14,6 +14,8 @@ from one root seed using ``numpy``'s ``SeedSequence`` spawning so that
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 __all__ = [
@@ -24,7 +26,23 @@ __all__ = [
     "seed_default_rng",
     "default_rng_state",
     "restore_default_rng_state",
+    "hash_unit",
 ]
+
+
+def hash_unit(*keys: object) -> float:
+    """Deterministic value in [0, 1) that is a pure function of ``keys``.
+
+    The decision primitive for fault injection and retry jitter: unlike a
+    drawn stream, a keyed hash is immune to thread interleaving — whether
+    rank 3's send happens before or after rank 5's, the fault decision for
+    a given (seed, message identity, attempt) is the same, which is what
+    makes chaos runs bit-reproducible.  Keys are stringified, so use only
+    value-stable components (ints, strings, tuples thereof).
+    """
+    blob = "\x1f".join(str(k) for k in keys).encode()
+    digest = hashlib.blake2b(blob, digest_size=8).digest()
+    return int.from_bytes(digest, "big") / 2.0 ** 64
 
 
 class SeedTree:

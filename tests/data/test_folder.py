@@ -73,3 +73,61 @@ class TestFolderDataset:
         disk_ds.save_sample(np.ones(2, dtype=np.float32), 2, "persisted")
         reloaded = FolderDataset(disk_ds.root)
         assert len(reloaded) == 7
+
+
+class TestRobustIO:
+    def test_atomic_save_leaves_no_temp_files(self, disk_ds):
+        disk_ds.save_sample(np.ones(2, dtype=np.float32), 0, "atomic")
+        leftovers = [p for p in disk_ds.root.rglob("*") if ".tmp" in p.name]
+        assert leftovers == []
+
+    def test_read_retries_transient_failures(self, tmp_path):
+        from repro.utils.retry import Retrier
+
+        fails = {"left": 2}
+
+        def flaky(op, path, attempt):
+            if fails["left"] > 0:
+                fails["left"] -= 1
+                raise OSError("injected")
+
+        retrier = Retrier(attempts=5, sleep=lambda _s: None)
+        ds = materialize_folder_dataset(
+            tmp_path / "flaky", np.arange(4.0).reshape(2, 2), [0, 1],
+            retrier=retrier, fault_hook=flaky,
+        )
+        x, y = ds[0]
+        assert y == 0
+        assert fails["left"] == 0
+        assert retrier.stats() == {"retries": 2, "giveups": 0}
+
+    def test_read_gives_up_past_budget(self, tmp_path):
+        from repro.utils.retry import Retrier
+
+        def always_fail(op, path, attempt):
+            raise OSError("permanently down")
+
+        ds = materialize_folder_dataset(
+            tmp_path / "down", np.zeros((1, 2)), [0],
+            retrier=Retrier(attempts=2, sleep=lambda _s: None),
+            fault_hook=always_fail,
+        )
+        with pytest.raises(OSError, match="permanently down"):
+            ds[0]
+
+    def test_fault_hook_sees_attempt_number(self, tmp_path):
+        seen = []
+
+        def spy(op, path, attempt):
+            seen.append((op, attempt))
+            if attempt == 0:
+                raise OSError("once")
+
+        from repro.utils.retry import Retrier
+
+        ds = materialize_folder_dataset(
+            tmp_path / "spy", np.zeros((1, 2)), [0],
+            retrier=Retrier(attempts=3, sleep=lambda _s: None), fault_hook=spy,
+        )
+        ds[0]
+        assert seen == [("read", 0), ("read", 1)]

@@ -1,0 +1,114 @@
+"""run_chaos_train end-to-end: full PLS training under fault profiles.
+
+The headline property: every recoverable profile yields a final model
+bit-identical to the clean run (tolerance 0), because checksummed resend,
+retrying reads and deterministic injection make faults invisible.
+"""
+
+import pytest
+
+from repro.data import SyntheticSpec
+from repro.faults import run_chaos_train
+from repro.train.experiments import make_experiment_data
+from repro.train.trainer import TrainConfig
+
+WORKERS = 4
+
+
+@pytest.fixture(scope="module")
+def setup():
+    spec = SyntheticSpec(n_samples=240, n_classes=4, n_features=16, seed=0)
+    train_ds, labels, val_X, val_y = make_experiment_data(spec)
+    config = TrainConfig(
+        model="mlp", in_shape=(16,), num_classes=4,
+        epochs=3, batch_size=8, base_lr=0.05,
+        partition="class_sorted", seed=0,
+    )
+    return dict(
+        config=config, workers=WORKERS, q=0.3, resend_timeout_s=0.05,
+        train_dataset=train_ds, labels=labels, val_X=val_X, val_y=val_y,
+    )
+
+
+def history_signature(result):
+    return tuple(
+        (r.epoch, r.train_loss, r.val_accuracy) for r in result.history.records
+    )
+
+
+class TestBitIdenticalTraining:
+    @pytest.fixture(scope="class")
+    def clean(self, setup):
+        return run_chaos_train(profile="", seed=0, **setup)
+
+    @pytest.fixture(scope="class")
+    def clean_on_disk(self, setup, tmp_path_factory):
+        # Storage-fault comparisons need the same substrate: materializing
+        # to a folder dataset reorders samples by class, so the baseline
+        # must be materialized too.
+        return run_chaos_train(
+            profile="", seed=0, materialize=True,
+            data_root=tmp_path_factory.mktemp("clean"), **setup,
+        )
+
+    def test_corrupt_bit_identical(self, setup, clean):
+        r = run_chaos_train(profile="corrupt:p=0.01", seed=1, **setup)
+        assert r.injected.get("corrupt", 0) > 0
+        assert history_signature(r) == history_signature(clean)
+        assert r.unrecovered == 0
+
+    def test_drop_bit_identical(self, setup, clean):
+        r = run_chaos_train(profile="drop:p=0.05", seed=2, **setup)
+        assert r.injected.get("drop", 0) > 0
+        assert history_signature(r) == history_signature(clean)
+
+    def test_flaky_read_bit_identical(self, setup, clean_on_disk, tmp_path):
+        r = run_chaos_train(
+            profile="flaky-read:p=0.05", seed=3, data_root=tmp_path, **setup
+        )
+        assert r.injected.get("flaky-read", 0) > 0
+        assert r.retry_stats["retries"] > 0
+        assert r.unrecovered == 0
+        assert history_signature(r) == history_signature(clean_on_disk)
+
+    def test_combined_profile_bit_identical(self, setup, clean_on_disk, tmp_path):
+        r = run_chaos_train(
+            profile="corrupt:p=0.01;drop:p=0.01;flaky-read:p=0.05",
+            seed=4, data_root=tmp_path, **setup,
+        )
+        assert sum(r.injected.values()) > 0
+        assert history_signature(r) == history_signature(clean_on_disk)
+
+
+class TestDeterminism:
+    def test_same_chaos_seed_twice(self, setup):
+        profile = "corrupt:p=0.02;drop:p=0.02"
+        r1 = run_chaos_train(profile=profile, seed=7, **setup)
+        r2 = run_chaos_train(profile=profile, seed=7, **setup)
+        assert r1.injected == r2.injected
+        assert sum(r1.injected.values()) > 0
+        assert history_signature(r1) == history_signature(r2)
+        assert r1.fault_stats == r2.fault_stats
+
+
+class TestElasticComposition:
+    def test_kill_plus_transient(self, setup):
+        # One profile drives both recovery stacks: rank 1 fail-stops at
+        # epoch 2 (elastic shrinks + recovers its shard) while corruption
+        # keeps hitting the survivors' exchange.
+        r = run_chaos_train(
+            profile="corrupt:p=0.03;kill:rank=1,epoch=2,point=mid_exchange",
+            seed=5, **setup,
+        )
+        assert r.dead_ranks == (1,)
+        assert len(r.recoveries) == 1
+        assert r.injected.get("corrupt", 0) > 0
+        assert r.history.stats.get("final_workers") == WORKERS - 1
+        assert r.final_accuracy > 0.5
+
+    def test_profile_object_accepted(self, setup):
+        from repro.faults import FaultProfile
+
+        prof = FaultProfile.parse("corrupt:p=0.01")
+        r = run_chaos_train(profile=prof, seed=0, **setup)
+        assert r.profile is prof

@@ -115,3 +115,49 @@ class TestDiskStorageArea:
         sid = st.add(sample(5.0), 0)
         s, lbl = st.get(sid)
         assert np.allclose(s, 5.0)
+
+
+class TestDiskStorageRobustIO:
+    def test_writes_are_atomic_no_temp_leftovers(self, tmp_path):
+        st = DiskStorageArea(tmp_path / "local")
+        for i in range(4):
+            st.add(sample(float(i)), label=i)
+        leftovers = [p for p in (tmp_path / "local").rglob("*") if ".tmp" in p.name]
+        assert leftovers == []
+
+    def test_reload_retries_flaky_reads(self, tmp_path):
+        from repro.utils.retry import Retrier
+
+        st = DiskStorageArea(tmp_path / "local")
+        sid = st.add(sample(5.0), label=1)
+        del st
+
+        fails = {"left": 1}
+
+        def flaky(op, path, attempt):
+            if fails["left"] > 0:
+                fails["left"] -= 1
+                raise OSError("injected")
+
+        retrier = Retrier(attempts=4, sleep=lambda _s: None)
+        st2 = DiskStorageArea(tmp_path / "local", retrier=retrier, fault_hook=flaky)
+        s, lbl = st2.get(sid)
+        assert np.allclose(s, 5.0)
+        assert retrier.stats()["retries"] == 1
+
+    def test_reload_gives_up_past_budget(self, tmp_path):
+        from repro.utils.retry import Retrier
+
+        st = DiskStorageArea(tmp_path / "local")
+        st.add(sample(), label=0)
+        del st
+
+        def dead(op, path, attempt):
+            raise OSError("pfs down")
+
+        with pytest.raises(OSError, match="pfs down"):
+            DiskStorageArea(
+                tmp_path / "local",
+                retrier=Retrier(attempts=2, sleep=lambda _s: None),
+                fault_hook=dead,
+            )
