@@ -1,0 +1,75 @@
+"""FASTPATH — exchange hot path: per-sample vs zero-copy batched envelopes.
+
+Runs the same reliable PLS exchange twice (shared seed and plan, so the
+resulting shards are provably bit-identical) — once with the original
+per-sample tuple payloads, once with the pooled ``PackedBatch`` fast path
+— and renders the comparison the JSON artifacts
+(``BENCH_exchange.json`` / ``BENCH_epoch.json``) carry for the CI gate.
+See ``docs/performance.md`` for how to read the numbers.
+"""
+
+import pytest
+
+from repro.bench import bench_epoch_loader, bench_exchange
+from repro.utils import render_table
+
+from _common import emit, once
+
+
+def build_rows():
+    ex = bench_exchange(ranks=4, samples=128, shape=(32, 32), q=0.5, epochs=3)
+    rows = []
+    for mode in ("persample", "batched"):
+        m = ex["modes"][mode]
+        rows.append(
+            [
+                mode,
+                f"{m['wall_time_s'] * 1e3:.1f} ms",
+                f"{m['ops_per_s']:.0f}/s",
+                f"{m['bytes_copied']:,} B",
+                str(m["allocations"]),
+            ]
+        )
+    rows.append(
+        [
+            "ratio",
+            f"{ex['ratios']['speedup']:.2f}x",
+            "",
+            f"{ex['ratios']['bytes_copied_ratio']:.2f}x",
+            f"{ex['ratios']['allocation_ratio']:.1f}x",
+        ]
+    )
+    return rows, ex
+
+
+@pytest.mark.benchmark(group="fastpath")
+def test_exchange_fastpath(benchmark):
+    rows, _ex = once(benchmark, build_rows)
+    table = render_table(
+        ["mode", "wall time", "samples", "bytes copied", "allocations"], rows
+    )
+    emit("fastpath_exchange", table)
+
+
+@pytest.mark.benchmark(group="fastpath")
+def test_exchange_shards_bit_identical():
+    """The fast path must be a pure representation change: same seed, same
+    plan, bit-identical shards afterwards (checked inside bench_exchange)."""
+    ex = bench_exchange(ranks=2, samples=48, shape=(16, 16), q=0.5, epochs=2)
+    assert ex["identical_shards"]
+    assert ex["ratios"]["bytes_copied_ratio"] >= 2.0
+
+
+@pytest.mark.benchmark(group="fastpath")
+def test_epoch_loader_pooled(benchmark):
+    ep = once(benchmark, bench_epoch_loader)
+    d, p = ep["loaders"]["default"], ep["loaders"]["pooled"]
+    table = render_table(
+        ["loader", "wall time", "batches/s", "allocations"],
+        [
+            ["default", f"{d['wall_time_s'] * 1e3:.1f} ms", f"{d['batches_per_s']:.0f}", str(d["allocations"])],
+            ["pooled", f"{p['wall_time_s'] * 1e3:.1f} ms", f"{p['batches_per_s']:.0f}", str(p["allocations"])],
+        ],
+    )
+    emit("fastpath_epoch_loader", table)
+    assert ep["identical_data"]

@@ -1,0 +1,21 @@
+"""Benchmark harness for the exchange hot path (``repro bench``).
+
+Measures what the zero-copy batched exchange and the pooled data-loader
+buy over the original per-sample path, and writes machine-readable
+artifacts (``BENCH_exchange.json`` / ``BENCH_epoch.json``) the CI
+``bench-smoke`` job gates on.  See ``docs/performance.md`` for how to run
+it and how to read the numbers.
+"""
+
+from .epoch import bench_epoch_loader
+from .exchange import bench_exchange, exchange_q_sweep
+from .runner import DEFAULT_RESULTS_DIR, check_regression, run_bench
+
+__all__ = [
+    "bench_exchange",
+    "exchange_q_sweep",
+    "bench_epoch_loader",
+    "run_bench",
+    "check_regression",
+    "DEFAULT_RESULTS_DIR",
+]

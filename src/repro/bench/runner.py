@@ -1,0 +1,146 @@
+"""Orchestration for ``repro bench``: run, persist, and gate on artifacts.
+
+``run_bench`` executes the exchange and epoch-loader benchmarks and
+writes ``BENCH_exchange.json`` / ``BENCH_epoch.json``.  With
+``check=True`` it first loads the committed baselines and fails on a
+>20 % regression of the *self-normalised* ratio metrics (speedup,
+bytes-copied ratio, allocation ratio) — ratios compare the two code
+paths within one run on one machine, so the gate is meaningful on CI
+runners of any speed.  The batched path must additionally clear the
+absolute floor of >= 2x fewer bytes copied than the per-sample path,
+which is a deterministic property of the protocol, not a timing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from .epoch import bench_epoch_loader
+from .exchange import bench_exchange, exchange_q_sweep
+
+__all__ = ["run_bench", "check_regression", "DEFAULT_RESULTS_DIR"]
+
+#: Where artifacts are read from and written to by default: the committed
+#: baselines live next to the paper-figure benchmark tables.
+DEFAULT_RESULTS_DIR = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+
+EXCHANGE_ARTIFACT = "BENCH_exchange.json"
+EPOCH_ARTIFACT = "BENCH_epoch.json"
+
+#: Deterministic floor on the copy ratio (per-sample path copies at least
+#: pickle + 2x CRC walks per payload; batched pays one gather).
+MIN_BYTES_COPIED_RATIO = 2.0
+
+_SMOKE = {
+    "exchange": dict(ranks=2, samples=48, shape=(32, 32), q=0.5, epochs=2),
+    "q_sweep": dict(ranks=2, samples=48, shape=(32, 32), qs=(0.25, 0.5, 1.0), epochs=1),
+    "epoch": dict(samples=192, shape=(3, 16, 16), batch_size=32, epochs=2),
+}
+_FULL = {
+    "exchange": dict(ranks=4, samples=256, shape=(3, 32, 32), q=0.5, epochs=3),
+    "q_sweep": dict(ranks=4, samples=256, shape=(3, 32, 32), qs=(0.1, 0.25, 0.5, 1.0), epochs=2),
+    "epoch": dict(samples=1024, shape=(3, 32, 32), batch_size=64, epochs=3),
+}
+
+
+def run_bench(
+    *,
+    smoke: bool = False,
+    out_dir: str | Path | None = None,
+    check: bool = False,
+    baseline_dir: str | Path | None = None,
+    seed: int = 0,
+) -> dict[str, Any]:
+    """Run all benchmarks; returns ``{"exchange": ..., "epoch": ..., "problems": [...]}``.
+
+    Artifacts are written to ``out_dir`` (default: ``benchmarks/results``).
+    With ``check=True`` the baselines are loaded from ``baseline_dir``
+    *before* anything is overwritten, and detected regressions are
+    returned under ``"problems"`` (empty means the gate passes).
+    """
+    out = Path(out_dir) if out_dir is not None else DEFAULT_RESULTS_DIR
+    base = Path(baseline_dir) if baseline_dir is not None else DEFAULT_RESULTS_DIR
+    baselines: dict[str, Any] = {}
+    if check:
+        for name in (EXCHANGE_ARTIFACT, EPOCH_ARTIFACT):
+            path = base / name
+            if path.is_file():
+                baselines[name] = json.loads(path.read_text())
+
+    params = _SMOKE if smoke else _FULL
+    exchange = bench_exchange(seed=seed, **params["exchange"])
+    exchange["q_sweep"] = exchange_q_sweep(seed=seed, **params["q_sweep"])
+    exchange["schema"] = "repro.bench.exchange/v1"
+    exchange["smoke"] = smoke
+    epoch = bench_epoch_loader(seed=seed, **params["epoch"])
+    epoch["schema"] = "repro.bench.epoch/v1"
+    epoch["smoke"] = smoke
+
+    out.mkdir(parents=True, exist_ok=True)
+    (out / EXCHANGE_ARTIFACT).write_text(json.dumps(exchange, indent=2) + "\n")
+    (out / EPOCH_ARTIFACT).write_text(json.dumps(epoch, indent=2) + "\n")
+
+    problems: list[str] = []
+    if check:
+        problems = check_regression(exchange, epoch, baselines)
+    return {"exchange": exchange, "epoch": epoch, "problems": problems, "out_dir": str(out)}
+
+
+def _ratio_regressions(
+    label: str, current: dict, baseline: dict | None, keys: tuple, tolerance: float
+) -> list[str]:
+    problems = []
+    for key in keys:
+        cur = current.get("ratios", {}).get(key)
+        if cur is None:
+            problems.append(f"{label}: ratio {key!r} missing from current run")
+            continue
+        if baseline is None:
+            continue
+        ref = baseline.get("ratios", {}).get(key)
+        if ref is None or ref == float("inf"):
+            continue
+        if cur < (1.0 - tolerance) * ref:
+            problems.append(
+                f"{label}: {key} regressed to {cur:.3g} "
+                f"(< {1 - tolerance:.0%} of baseline {ref:.3g})"
+            )
+    return problems
+
+
+def check_regression(
+    exchange: dict, epoch: dict, baselines: dict[str, Any], *, tolerance: float = 0.2
+) -> list[str]:
+    """Compare a fresh run against the committed baselines.
+
+    Returns a list of human-readable problems (empty = pass).  A missing
+    baseline file is not a failure — the absolute copy-ratio floor still
+    applies, so a fresh checkout cannot silently lose the fast path.
+    """
+    problems = []
+    copied = exchange["ratios"]["bytes_copied_ratio"]
+    if copied < MIN_BYTES_COPIED_RATIO:
+        problems.append(
+            f"exchange: bytes_copied_ratio {copied:.2f} below the "
+            f"{MIN_BYTES_COPIED_RATIO:.0f}x floor — the zero-copy path is "
+            "copying more than it should"
+        )
+    if not exchange.get("identical_shards"):
+        problems.append("exchange: batched shards diverged from per-sample reference")
+    problems += _ratio_regressions(
+        "exchange",
+        exchange,
+        baselines.get(EXCHANGE_ARTIFACT),
+        ("speedup", "bytes_copied_ratio", "allocation_ratio"),
+        tolerance,
+    )
+    problems += _ratio_regressions(
+        "epoch",
+        epoch,
+        baselines.get(EPOCH_ARTIFACT),
+        ("allocation_ratio",),
+        tolerance,
+    )
+    return problems

@@ -207,6 +207,30 @@ def build_parser() -> argparse.ArgumentParser:
         "(default 0: recoverable faults must be bit-invisible)",
     )
 
+    p_bench = sub.add_parser(
+        "bench",
+        help="exchange fast-path benchmarks (writes BENCH_exchange.json / "
+        "BENCH_epoch.json)",
+    )
+    p_bench.add_argument(
+        "--smoke", action="store_true",
+        help="small problem sizes for CI (seconds, not minutes)",
+    )
+    p_bench.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="artifact directory (default: benchmarks/results)",
+    )
+    p_bench.add_argument(
+        "--check", action="store_true",
+        help="fail on >20%% ratio regression vs the committed baseline, or "
+        "if the batched path copies less than 2x fewer bytes",
+    )
+    p_bench.add_argument(
+        "--baseline", default=None, metavar="DIR",
+        help="baseline directory for --check (default: benchmarks/results)",
+    )
+    p_bench.add_argument("--seed", type=int, default=0, help="benchmark seed")
+
     p_lint = sub.add_parser(
         "lint", help="SPMD correctness lint (AST rules SPMD001-SPMD005)"
     )
@@ -532,6 +556,47 @@ def _cmd_chaos_train(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from repro.bench import run_bench
+
+    result = run_bench(
+        smoke=args.smoke,
+        out_dir=args.out,
+        check=args.check,
+        baseline_dir=args.baseline,
+        seed=args.seed,
+    )
+    ex, ep = result["exchange"], result["epoch"]
+    print(f"wrote BENCH_exchange.json and BENCH_epoch.json to {result['out_dir']}")
+    print(
+        "exchange: {speedup:.2f}x faster, {copied:.2f}x fewer bytes copied, "
+        "{alloc:.1f}x fewer allocations (batched vs per-sample)".format(
+            speedup=ex["ratios"]["speedup"],
+            copied=ex["ratios"]["bytes_copied_ratio"],
+            alloc=ex["ratios"]["allocation_ratio"],
+        )
+    )
+    print(
+        "epoch loader: {speedup:.2f}x faster, {alloc:.1f}x fewer allocations "
+        "(pooled vs default collate)".format(
+            speedup=ep["ratios"]["speedup"],
+            alloc=ep["ratios"]["allocation_ratio"],
+        )
+    )
+    for q_row in ex["q_sweep"]:
+        print(
+            f"  Q={q_row['q']:<5g} exchange {q_row['wall_time_s'] * 1e3:8.1f} ms  "
+            f"{q_row['ops_per_s']:10.0f} samples/s"
+        )
+    if args.check:
+        if result["problems"]:
+            for p in result["problems"]:
+                print(f"REGRESSION: {p}", file=sys.stderr)
+            return 1
+        print("bench check passed (no regression vs baseline)")
+    return 0
+
+
 def _cmd_lint(args) -> int:
     import json
 
@@ -642,6 +707,7 @@ _HANDLERS = {
     "trace": _cmd_trace,
     "elastic-train": _cmd_elastic_train,
     "chaos-train": _cmd_chaos_train,
+    "bench": _cmd_bench,
     "lint": _cmd_lint,
 }
 

@@ -18,6 +18,7 @@ chunks ride in each exchange message.
 from __future__ import annotations
 
 import os
+import threading
 from pathlib import Path
 from typing import Iterable
 
@@ -55,6 +56,10 @@ class ShardedNpzDataset(Dataset):
         self._offsets = np.concatenate([[0], np.cumsum(self._sizes)])
         self._cache_idx: int | None = None
         self._cache: tuple[np.ndarray, np.ndarray] | None = None
+        # Ranks are threads sharing one dataset object; without the lock a
+        # concurrent miss could swap the cache between another reader's
+        # check and use, handing it the wrong (shorter) chunk.
+        self._cache_lock = threading.Lock()
         self.chunk_reads = 0
 
     # ------------------------------------------------------------- interface
@@ -94,12 +99,13 @@ class ShardedNpzDataset(Dataset):
         return list(self._sizes)
 
     def _load_chunk(self, ci: int) -> tuple[np.ndarray, np.ndarray]:
-        if self._cache_idx != ci:
-            with np.load(self._files[ci]) as z:
-                self._cache = (z["samples"], z["labels"])
-            self._cache_idx = ci
-            self.chunk_reads += 1
-        return self._cache
+        with self._cache_lock:
+            if self._cache_idx != ci:
+                with np.load(self._files[ci]) as z:
+                    self._cache = (z["samples"], z["labels"])
+                self._cache_idx = ci
+                self.chunk_reads += 1
+            return self._cache
 
 
 def materialize_sharded_dataset(

@@ -23,6 +23,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.mpi.codec import PackedBatch
 from repro.mpi.message import Checksummed, Message
 from repro.mpi.world import World
 from repro.utils.rng import hash_unit
@@ -35,6 +36,24 @@ __all__ = ["ChaosEngine", "ChaosWorld"]
 def _corrupt_leaf(obj: Any, u: float) -> tuple[Any, bool]:
     """Damage the first corruptible leaf of ``obj`` (depth-first), returning
     a rebuilt copy — the original structure is never mutated."""
+    if isinstance(obj, PackedBatch):
+        # Damage a *copy* of the envelope, never the sender's pooled resend
+        # buffer.  The copy is plain-bytearray-backed, so the receiver can
+        # NACK and drop it without any pool bookkeeping.
+        if obj.payload.nbytes:
+            raw = bytearray(obj.payload)
+            raw[int(u * len(raw)) % len(raw)] ^= 0xFF
+            return (
+                PackedBatch(
+                    header=obj.header,
+                    payload=memoryview(raw).toreadonly(),
+                    buf=raw,
+                ),
+                True,
+            )
+        head = bytearray(obj.header)
+        head[int(u * len(head)) % len(head)] ^= 0xFF
+        return PackedBatch(header=bytes(head), payload=obj.payload, buf=obj.buf), True
     if isinstance(obj, np.ndarray) and obj.nbytes:
         raw = bytearray(obj.tobytes())
         raw[int(u * len(raw)) % len(raw)] ^= 0xFF

@@ -18,6 +18,7 @@ Quick example::
     assert list(results) == [6, 6, 6, 6]
 """
 
+from .codec import PackedBatch, pack_samples, unpack_samples
 from .communicator import ANY_SOURCE, ANY_TAG, Communicator
 from .errors import (
     MPIAbort,
@@ -30,12 +31,18 @@ from .errors import (
 )
 from .launcher import SpmdResult, run_spmd
 from .message import Message, Status, payload_nbytes
+from .pool import BufferPool, PoolBuffer
 from .request import RecvRequest, Request, SendRequest, testall, waitall
 from .world import World
 
 __all__ = [
     "ANY_SOURCE",
     "ANY_TAG",
+    "BufferPool",
+    "PoolBuffer",
+    "PackedBatch",
+    "pack_samples",
+    "unpack_samples",
     "Communicator",
     "MPIAbort",
     "MPIError",

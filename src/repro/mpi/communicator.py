@@ -17,7 +17,15 @@ import numpy as np
 
 from repro.obs.tracer import NULL_TRACER
 
-from .message import ANY_SOURCE, ANY_TAG, Message, Status, copy_payload, payload_nbytes
+from .message import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Message,
+    Status,
+    copied_nbytes,
+    copy_payload,
+    payload_nbytes,
+)
 from .request import RecvRequest, Request, SendRequest
 from .world import World
 
@@ -93,6 +101,27 @@ class Communicator:
         """mpi4py-compatible spelling of ``size``."""
         return len(self.group)
 
+    @property
+    def pool(self):
+        """The world's shared :class:`~repro.mpi.pool.BufferPool` — where
+        the exchange packs its envelopes and returns them after commit."""
+        return self.world.pool
+
+    def count_copy(self, nbytes: int) -> None:
+        """Charge a payload copy of ``nbytes`` to this rank.
+
+        Feeds the world's deterministic ``bytes_copied`` counters and, when
+        tracing, the ``comm.copies`` / ``comm.bytes_copied`` metrics — the
+        numbers the fast-path benchmark gates on.  Called by the message
+        layer for send-time buffering and by the scheduler for checksum
+        ``tobytes()`` walks and pack gathers.
+        """
+        self.world.count_copy(self._world_rank, nbytes)
+        tr = self.tracer
+        if tr.enabled:
+            tr.metrics.counter("comm.copies").inc()
+            tr.metrics.counter("comm.bytes_copied").inc(nbytes)
+
     def _to_world(self, local: int) -> int:
         if local == ANY_SOURCE:
             return ANY_SOURCE
@@ -159,6 +188,13 @@ class Communicator:
 
     def _post_send(self, obj: Any, dest: int, tag: int) -> Request:
         payload = copy_payload(obj) if self.world.copy_on_send else obj
+        if payload is not obj:
+            # Charge only the bytes genuinely duplicated: immutable payloads
+            # (scalars, sealed PackedBatch envelopes) pass through, even
+            # when their container was rebuilt around them.
+            nb = copied_nbytes(obj, payload)
+            if nb:
+                self.count_copy(nb)
         world_dest = self._to_world(dest)
         self.world.post(
             Message(source=self._world_rank, dest=world_dest, tag=self._wire_tag(tag), payload=payload)
@@ -250,6 +286,15 @@ class Communicator:
             key, self._local_rank, contribution, group=self.group
         )
 
+    def _copy_in(self, value: Any) -> Any:
+        """Copy a collective result for this rank, charging the copy."""
+        copied = copy_payload(value)
+        if copied is not value:
+            nb = copied_nbytes(value, copied)
+            if nb:
+                self.count_copy(nb)
+        return copied
+
     def barrier(self) -> None:
         """Block until every rank in the communicator has entered."""
         self._rendezvous("barrier", None)
@@ -260,7 +305,7 @@ class Communicator:
         value = slots[root]
         if self._local_rank == root:
             return value
-        return copy_payload(value) if self.world.copy_on_send else value
+        return self._copy_in(value) if self.world.copy_on_send else value
 
     def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
         """Gather one value per rank to ``root`` (rank order); None elsewhere."""
@@ -286,7 +331,7 @@ class Communicator:
         value = slots[root][self._local_rank]
         if self._local_rank == root:
             return value
-        return copy_payload(value) if self.world.copy_on_send else value
+        return self._copy_in(value) if self.world.copy_on_send else value
 
     def reduce(
         self,
@@ -320,7 +365,7 @@ class Communicator:
         slots = self._rendezvous("alltoall", list(objs))
         out = [slots[src][self._local_rank] for src in range(self.size)]
         if self.world.copy_on_send:
-            out = [copy_payload(v) for v in out]
+            out = [self._copy_in(v) for v in out]
         return out
 
     # -------------------------------------------------------------- sub-groups

@@ -16,6 +16,8 @@ from typing import Any
 
 import numpy as np
 
+from .codec import PackedBatch
+
 __all__ = [
     "ANY_SOURCE",
     "ANY_TAG",
@@ -23,6 +25,7 @@ __all__ = [
     "Status",
     "Checksummed",
     "copy_payload",
+    "copied_nbytes",
     "payload_crc32",
     "payload_nbytes",
 ]
@@ -69,6 +72,11 @@ class Message:
 
 
 def _crc(obj: Any, acc: int) -> int:
+    if isinstance(obj, PackedBatch):
+        # Fast path: the batch is already contiguous bytes — CRC runs over
+        # header + payload directly, with zero copies (the structural walk
+        # below pays one tobytes() copy per array).
+        return zlib.crc32(obj.payload, zlib.crc32(obj.header, acc))
     if isinstance(obj, np.ndarray):
         acc = zlib.crc32(repr((obj.dtype.str, obj.shape)).encode(), acc)
         return zlib.crc32(obj.tobytes(), acc)
@@ -137,6 +145,13 @@ def copy_payload(obj: Any) -> Any:
         return obj.copy()
     if isinstance(obj, (int, float, complex, str, bytes, bool, type(None))):
         return obj
+    if isinstance(obj, PackedBatch):
+        # Zero-copy pass-through: the batch is frozen and its payload view
+        # is read-only, so no sender-side mutation can reach the receiver.
+        # The aliasing hazard moves to the buffer pool — a pooled backing
+        # buffer must only be release()d once no receiver-side view of it
+        # can be alive (the exchange protocol's ACK/commit points).
+        return obj
     if isinstance(obj, Checksummed):
         # Keep the envelope cheap to copy: the CRC was computed at wrap
         # time and stays valid for a faithful payload copy.
@@ -144,6 +159,28 @@ def copy_payload(obj: Any) -> Any:
             meta=obj.meta, payload=copy_payload(obj.payload), crc=obj.crc
         )
     return pickle.loads(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def copied_nbytes(orig: Any, copied: Any) -> int:
+    """Bytes genuinely duplicated by ``copy_payload(orig) -> copied``.
+
+    The copy-accounting counterpart of :func:`payload_nbytes`: structures
+    that passed through by reference (a :class:`~repro.mpi.codec.PackedBatch`,
+    immutable scalars) cost nothing even when their *container* was rebuilt
+    — e.g. re-wrapping a ``Checksummed`` envelope around a pass-through
+    payload charges only the envelope's own meta + CRC word.
+    """
+    if copied is orig:
+        return 0
+    if isinstance(orig, Checksummed) and isinstance(copied, Checksummed):
+        return copied_nbytes(orig.payload, copied.payload) + payload_nbytes(orig.meta) + 4
+    if (
+        isinstance(orig, (tuple, list))
+        and isinstance(copied, (tuple, list))
+        and len(orig) == len(copied)
+    ):
+        return sum(copied_nbytes(a, b) for a, b in zip(orig, copied))
+    return payload_nbytes(copied)
 
 
 def payload_nbytes(obj: Any) -> int:
@@ -154,6 +191,8 @@ def payload_nbytes(obj: Any) -> int:
     accounting — arrays report ``.nbytes``, scalars a fixed 8 bytes,
     containers recurse, and anything else falls back to its pickled size.
     """
+    if isinstance(obj, PackedBatch):
+        return obj.nbytes
     if isinstance(obj, np.ndarray):
         return obj.nbytes
     if isinstance(obj, (bytes, bytearray)):

@@ -15,6 +15,7 @@ from typing import Any, Sequence
 
 from .errors import MPIAbort, MPITimeout, PeerFailure
 from .message import Message, payload_nbytes
+from .pool import BufferPool
 
 __all__ = ["World"]
 
@@ -105,6 +106,15 @@ class World:
         self._traffic_lock = threading.Lock()
         self.bytes_sent = [0] * size
         self.messages_sent = [0] * size
+        # Copy accounting: bytes materialised into fresh memory on the
+        # message path (send-time buffering, checksum tobytes() walks,
+        # pack gathers).  The fast-path benchmark's "bytes copied" metric —
+        # deterministic, unlike wall time.
+        self.bytes_copied = [0] * size
+        self.copies = [0] * size
+        #: Shared exchange buffer pool: packed envelopes are gathered into
+        #: pooled buffers and the pool's leak balance is asserted by tests.
+        self.pool = BufferPool(name="world")
 
         # Failure detector state (the epitaph channel): ranks that died as a
         # *fault* rather than an error, plus the reason each one recorded.
@@ -317,7 +327,18 @@ class World:
             raise MPITimeout("world deadline exceeded")
 
     # ---------------------------------------------------------------- stats
+    def count_copy(self, rank: int, nbytes: int) -> None:
+        """Charge ``nbytes`` of payload copying to ``rank``'s counters."""
+        with self._traffic_lock:
+            self.bytes_copied[rank] += nbytes
+            self.copies[rank] += 1
+
     def total_bytes_sent(self) -> int:
         """Sum of bytes sent by all ranks."""
         with self._traffic_lock:
             return sum(self.bytes_sent)
+
+    def total_bytes_copied(self) -> int:
+        """Sum of message-path copy bytes over all ranks."""
+        with self._traffic_lock:
+            return sum(self.bytes_copied)

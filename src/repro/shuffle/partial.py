@@ -50,6 +50,10 @@ class PartialLocalShuffle(LocalShuffle):
         ACK/NACK exchange (on by default), the per-epoch exchange deadline
         that turns stragglers into graceful Q-degradation, and the resend
         timing/budget.
+    batched:
+        Forwarded to :class:`Scheduler`: send each exchange round as one
+        zero-copy :class:`~repro.mpi.codec.PackedBatch` envelope (default)
+        instead of a per-sample tuple list.
     """
 
     def __init__(
@@ -67,6 +71,7 @@ class PartialLocalShuffle(LocalShuffle):
         exchange_deadline_s: float | None = None,
         resend_timeout_s: float = 0.25,
         max_attempts: int = 16,
+        batched: bool = True,
     ) -> None:
         super().__init__(capacity_bytes=capacity_bytes)
         if not 0.0 <= q <= 1.0:
@@ -79,6 +84,7 @@ class PartialLocalShuffle(LocalShuffle):
         self.selection = selection
         self.ledger = ledger
         self.reliable = reliable
+        self.batched = batched
         self.exchange_deadline_s = exchange_deadline_s
         self.resend_timeout_s = resend_timeout_s
         self.max_attempts = max_attempts
@@ -116,6 +122,7 @@ class PartialLocalShuffle(LocalShuffle):
             deadline_s=self.exchange_deadline_s,
             resend_timeout_s=self.resend_timeout_s,
             max_attempts=self.max_attempts,
+            batched=self.batched,
         )
 
     # ------------------------------------------------------------ epoch hooks

@@ -40,6 +40,16 @@ Fail-stop faults remain :mod:`repro.elastic`'s business: the reliable loop
 polls ``comm.dead_peers()`` and re-raises a genuine death as
 :class:`~repro.mpi.errors.PeerFailure`, so a transient fault is never
 misdiagnosed as a rank death and vice versa.
+
+Batched fast path (the default, ``batched=True``): each round's samples are
+coalesced into one zero-copy :class:`~repro.mpi.codec.PackedBatch` envelope
+— struct header + one contiguous pooled payload — instead of a Python list
+the wire layer would pickle and the CRC layer would ``tobytes()``-walk.
+The reliable protocol is unchanged (same tags, same ACK/NACK control plane,
+same degraded-Q commit); only the payload representation and its copy count
+differ.  Ownership of the pooled buffer travels with the message: the
+sender packs it, and the receiver either adopts it into storage (commit) or
+releases it back to the pool (rollback) — see ``docs/performance.md``.
 """
 
 from __future__ import annotations
@@ -49,6 +59,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.mpi.codec import PackedBatch, pack_samples, unpack_samples
 from repro.mpi.communicator import Communicator
 from repro.mpi.errors import PeerFailure, UnrecoveredFaultError
 from repro.mpi.message import ANY_SOURCE, Checksummed, payload_nbytes
@@ -139,6 +150,14 @@ class Scheduler:
         Optional per-epoch exchange deadline (seconds, measured from
         ``scheduling()``); on expiry the remaining rounds are abandoned and
         the epoch commits at a lower effective Q.  ``None`` waits forever.
+    batched:
+        When True (default) each round travels as one zero-copy
+        :class:`~repro.mpi.codec.PackedBatch` envelope packed into the
+        communicator's buffer pool; received samples are installed as
+        views into the envelope (no per-sample copies).  When False the
+        round is the original per-sample tuple list (pickled on send,
+        ``tobytes()``-walked per checksum) — kept as the reference path
+        the regression tests compare bit-for-bit against.
     """
 
     def __init__(
@@ -157,6 +176,7 @@ class Scheduler:
         resend_timeout_s: float = 0.25,
         max_attempts: int = 16,
         deadline_s: float | None = None,
+        batched: bool = True,
     ):
         if not 0.0 <= fraction <= 1.0:
             raise ValueError(f"fraction Q must be in [0,1], got {fraction}")
@@ -187,6 +207,7 @@ class Scheduler:
         self.selection = selection
         self.ledger = ledger
         self.reliable = reliable
+        self.batched = batched
         self.resend_timeout_s = resend_timeout_s
         self.max_attempts = max_attempts
         self.deadline_s = deadline_s
@@ -390,15 +411,26 @@ class Scheduler:
         tr = self.tracer
         for i in range(self._next_round, self._next_round + n):
             group_ids = self._selected_ids[i * g : (i + 1) * g]
-            payload = []
+            entries = []
             moves = []
             for sid in group_ids:
                 sample, label = self.storage.get(sid)
                 gid = self.storage.gid_of(sid)
-                payload.append((sample, label, gid))
+                entries.append((sample, label, gid))
                 if gid is not None:
                     moves.append((gid, int(dests[i])))
-            nbytes = payload_nbytes(payload)
+            # Byte accounting stays in logical sample bytes (the shared
+            # payload_nbytes wire-size model) in both modes, so stats and
+            # traces are representation-independent.
+            nbytes = payload_nbytes(entries)
+            if self.batched:
+                # One flat envelope per round: a single gather copy into a
+                # pooled buffer; after this neither the wire (pass-through)
+                # nor the CRC (contiguous) touches the sample bytes again.
+                payload = pack_samples(entries, pool=self.comm.pool)
+                self.comm.count_copy(payload.payload.nbytes)
+            else:
+                payload = entries
             tag = EXCHANGE_TAG_BASE + parity + i
             with tr.span(
                 "exchange.round",
@@ -407,7 +439,7 @@ class Scheduler:
                 q=self.fraction,
                 round=i,
                 mode=mode,
-                samples=len(payload),
+                samples=len(entries),
                 nbytes=nbytes,
                 dest=int(dests[i]),
                 src=int(srcs[i]),
@@ -417,8 +449,12 @@ class Scheduler:
                     st.buffer = payload
                     st.moves = moves
                     st.nbytes = nbytes
-                    st.samples = len(payload)
+                    st.samples = len(entries)
                     env = Checksummed.wrap(payload, meta=(self.epoch, i, 0))
+                    if not self.batched:
+                        # The structural CRC walk materialised every array
+                        # via tobytes(): charge that hidden copy.
+                        self.comm.count_copy(nbytes)
                     # Wire ops run untraced; the deterministic equivalent
                     # events are emitted below (see _Suspension: the racy
                     # protocol must not make traces unreproducible).
@@ -439,7 +475,7 @@ class Scheduler:
                     self._rounds.append(st)
                 else:
                     self._sent_moves.extend(moves)
-                    self.total_sent_samples += len(payload)
+                    self.total_sent_samples += len(entries)
                     self.total_sent_bytes += nbytes
                     self._send_reqs.append(
                         self.comm.isend(payload, dest=int(dests[i]), tag=tag)
@@ -483,11 +519,18 @@ class Scheduler:
                 payloads = waitall(
                     recv_reqs if recv_reqs is not None else self._recv_reqs
                 )
-                self._received = [
-                    (np.asarray(s), int(lbl), gid)
-                    for group in payloads
-                    for s, lbl, gid in group
-                ]
+                received: list[tuple[np.ndarray, int, int | None]] = []
+                for group in payloads:
+                    if isinstance(group, PackedBatch):
+                        # Fire-and-forget hand-off: the sender packed it,
+                        # this rank installs the views and owns the buffer.
+                        received.extend(unpack_samples(group))
+                        group.adopt()
+                    else:
+                        received.extend(
+                            (np.asarray(s), int(lbl), gid) for s, lbl, gid in group
+                        )
+                self._received = received
                 sp.set(samples=len(self._received))
                 self.total_recv_samples += len(self._received)
 
@@ -587,6 +630,10 @@ class Scheduler:
                 env = Checksummed.wrap(
                     st.buffer, meta=(self.epoch, idx, st.send_attempts)
                 )
+                if not isinstance(st.buffer, PackedBatch):
+                    # Re-wrapping the tuple list re-walks every array via
+                    # tobytes(); the packed path re-CRCs without copying.
+                    self.comm.count_copy(st.nbytes)
                 with self.tracer.suspended():
                     self._send_reqs.append(
                         self.comm.isend(env, dest=st.dest, tag=st.tag)
@@ -609,6 +656,10 @@ class Scheduler:
             self._metric_inc("exchange.stale_discards")
             st.recv_req = self.comm.irecv(source=st.src, tag=st.tag)
             return
+        if not isinstance(env.payload, PackedBatch):
+            # Receiver-side verify walks the structure and copies every
+            # array via tobytes(); the packed CRC is copy-free.
+            self.comm.count_copy(st.nbytes)
         if env.ok():
             st.verified = True
             st.payload = env.payload
@@ -675,6 +726,22 @@ class Scheduler:
                 st.recv_req.cancel()
                 st.recv_req = None
         kept = self._rounds[:committed]
+        # Settle zero-copy buffer ownership.  The commit allreduce is a
+        # barrier, so every ACK a receiver posted before committing is
+        # already in our mailbox: after this drain, "un-ACKed" provably
+        # means the receiver never verified (never decoded) the round, no
+        # view of that buffer exists anywhere, and the sender reclaims it.
+        self._drain_late_acks()
+        for st in self._rounds:
+            if not st.acked and isinstance(st.buffer, PackedBatch):
+                st.buffer.release()
+                st.buffer = None
+        for st in self._rounds[committed:]:
+            # Rolled back after verification: the payload was never
+            # installed, so its buffer goes straight back to the pool.
+            if isinstance(st.payload, PackedBatch):
+                st.payload.release()
+                st.payload = None
         tr = self.tracer
         if tr.enabled:
             # Receive events are emitted here, in round order, rather than at
@@ -688,11 +755,18 @@ class Scheduler:
                     pass
                 tr.metrics.counter("comm.p2p.msgs_recv").inc()
                 tr.metrics.counter("comm.p2p.bytes_recv").inc(st.nbytes)
-        self._received = [
-            (np.asarray(s), int(lbl), gid)
-            for st in kept
-            for s, lbl, gid in st.payload
-        ]
+        received: list[tuple[np.ndarray, int, int | None]] = []
+        for st in kept:
+            if isinstance(st.payload, PackedBatch):
+                # Zero-copy install: frombuffer views go straight into
+                # storage; adopting the buffer hands its lifetime to them.
+                received.extend(unpack_samples(st.payload))
+                st.payload.adopt()
+            else:
+                received.extend(
+                    (np.asarray(s), int(lbl), gid) for s, lbl, gid in st.payload
+                )
+        self._received = received
         committed_samples = sum(st.samples for st in kept)
         self._selected_ids = self._selected_ids[:committed_samples]
         self._sent_moves = [mv for st in kept for mv in st.moves]
@@ -717,11 +791,40 @@ class Scheduler:
         tr = self.tracer
         if tr.enabled:
             tr.metrics.gauge("exchange.q_deficit").set(self.q_deficit)
+            # Pool health after settlement.  The pool is world-shared, so
+            # these gauges are observational (cross-rank interleaving may
+            # vary), unlike the deterministic per-rank copy counters.
+            pool = self.comm.pool.stats()
+            tr.metrics.gauge("pool.in_use").set(pool["in_use"])
+            tr.metrics.gauge("pool.hits").set(pool["hits"])
+            tr.metrics.gauge("pool.misses").set(pool["misses"])
+            tr.metrics.gauge("pool.high_water").set(pool["high_water"])
         sp.set(
             samples=len(self._received),
             committed_rounds=committed,
             planned_rounds=rounds,
         )
+
+    def _drain_late_acks(self) -> None:
+        """Drain control traffic once more after the commit collective.
+
+        A receiver that verified a round just before its deadline posts the
+        ACK and then enters the commit allreduce; the allreduce acts as a
+        barrier, so by the time the sender is here that ACK is guaranteed
+        to be in its mailbox even if its event loop had stopped servicing
+        control.  This makes ACK state definitive — which the batched path
+        relies on to reclaim send buffers safely.  Late NACKs are dropped:
+        the epoch is sealed and nobody is listening for resends."""
+        ctrl_tag = EXCHANGE_CTRL_TAG + (self.epoch % 2) * _EPOCH_PARITY_BIT
+        while self.comm.iprobe(source=ANY_SOURCE, tag=ctrl_tag):
+            with self.tracer.suspended():
+                kind, ep, idx = self.comm.recv(source=ANY_SOURCE, tag=ctrl_tag)
+            if kind != "ack" or ep != self.epoch or not 0 <= idx < len(self._rounds):
+                continue
+            st = self._rounds[idx]
+            if not st.acked:
+                st.acked = True
+                st.buffer = None  # receiver verified: it owns the buffer now
 
     def fault_stats(self) -> dict:
         """Fault-recovery counters (reliable mode) for reporting layers."""
@@ -761,8 +864,7 @@ class Scheduler:
             # PeerFailure on every survivor with both ledger and storage
             # untouched, so abort_exchange() leaves a consistent state.
             self.ledger.commit_epoch(self.comm, self.epoch, self._sent_moves)
-        for sample, label, gid in self._received:
-            new_id = self.storage.add(sample, label, gid=gid)
+        for new_id in self.storage.add_many(self._received):
             self._arrival_epoch[new_id] = self.epoch
         for sid in self._selected_ids:
             self.storage.demote(sid)
@@ -787,7 +889,17 @@ class Scheduler:
             if st.recv_req is not None and not st.recv_req.completed:
                 st.recv_req.cancel()
             st.recv_req = None
+            # Pooled buffers of a torn-down exchange are *adopted*, not
+            # released: the counterparty rank may still hold a reference to
+            # the same in-flight batch (abort is not synchronised), so the
+            # bytes must never be recycled.  try_adopt() is idempotent —
+            # whichever side gets here first wins the retirement.
+            if isinstance(st.buffer, PackedBatch):
+                st.buffer.try_adopt()
             st.buffer = None
+            if isinstance(st.payload, PackedBatch):
+                st.payload.try_adopt()
+                st.payload = None
         for req in self._send_reqs + self._recv_reqs:
             if not req.completed:
                 req.cancel()

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import itertools
 from pathlib import Path
-from typing import Iterator
+from typing import Iterable, Iterator
 
 import numpy as np
 
@@ -106,6 +106,17 @@ class StorageArea:
         self.peak_nbytes = max(self.peak_nbytes, self._nbytes)
         self.peak_count = max(self.peak_count, len(self._entries))
         return sid
+
+    def add_many(
+        self, entries: Iterable[tuple[np.ndarray, int, int | None]]
+    ) -> list[int]:
+        """Store ``(sample, label, gid)`` triples in order; returns their ids.
+
+        The batched exchange installs a whole committed epoch with one call;
+        the samples may be read-only zero-copy views into a received
+        envelope — ``add`` keeps them un-copied, so the envelope's backing
+        buffer stays alive exactly as long as the entries do."""
+        return [self.add(sample, label, gid=gid) for sample, label, gid in entries]
 
     def get(self, sid: int) -> tuple[np.ndarray, int]:
         """Fetch the (sample, label) pair for an id (KeyError if absent)."""

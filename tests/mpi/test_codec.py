@@ -1,0 +1,170 @@
+"""Zero-copy batch codec: roundtrip fidelity, views, corruption detection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.mpi import BufferPool, PackedBatch, pack_samples, unpack_samples
+from repro.mpi.codec import ALIGN, packed_size
+from repro.mpi.message import Checksummed, copy_payload, payload_crc32, payload_nbytes
+
+
+def roundtrip(entries, **kw):
+    batch = pack_samples(entries, **kw)
+    return batch, unpack_samples(batch)
+
+
+def assert_entries_equal(out, entries):
+    assert len(out) == len(entries)
+    for (arr, label, gid), (exp, exp_label, exp_gid) in zip(out, entries):
+        exp = np.asarray(exp)
+        assert arr.dtype == exp.dtype
+        assert arr.shape == exp.shape
+        np.testing.assert_array_equal(arr, exp)
+        assert label == int(exp_label)
+        assert gid == exp_gid
+
+
+class TestRoundtrip:
+    def test_heterogeneous_batch(self):
+        entries = [
+            (np.arange(12, dtype=np.float32).reshape(3, 4), 7, 42),
+            (np.array([], dtype=np.int16), 0, None),           # 0-byte payload
+            (np.ones((2, 2, 2), dtype=np.float64), 3, 9),
+            (np.array(5, dtype=np.int64), 1, None),            # 0-d scalar array
+        ]
+        batch, out = roundtrip(entries)
+        assert_entries_equal(out, entries)
+        assert batch.count == len(entries)
+
+    def test_empty_batch(self):
+        batch, out = roundtrip([])
+        assert out == []
+        assert batch.count == 0
+        assert batch.payload.nbytes == 0
+
+    def test_large_payload_over_1mib(self):
+        big = np.arange(300_000, dtype=np.float64)  # 2.4 MB
+        batch, out = roundtrip([(big, 2, 5)])
+        assert batch.payload.nbytes > (1 << 20)
+        np.testing.assert_array_equal(out[0][0], big)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                hnp.arrays(
+                    dtype=st.sampled_from(
+                        [np.uint8, np.int16, np.int64, np.float32, np.float64]
+                    ),
+                    shape=hnp.array_shapes(min_dims=0, max_dims=3, max_side=8),
+                ),
+                st.integers(min_value=-(2**40), max_value=2**40),
+                st.one_of(st.none(), st.integers(min_value=0, max_value=2**40)),
+            ),
+            max_size=8,
+        )
+    )
+    def test_property_roundtrip(self, entries):
+        _batch, out = roundtrip(entries)
+        assert_entries_equal(out, entries)
+
+    def test_views_are_zero_copy_and_readonly(self):
+        src = np.arange(64, dtype=np.float32)
+        batch, out = roundtrip([(src, 0, None)])
+        arr = out[0][0]
+        assert not arr.flags.writeable
+        with pytest.raises((ValueError, RuntimeError)):
+            arr[0] = 1.0
+        # The view aliases the payload, not a private copy.
+        base = arr.base
+        while getattr(base, "base", None) is not None and not isinstance(
+            base, memoryview
+        ):
+            base = base.base
+        assert isinstance(base, memoryview)
+        # copy=True materialises writable private arrays instead.
+        arr2 = unpack_samples(batch, copy=True)[0][0]
+        assert arr2.flags.writeable
+
+    def test_alignment(self):
+        entries = [(np.zeros(3, dtype=np.uint8), 0, None) for _ in range(4)]
+        batch = pack_samples(entries)
+        for _arr, _label, _gid in unpack_samples(batch):
+            pass
+        # Every sample extent starts on an ALIGN boundary by construction.
+        assert packed_size(entries) == 3 * ALIGN + 3
+
+    def test_noncontiguous_and_object_dtype(self):
+        strided = np.arange(16, dtype=np.int32).reshape(4, 4)[:, ::2]
+        _batch, out = roundtrip([(strided, 0, None)])
+        np.testing.assert_array_equal(out[0][0], strided)
+        with pytest.raises(ValueError, match="object-dtype"):
+            pack_samples([(np.array([object()]), 0, None)])
+
+
+class TestIntegrity:
+    def test_crc_fast_path_matches_method(self):
+        batch = pack_samples([(np.arange(9, dtype=np.int32), 4, 1)])
+        assert payload_crc32(batch) == batch.crc32()
+        assert payload_nbytes(batch) == batch.nbytes
+
+    def test_checksummed_wrap_detects_payload_flip(self):
+        batch = pack_samples([(np.arange(32, dtype=np.uint8), 0, None)])
+        env = Checksummed.wrap(batch, meta=(0, 0, 0))
+        assert env.ok()
+        raw = bytearray(batch.payload)
+        raw[5] ^= 0xFF
+        damaged = PackedBatch(
+            header=batch.header, payload=memoryview(raw).toreadonly(), buf=raw
+        )
+        assert not Checksummed(meta=env.meta, payload=damaged, crc=env.crc).ok()
+
+    def test_corrupt_header_bounds_checked(self):
+        batch = pack_samples([(np.arange(8, dtype=np.float64), 0, None)])
+        # A header whose record extent points past the payload end must fail
+        # loudly, not read out of bounds.  Truncating the payload view puts
+        # every record extent outside it.
+        bad = PackedBatch(
+            header=batch.header, payload=batch.payload[:10], buf=batch.buf
+        )
+        with pytest.raises(ValueError, match="corrupt header"):
+            unpack_samples(bad)
+
+    def test_bad_magic_rejected(self):
+        batch = pack_samples([])
+        bad = PackedBatch(header=b"XXXX" + batch.header[4:], payload=batch.payload)
+        with pytest.raises(ValueError, match="magic"):
+            bad.count
+
+
+class TestWireSemantics:
+    def test_copy_payload_passes_through(self):
+        batch = pack_samples([(np.arange(4, dtype=np.float32), 0, None)])
+        assert copy_payload(batch) is batch
+        env = Checksummed.wrap(batch, meta=(1, 2, 0))
+        copied = copy_payload(env)
+        assert copied.payload is batch  # envelope rebuilt, payload shared
+
+    def test_pooled_ownership(self):
+        pool = BufferPool(name="t")
+        batch = pack_samples([(np.arange(64, dtype=np.float32), 0, None)], pool=pool)
+        assert pool.in_use() == 1
+        batch.adopt()
+        assert pool.in_use() == 0
+        assert pool.stats()["adopts"] == 1
+        # try_adopt after adopt is a no-op, not a crash.
+        assert batch.try_adopt() is False
+
+    def test_release_returns_buffer_for_reuse(self):
+        pool = BufferPool(name="t")
+        b1 = pack_samples([(np.arange(64, dtype=np.float32), 0, None)], pool=pool)
+        raw = b1.buf.raw
+        b1.release()
+        b2 = pack_samples([(np.ones(64, dtype=np.float32), 0, None)], pool=pool)
+        assert b2.buf.raw is raw  # same size class, recycled bytes
+        assert pool.stats()["hits"] == 1
+        b2.release()
+        pool.assert_balanced()

@@ -1,0 +1,171 @@
+"""BufferPool: size classes, reuse, leak accounting, ownership protocol."""
+
+import threading
+
+import pytest
+
+from repro.mpi import BufferPool
+from repro.mpi.pool import _size_class
+
+
+class TestSizeClasses:
+    @pytest.mark.parametrize(
+        "nbytes,expected",
+        [(0, 256), (1, 256), (256, 256), (257, 512), (4096, 4096), (4097, 8192)],
+    )
+    def test_power_of_two_min_256(self, nbytes, expected):
+        assert _size_class(nbytes) == expected
+
+    def test_view_exposes_requested_length_not_capacity(self):
+        pool = BufferPool()
+        buf = pool.acquire(300)
+        assert buf.view.nbytes == 300
+        assert buf.readonly().nbytes == 300
+        assert len(buf.raw) == 512
+        assert buf.readonly().readonly
+        buf.release()
+
+
+class TestReuse:
+    def test_release_then_acquire_recycles(self):
+        pool = BufferPool()
+        a = pool.acquire(100)
+        raw = a.raw
+        a.release()
+        b = pool.acquire(200)  # same 256 B class
+        assert b.raw is raw
+        assert pool.stats()["hits"] == 1
+        assert pool.stats()["misses"] == 1
+        b.release()
+
+    def test_different_classes_do_not_mix(self):
+        pool = BufferPool()
+        a = pool.acquire(100)
+        a.release()
+        b = pool.acquire(1000)
+        assert b.raw is not a.raw
+        assert pool.stats()["misses"] == 2
+        b.release()
+
+    def test_free_list_bounded(self):
+        pool = BufferPool(max_buffers_per_class=2)
+        bufs = [pool.acquire(64) for _ in range(5)]
+        for b in bufs:
+            b.release()
+        assert pool.free_buffers() == 2  # excess dropped to the GC
+        assert pool.stats()["releases"] == 5
+
+    def test_clear_drops_free_lists(self):
+        pool = BufferPool()
+        pool.acquire(64).release()
+        assert pool.free_buffers() == 1
+        pool.clear()
+        assert pool.free_buffers() == 0
+        pool.assert_balanced()  # clear does not touch the balance
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            BufferPool(max_buffers_per_class=0)
+        with pytest.raises(ValueError):
+            BufferPool().acquire(-1)
+
+
+class TestOwnership:
+    def test_leak_accounting(self):
+        pool = BufferPool(name="leaky")
+        a = pool.acquire(10)
+        b = pool.acquire(10)
+        assert pool.in_use() == 2
+        a.release()
+        b.adopt()
+        assert pool.in_use() == 0
+        pool.assert_balanced()
+        leaked = pool.acquire(10)
+        with pytest.raises(RuntimeError, match="leaked 1 buffer"):
+            pool.assert_balanced()
+        leaked.release()
+
+    def test_adopted_buffers_never_reused(self):
+        pool = BufferPool()
+        a = pool.acquire(64)
+        raw = a.raw
+        a.adopt()
+        b = pool.acquire(64)
+        assert b.raw is not raw
+        b.release()
+
+    def test_double_release_raises(self):
+        pool = BufferPool()
+        a = pool.acquire(10)
+        a.release()
+        with pytest.raises(RuntimeError, match="use-after-free"):
+            a.release()
+
+    def test_release_after_adopt_raises(self):
+        pool = BufferPool()
+        a = pool.acquire(10)
+        a.adopt()
+        with pytest.raises(RuntimeError, match="already adopted"):
+            a.release()
+
+    def test_wrong_pool_rejected(self):
+        p1, p2 = BufferPool(name="p1"), BufferPool(name="p2")
+        a = p1.acquire(10)
+        with pytest.raises(ValueError, match="belongs to pool 'p1'"):
+            p2.release(a)
+        a.release()
+
+    def test_adopt_if_in_use_is_idempotent(self):
+        pool = BufferPool()
+        a = pool.acquire(10)
+        assert pool.adopt_if_in_use(a) is True
+        assert pool.adopt_if_in_use(a) is False  # second caller loses quietly
+        assert pool.stats()["adopts"] == 1
+        b = pool.acquire(10)
+        b.release()
+        assert pool.adopt_if_in_use(b) is False  # released is not in_use
+
+    def test_concurrent_retire_exactly_one_winner(self):
+        # The exchange-abort race: sender and receiver both try to retire
+        # the same in-flight buffer from their own threads.
+        pool = BufferPool()
+        for _ in range(50):
+            buf = pool.acquire(128)
+            wins = []
+            barrier = threading.Barrier(2)
+
+            def contend():
+                barrier.wait()
+                wins.append(pool.adopt_if_in_use(buf))
+
+            threads = [threading.Thread(target=contend) for _ in range(2)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert sorted(wins) == [False, True]
+        pool.assert_balanced()
+
+
+class TestStats:
+    def test_counters(self):
+        pool = BufferPool(name="s")
+        a = pool.acquire(100)
+        b = pool.acquire(1000)
+        a.release()
+        c = pool.acquire(50)  # hit on the 256 B class
+        st = pool.stats()
+        assert st["name"] == "s"
+        assert st["acquires"] == 3
+        assert st["hits"] == 1
+        assert st["misses"] == 2
+        assert st["bytes_served"] == 1150
+        assert st["bytes_allocated"] == 256 + 1024
+        assert st["high_water"] == 2
+        assert st["in_use"] == 2
+        b.release()
+        c.adopt()
+        st = pool.stats()
+        assert st["releases"] == 2
+        assert st["adopts"] == 1
+        assert st["in_use"] == 0

@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Docs CI checks: markdown link integrity + docstring presence.
+
+Two independent checks, both fatal on failure:
+
+1. **Links** — every relative markdown link in ``README.md`` and
+   ``docs/*.md`` must resolve to an existing file (anchors stripped;
+   ``http(s)``/``mailto`` targets are not fetched).  Bare inline-code
+   path references like ``src/repro/cluster/presets.py`` are verified
+   too, so module paths in prose cannot go stale.
+
+2. **Docstrings** — every public module, class, function and method in
+   ``src/repro/mpi/`` and ``src/repro/shuffle/`` (the hot-path packages
+   this guide documents) must carry a docstring.
+
+Usage: ``python tools/check_docs.py`` (exit 0 = clean).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+
+MARKDOWN = [REPO / "README.md", *sorted((REPO / "docs").glob("*.md"))]
+DOCSTRING_PACKAGES = [REPO / "src/repro/mpi", REPO / "src/repro/shuffle"]
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+# Inline code spans that look like in-repo file paths (contain a "/" and a
+# known source/doc suffix).  `repro.mpi.codec` module dotted names are not
+# file claims; `src/repro/mpi/codec.py` is.
+_CODE_PATH = re.compile(r"`([A-Za-z0-9_./-]+/[A-Za-z0-9_.-]+\.(?:py|md|json|yml|txt))`")
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def check_links() -> list[str]:
+    problems: list[str] = []
+    for md in MARKDOWN:
+        text = md.read_text(encoding="utf-8")
+        for lineno, line in enumerate(text.splitlines(), 1):
+            for target in _LINK.findall(line):
+                if target.startswith(_EXTERNAL) or target.startswith("#"):
+                    continue
+                path = target.split("#", 1)[0]
+                if not path:
+                    continue
+                resolved = (md.parent / path).resolve()
+                if not resolved.exists():
+                    problems.append(
+                        f"{md.relative_to(REPO)}:{lineno}: broken link -> {target}"
+                    )
+            for path in _CODE_PATH.findall(line):
+                # Relative to the repo root first (the common style), then
+                # to the file's own directory.
+                if not (REPO / path).exists() and not (md.parent / path).exists():
+                    problems.append(
+                        f"{md.relative_to(REPO)}:{lineno}: stale path reference "
+                        f"-> `{path}`"
+                    )
+    return problems
+
+
+def _public_defs(tree: ast.Module):
+    """Yield (node, qualname) for public defs: module-level functions and
+    classes, plus methods of public classes."""
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            if node.name.startswith("_"):
+                continue
+            yield node, node.name
+            if isinstance(node, ast.ClassDef):
+                for sub in node.body:
+                    if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        # Underscore methods and dunders are exempt —
+                        # including __init__, whose parameters live in the
+                        # class docstring (numpydoc style) in this repo.
+                        if sub.name.startswith("_"):
+                            continue
+                        yield sub, f"{node.name}.{sub.name}"
+
+
+def check_docstrings() -> list[str]:
+    problems: list[str] = []
+    for pkg in DOCSTRING_PACKAGES:
+        for py in sorted(pkg.rglob("*.py")):
+            tree = ast.parse(py.read_text(encoding="utf-8"), filename=str(py))
+            rel = py.relative_to(REPO)
+            if ast.get_docstring(tree) is None:
+                problems.append(f"{rel}:1: module has no docstring")
+            for node, qualname in _public_defs(tree):
+                if ast.get_docstring(node) is None:
+                    problems.append(
+                        f"{rel}:{node.lineno}: public `{qualname}` has no docstring"
+                    )
+    return problems
+
+
+def main() -> int:
+    problems = check_links() + check_docstrings()
+    for p in problems:
+        print(p)
+    n_md = len(MARKDOWN)
+    n_py = sum(len(list(p.rglob("*.py"))) for p in DOCSTRING_PACKAGES)
+    if problems:
+        print(f"\n{len(problems)} problem(s) across {n_md} markdown / {n_py} python files")
+        return 1
+    print(f"docs OK: {n_md} markdown files linked, {n_py} python files documented")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
