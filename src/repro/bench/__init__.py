@@ -9,13 +9,17 @@ it and how to read the numbers.
 
 from .epoch import bench_epoch_loader
 from .exchange import bench_exchange, exchange_q_sweep
-from .runner import DEFAULT_RESULTS_DIR, check_regression, run_bench
+from .runner import DEFAULT_RESULTS_DIR, SCENARIOS, check_regression, run_bench
+from .telemetry import FLIGHT_OVERHEAD_BUDGET, bench_telemetry
 
 __all__ = [
     "bench_exchange",
     "exchange_q_sweep",
     "bench_epoch_loader",
+    "bench_telemetry",
     "run_bench",
     "check_regression",
     "DEFAULT_RESULTS_DIR",
+    "SCENARIOS",
+    "FLIGHT_OVERHEAD_BUDGET",
 ]

@@ -19,8 +19,9 @@ from typing import Any
 
 from .epoch import bench_epoch_loader
 from .exchange import bench_exchange, exchange_q_sweep
+from .telemetry import FLIGHT_OVERHEAD_BUDGET, bench_telemetry
 
-__all__ = ["run_bench", "check_regression", "DEFAULT_RESULTS_DIR"]
+__all__ = ["run_bench", "check_regression", "DEFAULT_RESULTS_DIR", "SCENARIOS"]
 
 #: Where artifacts are read from and written to by default: the committed
 #: baselines live next to the paper-figure benchmark tables.
@@ -28,6 +29,10 @@ DEFAULT_RESULTS_DIR = Path(__file__).resolve().parents[3] / "benchmarks" / "resu
 
 EXCHANGE_ARTIFACT = "BENCH_exchange.json"
 EPOCH_ARTIFACT = "BENCH_epoch.json"
+TELEMETRY_ARTIFACT = "BENCH_telemetry.json"
+
+#: Selectable benchmark scenarios (``repro bench --scenario``).
+SCENARIOS = ("exchange", "epoch", "telemetry")
 
 #: Deterministic floor on the copy ratio (per-sample path copies at least
 #: pickle + 2x CRC walks per payload; batched pays one gather).
@@ -37,11 +42,13 @@ _SMOKE = {
     "exchange": dict(ranks=2, samples=48, shape=(32, 32), q=0.5, epochs=2),
     "q_sweep": dict(ranks=2, samples=48, shape=(32, 32), qs=(0.25, 0.5, 1.0), epochs=1),
     "epoch": dict(samples=192, shape=(3, 16, 16), batch_size=32, epochs=2),
+    "telemetry": dict(ranks=2, samples=96, epochs=2, repeats=3),
 }
 _FULL = {
     "exchange": dict(ranks=4, samples=256, shape=(3, 32, 32), q=0.5, epochs=3),
     "q_sweep": dict(ranks=4, samples=256, shape=(3, 32, 32), qs=(0.1, 0.25, 0.5, 1.0), epochs=2),
     "epoch": dict(samples=1024, shape=(3, 32, 32), batch_size=64, epochs=3),
+    "telemetry": dict(ranks=4, samples=256, epochs=3, repeats=5),
 }
 
 
@@ -52,40 +59,59 @@ def run_bench(
     check: bool = False,
     baseline_dir: str | Path | None = None,
     seed: int = 0,
+    scenarios: tuple = SCENARIOS,
 ) -> dict[str, Any]:
-    """Run all benchmarks; returns ``{"exchange": ..., "epoch": ..., "problems": [...]}``.
+    """Run the selected benchmarks; returns their results plus ``"problems"``.
 
     Artifacts are written to ``out_dir`` (default: ``benchmarks/results``).
     With ``check=True`` the baselines are loaded from ``baseline_dir``
     *before* anything is overwritten, and detected regressions are
     returned under ``"problems"`` (empty means the gate passes).
+    ``scenarios`` selects which benchmarks run (default: all); skipped
+    scenarios come back as ``None`` and their gates do not apply.
     """
+    unknown = set(scenarios) - set(SCENARIOS)
+    if unknown:
+        raise ValueError(f"unknown scenario(s) {sorted(unknown)}; pick from {SCENARIOS}")
     out = Path(out_dir) if out_dir is not None else DEFAULT_RESULTS_DIR
     base = Path(baseline_dir) if baseline_dir is not None else DEFAULT_RESULTS_DIR
     baselines: dict[str, Any] = {}
     if check:
-        for name in (EXCHANGE_ARTIFACT, EPOCH_ARTIFACT):
+        for name in (EXCHANGE_ARTIFACT, EPOCH_ARTIFACT, TELEMETRY_ARTIFACT):
             path = base / name
             if path.is_file():
                 baselines[name] = json.loads(path.read_text())
 
     params = _SMOKE if smoke else _FULL
-    exchange = bench_exchange(seed=seed, **params["exchange"])
-    exchange["q_sweep"] = exchange_q_sweep(seed=seed, **params["q_sweep"])
-    exchange["schema"] = "repro.bench.exchange/v1"
-    exchange["smoke"] = smoke
-    epoch = bench_epoch_loader(seed=seed, **params["epoch"])
-    epoch["schema"] = "repro.bench.epoch/v1"
-    epoch["smoke"] = smoke
-
     out.mkdir(parents=True, exist_ok=True)
-    (out / EXCHANGE_ARTIFACT).write_text(json.dumps(exchange, indent=2) + "\n")
-    (out / EPOCH_ARTIFACT).write_text(json.dumps(epoch, indent=2) + "\n")
+    exchange = epoch = telemetry = None
+    if "exchange" in scenarios:
+        exchange = bench_exchange(seed=seed, **params["exchange"])
+        exchange["q_sweep"] = exchange_q_sweep(seed=seed, **params["q_sweep"])
+        exchange["schema"] = "repro.bench.exchange/v1"
+        exchange["smoke"] = smoke
+        (out / EXCHANGE_ARTIFACT).write_text(json.dumps(exchange, indent=2) + "\n")
+    if "epoch" in scenarios:
+        epoch = bench_epoch_loader(seed=seed, **params["epoch"])
+        epoch["schema"] = "repro.bench.epoch/v1"
+        epoch["smoke"] = smoke
+        (out / EPOCH_ARTIFACT).write_text(json.dumps(epoch, indent=2) + "\n")
+    if "telemetry" in scenarios:
+        telemetry = bench_telemetry(seed=seed, **params["telemetry"])
+        telemetry["schema"] = "repro.bench.telemetry/v1"
+        telemetry["smoke"] = smoke
+        (out / TELEMETRY_ARTIFACT).write_text(json.dumps(telemetry, indent=2) + "\n")
 
     problems: list[str] = []
     if check:
-        problems = check_regression(exchange, epoch, baselines)
-    return {"exchange": exchange, "epoch": epoch, "problems": problems, "out_dir": str(out)}
+        problems = check_regression(exchange, epoch, baselines, telemetry=telemetry)
+    return {
+        "exchange": exchange,
+        "epoch": epoch,
+        "telemetry": telemetry,
+        "problems": problems,
+        "out_dir": str(out),
+    }
 
 
 def _ratio_regressions(
@@ -111,36 +137,62 @@ def _ratio_regressions(
 
 
 def check_regression(
-    exchange: dict, epoch: dict, baselines: dict[str, Any], *, tolerance: float = 0.2
+    exchange: dict | None,
+    epoch: dict | None,
+    baselines: dict[str, Any],
+    *,
+    telemetry: dict | None = None,
+    tolerance: float = 0.2,
 ) -> list[str]:
     """Compare a fresh run against the committed baselines.
 
     Returns a list of human-readable problems (empty = pass).  A missing
-    baseline file is not a failure — the absolute copy-ratio floor still
-    applies, so a fresh checkout cannot silently lose the fast path.
+    baseline file is not a failure — the absolute floors still apply (the
+    copy-ratio floor for the exchange, the flight-overhead budget for
+    telemetry), so a fresh checkout cannot silently lose the fast path or
+    an always-on layer that got expensive.  A scenario passed as ``None``
+    was not run and its gates are skipped.
     """
     problems = []
-    copied = exchange["ratios"]["bytes_copied_ratio"]
-    if copied < MIN_BYTES_COPIED_RATIO:
-        problems.append(
-            f"exchange: bytes_copied_ratio {copied:.2f} below the "
-            f"{MIN_BYTES_COPIED_RATIO:.0f}x floor — the zero-copy path is "
-            "copying more than it should"
+    if exchange is not None:
+        copied = exchange["ratios"]["bytes_copied_ratio"]
+        if copied < MIN_BYTES_COPIED_RATIO:
+            problems.append(
+                f"exchange: bytes_copied_ratio {copied:.2f} below the "
+                f"{MIN_BYTES_COPIED_RATIO:.0f}x floor — the zero-copy path is "
+                "copying more than it should"
+            )
+        if not exchange.get("identical_shards"):
+            problems.append("exchange: batched shards diverged from per-sample reference")
+        problems += _ratio_regressions(
+            "exchange",
+            exchange,
+            baselines.get(EXCHANGE_ARTIFACT),
+            ("speedup", "bytes_copied_ratio", "allocation_ratio"),
+            tolerance,
         )
-    if not exchange.get("identical_shards"):
-        problems.append("exchange: batched shards diverged from per-sample reference")
-    problems += _ratio_regressions(
-        "exchange",
-        exchange,
-        baselines.get(EXCHANGE_ARTIFACT),
-        ("speedup", "bytes_copied_ratio", "allocation_ratio"),
-        tolerance,
-    )
-    problems += _ratio_regressions(
-        "epoch",
-        epoch,
-        baselines.get(EPOCH_ARTIFACT),
-        ("allocation_ratio",),
-        tolerance,
-    )
+    if epoch is not None:
+        problems += _ratio_regressions(
+            "epoch",
+            epoch,
+            baselines.get(EPOCH_ARTIFACT),
+            ("allocation_ratio",),
+            tolerance,
+        )
+    if telemetry is not None:
+        overhead = telemetry["ratios"]["flight_overhead"]
+        budget = telemetry.get("budget", {}).get(
+            "flight_overhead_max", FLIGHT_OVERHEAD_BUDGET
+        )
+        if overhead > budget:
+            problems.append(
+                f"telemetry: flight-recorder overhead {overhead:.3f}x exceeds "
+                f"the {budget:.2f}x budget — always-on instrumentation got "
+                "too expensive"
+            )
+        if not telemetry.get("identical_history"):
+            problems.append(
+                "telemetry: enabling the always-on layer changed the training "
+                "result"
+            )
     return problems

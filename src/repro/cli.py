@@ -33,6 +33,13 @@ Subcommands
 ``lint``
     SPMD correctness lint (rules SPMD001-SPMD005) over python sources;
     exits nonzero on findings.  ``--format json`` for machine consumption.
+``health``
+    Anomaly/straggler report over a telemetry snapshot: read a JSON file
+    written by a previous run (``repro health telemetry.json``) or run a
+    small demo job live (``--run``, optionally with one artificially
+    slowed rank via ``--slow-rank/--slow-factor``) and print the per-rank
+    summary plus named findings.  ``--strict`` exits 1 when anything is
+    flagged.
 
 Subcommands register in ``_HANDLERS`` (one handler function per command);
 ``main`` dispatches through that mapping.
@@ -206,6 +213,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="max |acc(chaos) - acc(clean)| allowed with --compare-clean "
         "(default 0: recoverable faults must be bit-invisible)",
     )
+    p_ch.add_argument(
+        "--flight-dir", default=None, metavar="DIR",
+        help="write flight-recorder dumps (fault post-mortems plus one "
+        "end-of-run snapshot) as JSON files into DIR",
+    )
 
     p_bench = sub.add_parser(
         "bench",
@@ -230,6 +242,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="baseline directory for --check (default: benchmarks/results)",
     )
     p_bench.add_argument("--seed", type=int, default=0, help="benchmark seed")
+    p_bench.add_argument(
+        "--scenario", choices=["all", "exchange", "epoch", "telemetry"],
+        default="all",
+        help="which benchmark to run (default: all)",
+    )
+
+    p_health = sub.add_parser(
+        "health",
+        help="straggler/anomaly report over a telemetry snapshot",
+    )
+    p_health.add_argument(
+        "file", nargs="?", default=None,
+        help="telemetry JSON snapshot (written by --run --out or a harness)",
+    )
+    p_health.add_argument(
+        "--run", action="store_true",
+        help="run a small live demo job and report on its telemetry",
+    )
+    p_health.add_argument("--workers", type=int, default=4)
+    p_health.add_argument("--samples", type=int, default=256)
+    p_health.add_argument("--epochs", type=int, default=3)
+    p_health.add_argument("--q", type=float, default=0.3)
+    p_health.add_argument("--seed", type=int, default=0)
+    p_health.add_argument(
+        "--slow-rank", type=int, default=None, metavar="RANK",
+        help="with --run: artificially slow this rank's message sends",
+    )
+    p_health.add_argument(
+        "--slow-factor", type=float, default=10.0, metavar="X",
+        help="slowdown multiplier of --slow-rank (default 10)",
+    )
+    p_health.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="with --run: also write the telemetry JSON snapshot here",
+    )
+    p_health.add_argument(
+        "--openmetrics", default=None, metavar="PATH",
+        help="also export the snapshot as OpenMetrics text",
+    )
+    p_health.add_argument(
+        "--strict", action="store_true",
+        help="exit 1 when any finding is raised",
+    )
 
     p_lint = sub.add_parser(
         "lint", help="SPMD correctness lint (AST rules SPMD001-SPMD005)"
@@ -495,9 +550,30 @@ def _cmd_chaos_train(args) -> int:
         resend_timeout_s=args.resend_timeout,
         train_dataset=train_ds, labels=labels, val_X=val_X, val_y=val_y,
     )
+    if args.flight_dir:
+        # The world creates its FlightLog from this environment seam; any
+        # fault dump taken during the run lands in the directory too.
+        import os
+
+        from repro.obs.telemetry import FLIGHT_DIR_ENV
+
+        os.environ[FLIGHT_DIR_ENV] = args.flight_dir
     result = run_chaos_train(
         profile=profile, seed=args.chaos_seed, **common,
     )
+    if args.flight_dir and result.elastic is not None:
+        # Always leave at least one artifact: the end-of-run ring snapshot.
+        flight = result.elastic.results.world.flight
+        dump = flight.dump(
+            "end of chaos run", key=("cli-final",),
+            extra={"chaos": args.chaos, "workers": args.workers},
+        )
+        n_dumps = len(flight.dumps)
+        print(
+            f"flight recorder: {n_dumps} dump(s) in {args.flight_dir} "
+            f"(latest: {dump.get('path', '(memory only)') if dump else '-'})",
+            file=sys.stderr,
+        )
 
     injected = result.injected or {"(none)": 0}
     print_table(
@@ -557,36 +633,50 @@ def _cmd_chaos_train(args) -> int:
 
 
 def _cmd_bench(args) -> int:
-    from repro.bench import run_bench
+    from repro.bench import SCENARIOS, run_bench
 
+    scenarios = SCENARIOS if args.scenario == "all" else (args.scenario,)
     result = run_bench(
         smoke=args.smoke,
         out_dir=args.out,
         check=args.check,
         baseline_dir=args.baseline,
         seed=args.seed,
+        scenarios=scenarios,
     )
-    ex, ep = result["exchange"], result["epoch"]
-    print(f"wrote BENCH_exchange.json and BENCH_epoch.json to {result['out_dir']}")
-    print(
-        "exchange: {speedup:.2f}x faster, {copied:.2f}x fewer bytes copied, "
-        "{alloc:.1f}x fewer allocations (batched vs per-sample)".format(
-            speedup=ex["ratios"]["speedup"],
-            copied=ex["ratios"]["bytes_copied_ratio"],
-            alloc=ex["ratios"]["allocation_ratio"],
-        )
-    )
-    print(
-        "epoch loader: {speedup:.2f}x faster, {alloc:.1f}x fewer allocations "
-        "(pooled vs default collate)".format(
-            speedup=ep["ratios"]["speedup"],
-            alloc=ep["ratios"]["allocation_ratio"],
-        )
-    )
-    for q_row in ex["q_sweep"]:
+    ex, ep, tel = result["exchange"], result["epoch"], result["telemetry"]
+    artifacts = ", ".join(f"BENCH_{name}.json" for name in scenarios)
+    print(f"wrote {artifacts} to {result['out_dir']}")
+    if ex is not None:
         print(
-            f"  Q={q_row['q']:<5g} exchange {q_row['wall_time_s'] * 1e3:8.1f} ms  "
-            f"{q_row['ops_per_s']:10.0f} samples/s"
+            "exchange: {speedup:.2f}x faster, {copied:.2f}x fewer bytes copied, "
+            "{alloc:.1f}x fewer allocations (batched vs per-sample)".format(
+                speedup=ex["ratios"]["speedup"],
+                copied=ex["ratios"]["bytes_copied_ratio"],
+                alloc=ex["ratios"]["allocation_ratio"],
+            )
+        )
+        for q_row in ex["q_sweep"]:
+            print(
+                f"  Q={q_row['q']:<5g} exchange {q_row['wall_time_s'] * 1e3:8.1f} ms  "
+                f"{q_row['ops_per_s']:10.0f} samples/s"
+            )
+    if ep is not None:
+        print(
+            "epoch loader: {speedup:.2f}x faster, {alloc:.1f}x fewer allocations "
+            "(pooled vs default collate)".format(
+                speedup=ep["ratios"]["speedup"],
+                alloc=ep["ratios"]["allocation_ratio"],
+            )
+        )
+    if tel is not None:
+        print(
+            "telemetry: flight recorder {flight:.3f}x vs disabled "
+            "(budget {budget:.2f}x), full tracing {tracing:.3f}x".format(
+                flight=tel["ratios"]["flight_overhead"],
+                budget=tel["budget"]["flight_overhead_max"],
+                tracing=tel["ratios"]["tracing_overhead"],
+            )
         )
     if args.check:
         if result["problems"]:
@@ -595,6 +685,87 @@ def _cmd_bench(args) -> int:
             return 1
         print("bench check passed (no regression vs baseline)")
     return 0
+
+
+def _cmd_health(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.obs.telemetry import (
+        render_findings,
+        render_rank_summary,
+        run_health_checks,
+        to_openmetrics,
+        write_telemetry_json,
+    )
+
+    if args.run:
+        snapshot = _run_health_demo(args)
+        if args.out:
+            write_telemetry_json(snapshot, args.out)
+            print(f"wrote telemetry snapshot: {args.out}", file=sys.stderr)
+    elif args.file:
+        path = Path(args.file)
+        if not path.is_file():
+            print(f"no telemetry snapshot at {path}", file=sys.stderr)
+            return 1
+        try:
+            snapshot = json.loads(path.read_text())
+        except ValueError as exc:
+            print(f"{path} is not valid JSON: {exc}", file=sys.stderr)
+            return 1
+        if not isinstance(snapshot, dict) or "series" not in snapshot:
+            print(
+                f"{path} is not a telemetry snapshot (no 'series' key)",
+                file=sys.stderr,
+            )
+            return 1
+    else:
+        print("health: pass a telemetry JSON file or --run", file=sys.stderr)
+        return 2
+
+    if args.openmetrics:
+        Path(args.openmetrics).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.openmetrics).write_text(to_openmetrics(snapshot))
+        print(f"wrote OpenMetrics export: {args.openmetrics}", file=sys.stderr)
+
+    print(render_rank_summary(snapshot))
+    findings = run_health_checks(snapshot)
+    print(render_findings(findings))
+    if findings and args.strict:
+        return 1
+    return 0
+
+
+def _run_health_demo(args) -> dict:
+    """Run a small chaos-train job and return its telemetry snapshot.
+
+    With ``--slow-rank`` the chaos engine stretches that rank's message
+    sends, which balloons its exchange phase time — exactly the signature
+    :func:`~repro.obs.telemetry.detect_stragglers` looks for.
+    """
+    from repro.data import SyntheticSpec
+    from repro.faults import run_chaos_train
+    from repro.train import TrainConfig
+    from repro.train.experiments import make_experiment_data
+
+    chaos = ""
+    if args.slow_rank is not None:
+        chaos = f"slow:rank={args.slow_rank},x={args.slow_factor:g}"
+        print(f"health demo: injecting {chaos}", file=sys.stderr)
+    spec = SyntheticSpec(
+        n_samples=args.samples, n_classes=4, n_features=32, seed=args.seed,
+    )
+    config = TrainConfig(
+        model="mlp", in_shape=(32,), num_classes=4,
+        epochs=args.epochs, batch_size=8, base_lr=0.05, seed=args.seed,
+    )
+    train_ds, labels, val_X, val_y = make_experiment_data(spec)
+    result = run_chaos_train(
+        config=config, workers=args.workers, q=args.q, profile=chaos,
+        train_dataset=train_ds, labels=labels, val_X=val_X, val_y=val_y,
+    )
+    return result.telemetry
 
 
 def _cmd_lint(args) -> int:
@@ -708,6 +879,7 @@ _HANDLERS = {
     "elastic-train": _cmd_elastic_train,
     "chaos-train": _cmd_chaos_train,
     "bench": _cmd_bench,
+    "health": _cmd_health,
     "lint": _cmd_lint,
 }
 

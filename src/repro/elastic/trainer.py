@@ -43,6 +43,7 @@ from repro.nn.lr_scheduler import MultiStepLR, WarmupWrapper
 from repro.nn.metrics import RunningAverage
 from repro.nn.models import build_model
 from repro.nn.tensor import Tensor
+from repro.obs.telemetry import PhaseClock, drain_pending, push_metrics
 from repro.shuffle.partial import PartialLocalShuffle
 from repro.train.distributed import (
     allreduce_batchnorm_stats,
@@ -171,6 +172,10 @@ def elastic_train_worker(
                 )
             comm.barrier()
         epoch += 1
+    # Rescue the final epoch's telemetry pushes (deposited before the last
+    # collective, but after rank 0's in-epoch drain).
+    if comm.flight.enabled and comm.rank == 0:
+        drain_pending(comm)
     history.stats = strategy.stats()
     history.stats["recoveries"] = [r.as_dict() for r in recoveries]
     history.stats["final_workers"] = comm.size
@@ -199,9 +204,11 @@ def _train_one_epoch(
     """
     world_rank = comm.group[comm.rank]
     tr = comm.tracer
+    clock = PhaseClock(tr)
+    flight = comm.flight
     plan.check(world_rank, epoch, "begin")
     with tr.span("epoch", cat="train", epoch=epoch, lr=lr, elastic=True):
-        with tr.span("exchange", cat="phase"):
+        with clock.phase("exchange"):
             strategy.begin_epoch(epoch)
         loader = strategy.epoch_loader(epoch, config.batch_size)
         iters = comm.allreduce(len(loader), op=min)
@@ -212,22 +219,22 @@ def _train_one_epoch(
         for i in range(iters):
             if i == iters // 2:
                 plan.check(world_rank, epoch, "mid_exchange")
-            with tr.span("io", cat="phase"):
+            with clock.phase("io"):
                 xb, yb = next(it)
-            with tr.span("fw_bw", cat="phase"):
+            with clock.phase("fw_bw"):
                 logits = model(Tensor(np.asarray(xb, dtype=np.float32)))
                 loss = F.cross_entropy(logits, yb)
                 model.zero_grad()
                 loss.backward()
-            with tr.span("ge_wu", cat="phase"):
+            with clock.phase("ge_wu"):
                 allreduce_gradients(model, comm)
                 optimizer.step()
-            with tr.span("exchange", cat="phase"):
+            with clock.phase("exchange"):
                 strategy.on_iteration()
             loss_avg.update(loss.item(), weight=len(yb))
             samples += len(yb)
         plan.check(world_rank, epoch, "end")
-        with tr.span("exchange", cat="phase"):
+        with clock.phase("exchange"):
             strategy.end_epoch()
         if config.sync_batchnorm_stats:
             allreduce_batchnorm_stats(model, comm)
@@ -237,6 +244,18 @@ def _train_one_epoch(
             else:
                 val_acc = None
             val_acc = comm.bcast(val_acc, root=0)
+        # Same push-before-allreduce ordering as the plain trainer; the
+        # world-owned aggregator keeps the series across a later shrink.
+        if flight.enabled:
+            phases = clock.take()
+            flight.record("epoch.phases", epoch=epoch, **phases)
+            metrics = {f"phase.{k}_s": v for k, v in phases.items()}
+            metrics["train.loss"] = loss_avg.value
+            sched = getattr(strategy, "scheduler", None)
+            if sched is not None:
+                metrics["exchange.q_deficit"] = sched.q_deficit
+            metrics["pool.in_use"] = comm.pool.stats()["in_use"]
+            push_metrics(comm, epoch, metrics)
         mean_loss = comm.allreduce(loss_avg.value) / comm.size
         total_samples = comm.allreduce(samples)
     return EpochRecord(
@@ -269,6 +288,21 @@ def _recover(
             "elastic.failure_detected", cat="elastic", epoch=epoch,
             dead={comm.group[lr]: e for lr, e in dead_before.items()},
         )
+    # Post-mortem first, while the pre-shrink state is intact: one survivor
+    # dumps every rank's flight ring (keyed, so N survivors produce one
+    # artifact), and the surviving rank 0 rescues telemetry pushes still
+    # queued in the dying communicator's mailbox.
+    dead_world = tuple(sorted(comm.group[lr] for lr in dead_before))
+    comm.flight.record(
+        "elastic.failure_detected", epoch=epoch, dead=dead_world
+    )
+    comm.world.flight.dump(
+        f"rank death at epoch {epoch}: ranks {list(dead_world)}",
+        key=("shrink", epoch, dead_world),
+        extra={"epoch": epoch, "dead_ranks": list(dead_world)},
+    )
+    if comm.rank == 0:
+        drain_pending(comm)
     old_size = comm.size
     old_group = comm.group
     newcomm = comm.shrink()
@@ -284,6 +318,13 @@ def _recover(
     strategy.attach_comm(newcomm)
     report.detection_latency_s = detection_s
     report.epoch = epoch
+    newcomm.flight.record(
+        "elastic.recovered",
+        epoch=epoch,
+        dead=dead,
+        survivors=len(newcomm.group),
+        wall_s=report.wall_s,
+    )
     if tr.enabled:
         tr.metrics.histogram("elastic.detection_latency_s").observe(detection_s)
         tr.metrics.histogram("elastic.recovery_wall_s").observe(report.wall_s)

@@ -77,6 +77,21 @@ class ChaosRunResult:
         this counts storage-read give-ups)."""
         return int(self.retry_stats.get("giveups", 0))
 
+    @property
+    def flight_dumps(self) -> list:
+        """Flight-recorder post-mortems the run produced (chaos kills and
+        shrinks each dump every rank's recent event ring)."""
+        if self.elastic is None or self.elastic.results is None:
+            return []
+        return list(self.elastic.results.world.flight.dumps)
+
+    @property
+    def telemetry(self) -> dict:
+        """The aggregated cross-rank telemetry snapshot of the run."""
+        if self.elastic is None or self.elastic.results is None:
+            return {}
+        return self.elastic.results.world.telemetry.snapshot()
+
 
 def run_chaos_train(
     *,

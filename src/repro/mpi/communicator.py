@@ -107,6 +107,17 @@ class Communicator:
         the exchange packs its envelopes and returns them after commit."""
         return self.world.pool
 
+    @property
+    def flight(self):
+        """This rank's always-on flight recorder ring.
+
+        Keyed by *world* rank, so the same ring follows the rank through
+        ``split``/``dup``/``shrink`` — a post-mortem dump shows one
+        continuous history per physical rank regardless of how many
+        communicators it lived in.
+        """
+        return self.world.flight.for_rank(self._world_rank)
+
     def count_copy(self, nbytes: int) -> None:
         """Charge a payload copy of ``nbytes`` to this rank.
 

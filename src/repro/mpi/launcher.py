@@ -46,6 +46,7 @@ def run_spmd(
     tracing: bool = False,
     tracers: Sequence[Tracer] | None = None,
     verify: bool = False,
+    flight: bool = True,
     world_factory: Callable[..., World] | None = None,
 ) -> SpmdResult:
     """Execute ``fn(comm, *args)`` on ``size`` simulated ranks.
@@ -78,6 +79,10 @@ def run_spmd(
         non-blocking requests raises
         :class:`~repro.mpi.errors.VerificationError` instead of the
         default warning.  Costs one extra rendezvous per collective.
+    flight:
+        When False the world's always-on flight recorder is disabled (no
+        ring appends; fault paths still dump, the rings are just empty).
+        The overhead benchmark's "disabled" baseline; leave True otherwise.
     world_factory:
         Alternative :class:`World` constructor (same keyword signature);
         the seam through which :class:`~repro.faults.ChaosWorld` injects
@@ -96,6 +101,8 @@ def run_spmd(
         raise ValueError(f"need {size} tracers, got {len(tracers)}")
     make_world = world_factory if world_factory is not None else World
     world = make_world(size, copy_on_send=copy_on_send, deadline_s=deadline_s)
+    if not flight:
+        world.flight.set_enabled(False)
     rank_tracers = (
         list(tracers)
         if tracers is not None
@@ -122,6 +129,10 @@ def run_spmd(
             # PeerFailure, and keep the world alive.  The dead rank's
             # "result" is its epitaph; pending requests are expected (the
             # crash interrupted it mid-flight) and are not checked.
+            world.flight.for_rank(rank).record("rank.died", reason=str(exc))
+            world.flight.dump(
+                f"rank {rank} died: {exc}", key=("rank-died", rank)
+            )
             world.mark_dead(rank, str(exc))
             results[rank] = exc
         except MPIAbort as exc:
@@ -132,6 +143,14 @@ def run_spmd(
         except BaseException as exc:  # noqa: BLE001 - must propagate everything
             with failures_lock:
                 failures[rank] = exc
+            world.flight.for_rank(rank).record(
+                "rank.failed", error=type(exc).__name__, detail=str(exc)
+            )
+            world.flight.dump(
+                f"rank {rank} raised {type(exc).__name__}",
+                key=("abort", type(exc).__name__),
+                extra={"rank": rank, "error": str(exc)},
+            )
             world.abort(f"rank {rank} raised {type(exc).__name__}: {exc}")
 
     threads = [

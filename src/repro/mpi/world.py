@@ -13,6 +13,9 @@ import threading
 import time
 from typing import Any, Sequence
 
+from repro.obs.telemetry.aggregate import TelemetryAggregator
+from repro.obs.telemetry.flight import FlightLog
+
 from .errors import MPIAbort, MPITimeout, PeerFailure
 from .message import Message, payload_nbytes
 from .pool import BufferPool
@@ -115,6 +118,16 @@ class World:
         #: Shared exchange buffer pool: packed envelopes are gathered into
         #: pooled buffers and the pool's leak balance is asserted by tests.
         self.pool = BufferPool(name="world")
+
+        #: Always-on flight recorder: one bounded event ring per rank.  Any
+        #: fault path (chaos kill, unrecovered exchange, shrink, abort) can
+        #: dump every rank's recent history in one call — ranks are threads,
+        #: so the survivors' rings are right here.
+        self.flight = FlightLog(size)
+        #: Cross-rank telemetry sink: rank 0 drains pushed metric snapshots
+        #: into this aggregator.  World-owned so the series survive rank
+        #: death and elastic shrinks.
+        self.telemetry = TelemetryAggregator()
 
         # Failure detector state (the epitaph channel): ranks that died as a
         # *fault* rather than an error, plus the reason each one recorded.

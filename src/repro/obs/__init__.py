@@ -12,6 +12,11 @@ The subsystem the paper's measurements hang off:
 * Merge + summary — cross-rank timeline reconstruction (Figure 4 overlap),
   Figure 10 phase totals as a view over ``cat="phase"`` spans, and the
   digest behind the ``repro trace`` CLI.
+* :mod:`~repro.obs.telemetry` — the always-on layer: :class:`FlightLog`
+  (bounded per-rank event rings, dumped on faults),
+  :class:`TelemetryAggregator` (collective-free cross-rank metric series
+  with streaming quantiles) and the health detectors behind
+  ``repro health``.
 
 Quick example::
 
@@ -41,8 +46,18 @@ from .merge import (
     phase_totals,
     phase_totals_by_rank,
 )
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, Reservoir
 from .summary import TraceSummary, render_summary, summarize_events, summarize_trace
+from .telemetry import (
+    FlightLog,
+    FlightRecorder,
+    HealthFinding,
+    PhaseClock,
+    TelemetryAggregator,
+    push_metrics,
+    run_health_checks,
+    to_openmetrics,
+)
 from .tracer import NULL_TRACER, NullTracer, TraceEvent, Tracer
 
 __all__ = [
@@ -69,4 +84,13 @@ __all__ = [
     "summarize_events",
     "summarize_trace",
     "render_summary",
+    "Reservoir",
+    "FlightLog",
+    "FlightRecorder",
+    "PhaseClock",
+    "TelemetryAggregator",
+    "HealthFinding",
+    "push_metrics",
+    "run_health_checks",
+    "to_openmetrics",
 ]

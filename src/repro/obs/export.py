@@ -17,6 +17,7 @@ subsystem produced.
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
 from typing import Iterable, Sequence
 
@@ -104,20 +105,41 @@ def write_jsonl(
 
 
 def read_jsonl(path: str | Path) -> list[TraceEvent]:
-    """Load events written by :func:`write_jsonl`."""
+    """Load events written by :func:`write_jsonl`.
+
+    Tolerant of damaged files: a line that is not valid JSON (e.g. the
+    truncated final line of a rank that died mid-write) or that lacks the
+    required fields is skipped with a warning instead of losing the whole
+    trace.
+    """
     events: list[TraceEvent] = []
-    with Path(path).open() as fh:
-        for line in fh:
+    bad = 0
+    path = Path(path)
+    with path.open() as fh:
+        for lineno, line in enumerate(fh, start=1):
             line = line.strip()
             if not line:
                 continue
-            row = json.loads(line)
-            events.append(TraceEvent(
-                name=row["name"], cat=row.get("cat", ""),
-                ph=row.get("ph", PH_COMPLETE), ts=row["ts"],
-                dur=row.get("dur", 0.0), rank=row.get("rank", 0),
-                tid=row.get("tid", 0), args=row.get("args", {}),
-            ))
+            try:
+                row = json.loads(line)
+                events.append(TraceEvent(
+                    name=row["name"], cat=row.get("cat", ""),
+                    ph=row.get("ph", PH_COMPLETE), ts=float(row["ts"]),
+                    dur=float(row.get("dur", 0.0)), rank=row.get("rank", 0),
+                    tid=row.get("tid", 0), args=row.get("args", {}),
+                ))
+            except (ValueError, KeyError, TypeError):
+                bad += 1
+    if bad and not events:
+        # Nothing parsed at all: this is not a damaged trace, it is not a
+        # trace.  Raising beats silently returning an empty timeline.
+        raise ValueError(f"no valid JSONL events ({bad} malformed line(s))")
+    if bad:
+        warnings.warn(
+            f"{path}: skipped {bad} malformed JSONL line(s)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     return events
 
 

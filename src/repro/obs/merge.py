@@ -18,6 +18,8 @@ the paper's empirical objects:
 
 from __future__ import annotations
 
+import math
+import warnings
 from collections import defaultdict
 from typing import Iterable, Sequence
 
@@ -46,12 +48,39 @@ def merge_ranks(
     Accepts tracers or raw event iterables; the sort is stable and keyed by
     ``(ts, rank, name)`` so merging the same run twice yields the same
     sequence (determinism is what the tests pin down).
+
+    Degrades rather than raises on damaged input: a ``None`` stream (a rank
+    that died before producing a trace) is skipped, and events with
+    non-finite or negative timestamps/durations (clock skew, corrupted
+    rows) are dropped — each with one warning naming what was lost.
     """
     events: list[TraceEvent] = []
+    missing = 0
     for item in per_rank:
+        if item is None:
+            missing += 1
+            continue
         events.extend(item.events if isinstance(item, Tracer) else item)
-    events.sort(key=lambda ev: (ev.ts, ev.rank, ev.name))
-    return events
+    kept = [
+        ev for ev in events
+        if math.isfinite(ev.ts) and math.isfinite(ev.dur)
+        and ev.ts >= 0.0 and ev.dur >= 0.0
+    ]
+    if missing:
+        warnings.warn(
+            f"merge_ranks: skipped {missing} missing rank stream(s)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    if len(kept) != len(events):
+        warnings.warn(
+            f"merge_ranks: dropped {len(events) - len(kept)} event(s) with "
+            "non-finite or negative timestamps",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    kept.sort(key=lambda ev: (ev.ts, ev.rank, ev.name))
+    return kept
 
 
 def phase_totals(events: Iterable[TraceEvent]) -> dict[str, float]:

@@ -14,6 +14,9 @@ declare them up front::
 
 All instruments are thread-safe: ranks are threads and a registry may be
 shared across them (e.g. one registry per rank but a shared one in tests).
+``snapshot()`` holds each instrument's lock while reading it, so a value
+observed mid-``inc``/mid-``observe`` can never tear (a histogram whose
+``count`` was bumped but whose ``sum`` was not yet).
 """
 
 from __future__ import annotations
@@ -22,7 +25,60 @@ import math
 import threading
 from typing import Any
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+from repro.utils.rng import hash_unit
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "Reservoir"]
+
+
+class Reservoir:
+    """Fixed-size uniform sample of an unbounded stream (Algorithm R).
+
+    The admission and replacement decisions use :func:`hash_unit` keyed on
+    ``(key, n)`` rather than a drawn RNG stream, so the retained sample is a
+    pure function of the observation sequence — immune to thread
+    interleaving, reproducible run-to-run, and SPMD-clean (no raw RNG).
+    Quantiles computed over the reservoir are unbiased estimates of the
+    stream's quantiles; for streams shorter than ``capacity`` they are
+    exact.
+    """
+
+    __slots__ = ("key", "capacity", "n", "_values")
+
+    def __init__(self, key: str, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError(f"reservoir capacity must be >= 1, got {capacity}")
+        self.key = key
+        self.capacity = capacity
+        self.n = 0          # observations offered (not retained)
+        self._values: list[float] = []
+
+    def add(self, value: float) -> None:
+        """Offer one observation (retained with probability capacity/n)."""
+        self.n += 1
+        if len(self._values) < self.capacity:
+            self._values.append(float(value))
+            return
+        u = hash_unit(self.key, self.n)
+        # Keep with probability capacity/n; the second hash picks the slot
+        # to evict uniformly (independent of the admission draw).
+        if u * self.n < self.capacity:
+            slot = int(hash_unit(self.key, self.n, "slot") * self.capacity)
+            self._values[slot] = float(value)
+
+    def values(self) -> list[float]:
+        """Copy of the retained sample (unordered)."""
+        return list(self._values)
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile of the retained sample (NaN when empty)."""
+        if not self._values:
+            return math.nan
+        ordered = sorted(self._values)
+        idx = int(round(q * (len(ordered) - 1)))
+        return ordered[min(len(ordered) - 1, max(0, idx))]
+
+    def __len__(self) -> int:
+        return len(self._values)
 
 
 class Counter:
@@ -45,7 +101,8 @@ class Counter:
     @property
     def value(self) -> float:
         """Current total."""
-        return self._value
+        with self._lock:
+            return self._value
 
 
 class Gauge:
@@ -72,17 +129,26 @@ class Gauge:
     @property
     def value(self) -> float:
         """Current value (NaN when never set)."""
-        return self._value
+        with self._lock:
+            return self._value
+
+
+#: Retained-sample size of every histogram's quantile reservoir.  256 keeps
+#: p99 meaningful (~2-3 samples above it) at a fixed ~2 KiB per histogram.
+HISTOGRAM_RESERVOIR_SIZE = 256
 
 
 class Histogram:
-    """Streaming summary of observations: count / sum / min / max / mean.
+    """Streaming summary of observations with bounded memory.
 
-    Deliberately bucket-free: the trace already has the full-resolution
-    series, so the registry only needs cheap aggregates for tables.
+    Aggregates (count / sum / min / max / mean) are exact; quantiles
+    (p50 / p95 / p99) come from a fixed-size :class:`Reservoir`, so memory
+    stays O(1) no matter how many observations arrive — a histogram fed
+    once per message by an always-on telemetry path cannot grow without
+    bound.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max", "_lock")
+    __slots__ = ("name", "count", "total", "min", "max", "_lock", "_reservoir")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -91,6 +157,7 @@ class Histogram:
         self.min = math.inf
         self.max = -math.inf
         self._lock = threading.Lock()
+        self._reservoir = Reservoir(name, HISTOGRAM_RESERVOIR_SIZE)
 
     def observe(self, value: float) -> None:
         """Record one observation."""
@@ -102,6 +169,7 @@ class Histogram:
                 self.min = value
             if value > self.max:
                 self.max = value
+            self._reservoir.add(value)
 
     @property
     def mean(self) -> float:
@@ -109,12 +177,23 @@ class Histogram:
         return self.total / self.count if self.count else math.nan
 
     def summary(self) -> dict[str, float]:
-        """Plain-dict aggregate view."""
+        """Plain-dict aggregate view (keys stable; quantiles estimated
+        from the bounded reservoir)."""
+        with self._lock:
+            return self._summary_locked()
+
+    def _summary_locked(self) -> dict[str, float]:
         if not self.count:
             return {"count": 0, "sum": 0.0, "min": math.nan, "max": math.nan,
-                    "mean": math.nan}
-        return {"count": self.count, "sum": self.total, "min": self.min,
-                "max": self.max, "mean": self.mean}
+                    "mean": math.nan, "p50": math.nan, "p95": math.nan,
+                    "p99": math.nan}
+        return {
+            "count": self.count, "sum": self.total, "min": self.min,
+            "max": self.max, "mean": self.total / self.count,
+            "p50": self._reservoir.quantile(0.50),
+            "p95": self._reservoir.quantile(0.95),
+            "p99": self._reservoir.quantile(0.99),
+        }
 
 
 class MetricsRegistry:
@@ -154,11 +233,23 @@ class MetricsRegistry:
         """All instruments as plain values, sorted by name::
 
             {"counters": {...}, "gauges": {...}, "histograms": {...}}
+
+        Each instrument is read under its own lock, so a concurrent
+        ``inc``/``observe`` is either fully visible or not at all — never a
+        half-applied update (e.g. a histogram count without its sum).
         """
-        return {
-            "counters": {n: c.value for n, c in sorted(self._counters.items())},
-            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
-            "histograms": {
-                n: h.summary() for n, h in sorted(self._histograms.items())
-            },
-        }
+        with self._lock:
+            counters = sorted(self._counters.items())
+            gauges = sorted(self._gauges.items())
+            histograms = sorted(self._histograms.items())
+        out: dict[str, Any] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name, c in counters:
+            with c._lock:
+                out["counters"][name] = c._value
+        for name, g in gauges:
+            with g._lock:
+                out["gauges"][name] = g._value
+        for name, h in histograms:
+            with h._lock:
+                out["histograms"][name] = h._summary_locked()
+        return out

@@ -1,0 +1,71 @@
+"""Always-on phase accounting: the Figure-10 breakdown without a trace.
+
+The cross-rank telemetry pipeline needs per-rank phase durations (I/O,
+EXCHANGE, FW+BW, GE+WU) every epoch, whether or not full tracing is on —
+straggler detection is *about* comparing those durations across ranks.
+:class:`PhaseClock` is the cheap always-on instrument: a context manager
+per phase region adding ``perf_counter`` deltas into a plain dict (two
+clock reads and one dict update per region).
+
+When the rank's tracer *is* enabled, the clock mirrors every region as a
+``cat="phase"`` complete span (via :meth:`~repro.obs.Tracer.complete`), so
+a traced run's Chrome trace and its telemetry series can never disagree —
+they are two views over the same timestamps.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["PhaseClock"]
+
+
+class _Phase:
+    """Times one region; adds into the clock and mirrors to the tracer."""
+
+    __slots__ = ("_clock", "_name", "_t0")
+
+    def __init__(self, clock: "PhaseClock", name: str) -> None:
+        self._clock = clock
+        self._name = name
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Phase":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        t1 = time.perf_counter()
+        clock = self._clock
+        dur = t1 - self._t0
+        clock.totals[self._name] = clock.totals.get(self._name, 0.0) + dur
+        tr = clock.tracer
+        if tr is not None and tr.enabled:
+            tr.complete(self._name, cat="phase", ts=self._t0, dur=dur)
+        return False
+
+
+class PhaseClock:
+    """Accumulates wall-clock seconds per named phase region.
+
+    Parameters
+    ----------
+    tracer:
+        Optional per-rank tracer; enabled tracers receive one
+        ``cat="phase"`` span per region, identical to what
+        ``tracer.span(name, cat="phase")`` would have recorded.
+    """
+
+    def __init__(self, tracer=None) -> None:
+        self.tracer = tracer
+        self.totals: dict[str, float] = {}
+
+    def phase(self, name: str) -> _Phase:
+        """Context manager timing one region of phase ``name``."""
+        return _Phase(self, name)
+
+    def take(self) -> dict[str, float]:
+        """Return the accumulated totals and reset them (per-epoch delta)."""
+        totals = self.totals
+        self.totals = {}
+        return totals

@@ -213,6 +213,31 @@ class Tracer:
         """
         return _Suspension(self)
 
+    def complete(
+        self, name: str, cat: str = "", *, ts: float, dur: float, **args: Any
+    ) -> None:
+        """Record a complete span from externally measured timestamps.
+
+        The always-on telemetry layer times phases itself (its accumulator
+        runs whether tracing is on or not); when tracing *is* on it mirrors
+        each region here so the trace stays identical to one recorded with
+        :meth:`span` — same name, same ``cat="phase"`` accounting.
+        """
+        if not self.enabled:
+            return
+        self._events.append(
+            TraceEvent(
+                name=name,
+                cat=cat,
+                ph=PH_COMPLETE,
+                ts=ts,
+                dur=dur,
+                rank=self.rank,
+                tid=self._tid(),
+                args=args,
+            )
+        )
+
     def instant(self, name: str, cat: str = "", **args: Any) -> None:
         """Record a zero-duration marker event."""
         if not self.enabled:
@@ -291,6 +316,11 @@ class NullTracer:
     def span(self, name: str, cat: str = "", **args: Any) -> _NullSpan:
         """Return the shared no-op span."""
         return _NULL_SPAN
+
+    def complete(
+        self, name: str, cat: str = "", *, ts: float, dur: float, **args: Any
+    ) -> None:
+        """No-op."""
 
     def instant(self, name: str, cat: str = "", **args: Any) -> None:
         """No-op."""

@@ -55,6 +55,7 @@ releases it back to the pool (rollback) — see ``docs/performance.md``.
 from __future__ import annotations
 
 import time
+import zlib
 from typing import Sequence
 
 import numpy as np
@@ -235,6 +236,11 @@ class Scheduler:
         # by default).  Exchange spans carry cat="exchange" so the Figure 4
         # overlap attribution can tell posting modes apart.
         self.tracer = comm.tracer
+        # Always-on flight recorder ring: every protocol step (plan, post,
+        # verify, ACK, NACK, resend, commit, rollback) leaves a bounded
+        # breadcrumb, so a fault dump reconstructs the last K rounds even
+        # with tracing off.
+        self.flight = comm.flight
 
         # Statistics for the performance/accounting benchmarks.  Byte counts
         # use the wire-size model (payload_nbytes: sample array + label), so
@@ -323,6 +329,18 @@ class Scheduler:
                     self.plan.destinations, label=f"exchange-plan/epoch{epoch}"
                 )
             sp.set(samples=k, rounds=n_messages)
+        self.flight.record(
+            "exchange.plan",
+            epoch=self.epoch,
+            rounds=n_messages,
+            samples=k,
+            q=self.fraction,
+            deficit=self.q_deficit,
+            # CRC of the destination matrix: two ranks whose fingerprints
+            # differ diverged on the shared-seed plan — the first thing a
+            # post-mortem checks.
+            rng_fingerprint=zlib.crc32(self.plan.destinations.tobytes()),
+        )
         self._next_round = 0
         self._send_reqs = []
         self._recv_reqs = []
@@ -432,6 +450,16 @@ class Scheduler:
             else:
                 payload = entries
             tag = EXCHANGE_TAG_BASE + parity + i
+            self.flight.record(
+                "round.post",
+                epoch=self.epoch,
+                round=i,
+                dest=int(dests[i]),
+                src=int(srcs[i]),
+                nbytes=nbytes,
+                samples=len(entries),
+                mode=mode,
+            )
             with tr.span(
                 "exchange.round",
                 cat="exchange",
@@ -540,6 +568,21 @@ class Scheduler:
         if tr.enabled:
             tr.metrics.counter(name).inc(n)
 
+    def _unrecovered(self, message: str, **fields) -> None:
+        """Give up on the exchange: record, dump the flight log, raise.
+
+        The dump is keyed by (epoch, rank) so the one failing rank produces
+        exactly one post-mortem artifact — containing every rank's recent
+        ring — before :class:`UnrecoveredFaultError` propagates."""
+        rank = self.comm.group[self.comm.rank]
+        self.flight.record(
+            "fault.unrecovered", epoch=self.epoch, detail=message, **fields
+        )
+        self.comm.world.flight.dump(
+            message, key=("unrecovered", self.epoch, rank)
+        )
+        raise UnrecoveredFaultError(message)
+
     def _complete_reliable(self) -> int:
         """Run the verify/ACK/NACK/resend loop, then agree what to commit.
 
@@ -616,17 +659,29 @@ class Scheduler:
                     st.buffer = None  # released: receiver verified the bytes
                     unacked.pop(idx, None)
                     progress = True
+                    self.flight.record(
+                        "round.ack", epoch=self.epoch, round=idx, peer=st.dest
+                    )
             elif not st.acked:  # NACK for a round we still owe
                 st.send_attempts += 1
                 if st.send_attempts > self.max_attempts:
-                    raise UnrecoveredFaultError(
+                    self._unrecovered(
                         f"exchange round {idx} of epoch {self.epoch}: "
                         f"{st.send_attempts} attempts to rank {st.dest} all "
-                        "failed"
+                        "failed",
+                        round=idx,
+                        peer=st.dest,
                     )
                 self.resends += 1
                 self.resent_bytes += st.nbytes
                 self._metric_inc("exchange.resends")
+                self.flight.record(
+                    "round.resend",
+                    epoch=self.epoch,
+                    round=idx,
+                    peer=st.dest,
+                    attempt=st.send_attempts,
+                )
                 env = Checksummed.wrap(
                     st.buffer, meta=(self.epoch, idx, st.send_attempts)
                 )
@@ -644,9 +699,11 @@ class Scheduler:
     def _handle_data(self, st: _Round, env, ctrl_tag: int) -> None:
         """Classify one completed data receive for round ``st``."""
         if not isinstance(env, Checksummed) or len(env.meta) != 3:
-            raise UnrecoveredFaultError(
+            self._unrecovered(
                 f"exchange round {st.index}: rank {st.src} sent an "
-                "unchecksummed payload; reliable mode must match on all ranks"
+                "unchecksummed payload; reliable mode must match on all ranks",
+                round=st.index,
+                peer=st.src,
             )
         ep, idx, _attempt = env.meta
         if ep != self.epoch or idx != st.index:
@@ -654,6 +711,9 @@ class Scheduler:
             # or a resend that raced a deadline): discard, keep listening.
             self.stale_discards += 1
             self._metric_inc("exchange.stale_discards")
+            self.flight.record(
+                "round.stale", epoch=self.epoch, round=st.index, got=(ep, idx)
+            )
             st.recv_req = self.comm.irecv(source=st.src, tag=st.tag)
             return
         if not isinstance(env.payload, PackedBatch):
@@ -664,6 +724,13 @@ class Scheduler:
             st.verified = True
             st.payload = env.payload
             st.recv_req = None
+            self.flight.record(
+                "round.verified",
+                epoch=self.epoch,
+                round=st.index,
+                peer=st.src,
+                nbytes=st.nbytes,
+            )
             with self.tracer.suspended():
                 self.comm.send(
                     ("ack", self.epoch, st.index), dest=st.src, tag=ctrl_tag
@@ -671,6 +738,9 @@ class Scheduler:
         else:
             self.crc_rejects += 1
             self._metric_inc("exchange.crc_rejects")
+            self.flight.record(
+                "round.crc_reject", epoch=self.epoch, round=st.index, peer=st.src
+            )
             self._nack(st, ctrl_tag, timed_out=False)
             st.recv_req = self.comm.irecv(source=st.src, tag=st.tag)
 
@@ -678,13 +748,23 @@ class Scheduler:
         """Ask ``st.src`` to retransmit round ``st.index``."""
         st.nacks += 1
         if st.nacks > self.max_attempts:
-            raise UnrecoveredFaultError(
+            self._unrecovered(
                 f"exchange round {st.index} of epoch {self.epoch}: no valid "
-                f"payload from rank {st.src} after {st.nacks - 1} NACKs"
+                f"payload from rank {st.src} after {st.nacks - 1} NACKs",
+                round=st.index,
+                peer=st.src,
             )
         if timed_out:
             self.timeout_nacks += 1
             self._metric_inc("exchange.timeout_nacks")
+        self.flight.record(
+            "round.nack",
+            epoch=self.epoch,
+            round=st.index,
+            peer=st.src,
+            timed_out=timed_out,
+            nacks=st.nacks,
+        )
         with self.tracer.suspended():
             self.comm.send(
                 ("nack", self.epoch, st.index), dest=st.src, tag=ctrl_tag
@@ -787,6 +867,22 @@ class Scheduler:
             self._metric_inc("exchange.degraded_epochs")
         self.effective_q.append(
             committed_samples / self._n_local if self._n_local else 0.0
+        )
+        if committed < rounds:
+            self.flight.record(
+                "epoch.rollback",
+                epoch=self.epoch,
+                committed=committed,
+                rolled_back=rounds - committed,
+            )
+        self.flight.record(
+            "epoch.commit",
+            epoch=self.epoch,
+            committed=committed,
+            planned=rounds,
+            samples=committed_samples,
+            q_deficit=self.q_deficit,
+            pool_in_use=self.comm.pool.stats()["in_use"],
         )
         tr = self.tracer
         if tr.enabled:

@@ -23,6 +23,7 @@ from repro.nn.metrics import RunningAverage
 from repro.nn.models import build_model
 from repro.nn.optim import LARS, SGD
 from repro.nn.tensor import Tensor
+from repro.obs.telemetry import PhaseClock, drain_pending, push_metrics
 from repro.shuffle.base import ShuffleStrategy
 
 from .distributed import allreduce_batchnorm_stats, allreduce_gradients, broadcast_model
@@ -151,15 +152,20 @@ def train_worker(
             start_epoch = ckpt.epoch + 1
             strategy.fast_forward(start_epoch)
 
-    # Per-rank observability: phase spans follow the Figure 10 accounting
-    # (cat="phase": io / exchange / fw_bw / ge_wu) so a traced run yields the
-    # same breakdown `measure_phase_breakdown` reports; loss/accuracy land in
-    # gauges and the allreduce's straggler wait in a histogram.
+    # Per-rank observability: phase regions follow the Figure 10 accounting
+    # (io / exchange / fw_bw / ge_wu).  The PhaseClock accumulates them
+    # always-on (feeding the flight ring and the telemetry push) and mirrors
+    # each region as a cat="phase" span whenever tracing is enabled, so a
+    # traced run yields the same breakdown `measure_phase_breakdown`
+    # reports; loss/accuracy land in gauges and the allreduce's straggler
+    # wait in a histogram.
     tr = comm.tracer
+    clock = PhaseClock(tr)
+    flight = comm.flight
     for epoch in range(start_epoch, config.epochs):
         lr = schedule.step(epoch)
         with tr.span("epoch", cat="train", epoch=epoch, lr=lr):
-            with tr.span("exchange", cat="phase"):
+            with clock.phase("exchange"):
                 strategy.begin_epoch(epoch)
             loader = strategy.epoch_loader(epoch, config.batch_size)
             # Every rank must run the same number of iterations or the gradient
@@ -170,14 +176,14 @@ def train_worker(
             model.train()
             it = iter(loader)
             for _ in range(iters):
-                with tr.span("io", cat="phase"):
+                with clock.phase("io"):
                     xb, yb = next(it)
-                with tr.span("fw_bw", cat="phase"):
+                with clock.phase("fw_bw"):
                     logits = model(Tensor(np.asarray(xb, dtype=np.float32)))
                     loss = F.cross_entropy(logits, yb)
                     model.zero_grad()
                     loss.backward()
-                with tr.span("ge_wu", cat="phase"):
+                with clock.phase("ge_wu"):
                     if tr.enabled:
                         t0 = time.perf_counter()
                         allreduce_gradients(model, comm)
@@ -187,15 +193,15 @@ def train_worker(
                     else:
                         allreduce_gradients(model, comm)
                     optimizer.step()
-                with tr.span("exchange", cat="phase"):
+                with clock.phase("exchange"):
                     strategy.on_iteration()
                 loss_avg.update(loss.item(), weight=len(yb))
                 samples += len(yb)
-            with tr.span("exchange", cat="phase"):
+            with clock.phase("exchange"):
                 strategy.end_epoch()
 
             if config.sync_batchnorm_stats:
-                with tr.span("ge_wu", cat="phase"):
+                with clock.phase("ge_wu"):
                     allreduce_batchnorm_stats(model, comm)
             # Validation on rank 0 (replicas are identical after the reduce),
             # then shared with everyone.
@@ -205,6 +211,21 @@ def train_worker(
                 else:
                     val_acc = None
                 val_acc = comm.bcast(val_acc, root=0)
+            # Always-on telemetry: record the epoch's phase breakdown in the
+            # flight ring and push it (plus local loss and exchange health)
+            # to the aggregator.  Pushed *before* the mean-loss allreduce:
+            # that collective is a barrier, so rank 0 passing it proves every
+            # peer's push of this epoch is already deposited.
+            if flight.enabled:
+                phases = clock.take()
+                flight.record("epoch.phases", epoch=epoch, **phases)
+                metrics = {f"phase.{k}_s": v for k, v in phases.items()}
+                metrics["train.loss"] = loss_avg.value
+                sched = getattr(strategy, "scheduler", None)
+                if sched is not None:
+                    metrics["exchange.q_deficit"] = sched.q_deficit
+                metrics["pool.in_use"] = comm.pool.stats()["in_use"]
+                push_metrics(comm, epoch, metrics)
             mean_loss = comm.allreduce(loss_avg.value) / comm.size
             total_samples = comm.allreduce(samples)
         if tr.enabled:
@@ -238,6 +259,11 @@ def train_worker(
         # durable — mirrors a real job's collective checkpoint barrier.
         if checkpoint_path is not None and checkpoint_every:
             comm.barrier()
+    # Final drain: rank 0's per-epoch drain ran *before* the last epoch's
+    # barrier, so the peers' final pushes are still queued.  They are all
+    # deposited by now (each peer pushed before entering that barrier).
+    if flight.enabled and comm.rank == 0:
+        drain_pending(comm)
     history.stats = strategy.stats()
     if return_model:
         return history, model

@@ -1,0 +1,223 @@
+"""Flight recorder: bounded rings, dedup'd dumps, and fault-path hooks.
+
+The acceptance bar of the always-on telemetry work: a chaos kill and an
+:class:`~repro.mpi.errors.UnrecoveredFaultError` must each leave a
+post-mortem dump containing the recent exchange/phase events of every
+surviving rank — without tracing, without any flag, at ring-buffer cost.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticSpec
+from repro.faults import ChaosEngine, ChaosWorld, run_chaos_train
+from repro.mpi import RankFailed, run_spmd
+from repro.obs.telemetry import (
+    DEFAULT_FLIGHT_CAPACITY,
+    FLIGHT_DIR_ENV,
+    FLIGHT_SCHEMA,
+    FlightLog,
+    FlightRecorder,
+)
+from repro.shuffle import Scheduler, StorageArea
+from repro.train.experiments import make_experiment_data
+from repro.train.trainer import TrainConfig
+
+
+class TestFlightRecorder:
+    def test_ring_bounded_at_capacity(self):
+        rec = FlightRecorder(0, capacity=8)
+        for i in range(30):
+            rec.record("tick", i=i)
+        assert len(rec) == 8
+        events = rec.events()
+        # Oldest first, and only the *last* 8 survived.
+        assert [e["i"] for e in events] == list(range(22, 30))
+        assert all(e["kind"] == "tick" for e in events)
+        assert all("ts" in e for e in events)
+
+    def test_disabled_records_nothing(self):
+        rec = FlightRecorder(0, capacity=8)
+        rec.enabled = False
+        rec.record("tick")
+        assert len(rec) == 0
+
+    def test_clear(self):
+        rec = FlightRecorder(0, capacity=8)
+        rec.record("tick")
+        rec.clear()
+        assert len(rec) == 0
+
+    def test_default_capacity_covers_many_rounds(self):
+        # ~4 events per reliable round: 512 keeps >= 100 rounds of context.
+        assert DEFAULT_FLIGHT_CAPACITY >= 4 * 100
+
+
+class TestFlightLog:
+    def test_dump_structure(self):
+        log = FlightLog(3, capacity=16)
+        log.for_rank(1).record("hello", x=1)
+        dump = log.dump("test reason")
+        assert dump["schema"] == FLIGHT_SCHEMA
+        assert dump["reason"] == "test reason"
+        assert set(dump["ranks"]) == {"0", "1", "2"}
+        assert dump["ranks"]["1"][0]["kind"] == "hello"
+        assert log.last_dump is dump
+
+    def test_key_dedup(self):
+        log = FlightLog(2)
+        first = log.dump("boom", key=("k", 1))
+        again = log.dump("boom", key=("k", 1))
+        other = log.dump("boom", key=("k", 2))
+        assert first is not None
+        assert again is None
+        assert other is not None
+        assert len(log.dumps) == 2
+
+    def test_dump_written_to_dir(self, tmp_path):
+        log = FlightLog(2, dump_dir=tmp_path)
+        log.for_rank(0).record("ev")
+        dump = log.dump("Disk Check: reason/with bad chars")
+        path = tmp_path / dump["path"].split("/")[-1]
+        assert path.is_file()
+        loaded = json.loads(path.read_text())
+        assert loaded["schema"] == FLIGHT_SCHEMA
+        assert loaded["ranks"]["0"][0]["kind"] == "ev"
+
+    def test_dump_dir_from_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(FLIGHT_DIR_ENV, str(tmp_path))
+        log = FlightLog(1)
+        log.dump("env routed")
+        assert list(tmp_path.glob("flight-*.json"))
+
+    def test_set_enabled_toggles_all_ranks(self):
+        log = FlightLog(3)
+        log.set_enabled(False)
+        assert not log.enabled
+        for rec in log.recorders:
+            rec.record("dropped")
+        assert all(len(rec) == 0 for rec in log.recorders)
+
+
+def _fill_storage(rank, n=8, dim=4):
+    st = StorageArea()
+    for i in range(n):
+        st.add(np.array([rank, i, 0, 0][:dim], dtype=np.float32), label=rank)
+    return st
+
+
+class TestUnrecoveredFaultDump:
+    """corrupt:p=1 defeats the resend machinery -> dump, then the error.
+
+    Epoch 0 runs clean (with a barrier after it) so that when epoch 1's
+    total corruption kills the exchange, every rank's ring demonstrably
+    holds its recent rounds — the post-mortem the dump promises.
+    """
+
+    @pytest.fixture(scope="class")
+    def aftermath(self):
+        engine = ChaosEngine("corrupt:p=1,epochs=1", seed=0)
+        captured = {}
+
+        def factory(size, **kwargs):
+            world = ChaosWorld(size, chaos=engine, **kwargs)
+            captured["world"] = world
+            return world
+
+        def worker(comm):
+            sched = Scheduler(
+                _fill_storage(comm.rank), comm, fraction=0.5, batch_size=4,
+                seed=7, reliable=True, resend_timeout_s=0.02, max_attempts=2,
+            )
+            sched.run_exchange(0)  # clean epoch: every ring fills up
+            comm.barrier()
+            sched.run_exchange(1)  # fully corrupted: must give up and dump
+            return sched
+
+        with pytest.raises(RankFailed):
+            run_spmd(worker, 4, deadline_s=60, world_factory=factory)
+        return captured["world"]
+
+    def test_dump_taken(self, aftermath):
+        assert aftermath.flight.dumps, "no post-mortem dump on UnrecoveredFaultError"
+
+    def test_dump_names_the_fault(self, aftermath):
+        kinds = {
+            e["kind"]
+            for dump in aftermath.flight.dumps
+            for events in dump["ranks"].values()
+            for e in events
+        }
+        assert "fault.unrecovered" in kinds
+
+    def test_every_rank_has_exchange_events(self, aftermath):
+        dump = aftermath.flight.dumps[0]
+        assert set(dump["ranks"]) == {"0", "1", "2", "3"}
+        for rank, events in dump["ranks"].items():
+            kinds = {e["kind"] for e in events}
+            assert "exchange.plan" in kinds, f"rank {rank} missing plan event"
+            assert any(k.startswith("round.") for k in kinds), (
+                f"rank {rank} has no per-round exchange events"
+            )
+            # The clean epoch committed before the fault: its full round
+            # history is what the ring preserves for the post-mortem.
+            assert "epoch.commit" in kinds, f"rank {rank} missing epoch 0"
+
+
+class TestChaosKillDump:
+    """A fail-stop kill mid-training dumps every survivor's recent rounds."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        spec = SyntheticSpec(n_samples=240, n_classes=4, n_features=16, seed=0)
+        train_ds, labels, val_X, val_y = make_experiment_data(spec)
+        config = TrainConfig(
+            model="mlp", in_shape=(16,), num_classes=4,
+            epochs=3, batch_size=8, base_lr=0.05,
+            partition="class_sorted", seed=0,
+        )
+        return run_chaos_train(
+            config=config, workers=4, q=0.3,
+            profile="kill:rank=1,epoch=2", seed=0,
+            train_dataset=train_ds, labels=labels, val_X=val_X, val_y=val_y,
+        )
+
+    def test_kill_produced_dumps(self, result):
+        assert result.dead_ranks == (1,)
+        assert result.flight_dumps, "chaos kill left no flight dump"
+        reasons = " | ".join(d["reason"] for d in result.flight_dumps)
+        assert "died" in reasons or "death" in reasons
+
+    def test_survivors_have_exchange_and_phase_events(self, result):
+        # The death-at-epoch-2 dump must carry every surviving rank's
+        # recent exchange rounds and per-epoch phase breakdowns.
+        dump = result.flight_dumps[0]
+        for rank in ("0", "2", "3"):
+            kinds = {e["kind"] for e in dump["ranks"][rank]}
+            assert any(k.startswith("round.") for k in kinds), (
+                f"survivor {rank} has no exchange round events"
+            )
+            assert "epoch.phases" in kinds, (
+                f"survivor {rank} has no phase breakdown events"
+            )
+
+    def test_telemetry_survived_the_shrink(self, result):
+        # The aggregator lives on the world: series keep flowing after the
+        # shrink, keyed by world rank.
+        snap = result.telemetry
+        assert snap["pushes"] > 0
+        assert "train.loss" in snap["series"]
+
+
+class TestFlightDisabled:
+    def test_flight_false_keeps_rings_empty(self):
+        def worker(comm):
+            comm.flight.record("never kept")
+            comm.allreduce(1.0)
+            return len(comm.flight)
+
+        res = run_spmd(worker, 2, flight=False)
+        assert list(res) == [0, 0]
+        assert not res.world.flight.enabled

@@ -1,0 +1,102 @@
+"""Cross-rank merge under damage: gaps degrade gracefully, never raise.
+
+A rank that died mid-run leaves a ``None`` stream or a truncated JSONL
+file; a clock-skewed or corrupted row carries a non-finite timestamp.
+``merge_ranks`` and ``read_jsonl`` must keep everything salvageable,
+warn about what was lost, and only raise when there is nothing at all.
+"""
+
+import math
+
+import pytest
+
+from repro.obs.export import read_jsonl, write_jsonl
+from repro.obs.merge import merge_ranks, phase_totals
+from repro.obs.tracer import PH_COMPLETE, TraceEvent
+
+
+def ev(name, ts, rank=0, dur=0.5, cat="phase"):
+    return TraceEvent(name=name, cat=cat, ph=PH_COMPLETE, ts=ts,
+                      dur=dur, rank=rank)
+
+
+class TestMissingRankStreams:
+    def test_none_stream_skipped_with_warning(self):
+        good = [ev("io", 1.0, rank=0)]
+        with pytest.warns(RuntimeWarning, match="missing rank stream"):
+            merged = merge_ranks([good, None, None])
+        assert [e.name for e in merged] == ["io"]
+
+    def test_all_streams_missing_yields_empty(self):
+        with pytest.warns(RuntimeWarning):
+            assert merge_ranks([None, None]) == []
+
+    def test_no_warning_when_complete(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            merged = merge_ranks([[ev("a", 1.0)], [ev("b", 2.0, rank=1)]])
+        assert len(merged) == 2
+
+
+class TestSkewedTimestamps:
+    def test_non_finite_events_dropped_with_warning(self):
+        events = [
+            ev("ok", 1.0),
+            ev("skewed", -5.0),          # negative: before the clock epoch
+            ev("nan", math.nan),
+            ev("inf-dur", 2.0, dur=math.inf),
+        ]
+        with pytest.warns(RuntimeWarning, match="non-finite or negative"):
+            merged = merge_ranks([events])
+        assert [e.name for e in merged] == ["ok"]
+
+    def test_phase_totals_usable_after_drops(self):
+        events = [ev("io", 1.0, dur=0.25), ev("io", math.nan)]
+        with pytest.warns(RuntimeWarning):
+            merged = merge_ranks([events])
+        assert phase_totals(merged) == {"io": 0.25}
+
+    def test_merge_is_deterministic(self):
+        streams = [[ev("a", 2.0), ev("b", 1.0)], [ev("c", 1.0, rank=1)]]
+        assert merge_ranks(list(streams)) == merge_ranks(list(streams))
+
+
+class TestTruncatedJsonl:
+    def test_truncated_final_line_skipped(self, tmp_path):
+        path = write_jsonl([ev("io", 1.0), ev("exchange", 2.0)],
+                           tmp_path / "trace.jsonl")
+        # Simulate a rank dying mid-write: chop the last line in half.
+        text = path.read_text()
+        path.write_text(text[: len(text) - 25])
+        with pytest.warns(RuntimeWarning, match="malformed JSONL"):
+            events = read_jsonl(path)
+        assert [e.name for e in events] == ["io"]
+
+    def test_interleaved_garbage_skipped(self, tmp_path):
+        path = write_jsonl([ev("io", 1.0), ev("fw_bw", 2.0)],
+                           tmp_path / "trace.jsonl")
+        lines = path.read_text().splitlines()
+        lines.insert(1, "{not json at all")
+        lines.insert(0, '{"valid json": "but not an event"}')
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.warns(RuntimeWarning, match="2 malformed"):
+            events = read_jsonl(path)
+        assert [e.name for e in events] == ["io", "fw_bw"]
+
+    def test_all_garbage_raises(self, tmp_path):
+        path = tmp_path / "junk.jsonl"
+        path.write_text("definitely\nnot\na trace\n")
+        with pytest.raises(ValueError, match="no valid JSONL events"):
+            read_jsonl(path)
+
+    def test_damaged_file_feeds_merge_without_raising(self, tmp_path):
+        path = write_jsonl([ev("io", 1.0), ev("exchange", 2.0, rank=1)],
+                           tmp_path / "trace.jsonl")
+        path.write_text(path.read_text() + "trailing garbage\n")
+        with pytest.warns(RuntimeWarning):
+            events = read_jsonl(path)
+        with pytest.warns(RuntimeWarning, match="missing rank stream"):
+            merged = merge_ranks([events, None])
+        assert len(merged) == 2

@@ -1,0 +1,85 @@
+"""MetricsRegistry under the threaded world: snapshots never tear.
+
+Ranks are threads sharing instruments; ``snapshot()`` reads each one under
+its own lock.  A torn read would show up as a histogram whose ``count``
+moved without its ``sum`` (here: observations of exactly 1.0, so in every
+snapshot ``sum == count`` must hold bit-exactly) or a final total that
+lost increments.
+"""
+
+import threading
+
+from repro.obs.metrics import MetricsRegistry
+
+THREADS = 8
+OPS = 2000
+
+
+class TestSnapshotConsistency:
+    def test_no_torn_reads_while_hammered(self):
+        reg = MetricsRegistry()
+        start = threading.Barrier(THREADS + 1)
+        done = threading.Event()
+
+        def hammer():
+            start.wait()
+            c = reg.counter("ops")
+            h = reg.histogram("unit")
+            g = reg.gauge("last")
+            for i in range(OPS):
+                c.inc()
+                h.observe(1.0)  # sum must track count exactly
+                g.set(float(i))
+
+        workers = [threading.Thread(target=hammer) for _ in range(THREADS)]
+        for t in workers:
+            t.start()
+
+        inconsistencies = []
+
+        def snapshotter():
+            start.wait()
+            while not done.is_set():
+                snap = reg.snapshot()
+                h = snap["histograms"].get("unit")
+                if h and h["sum"] != h["count"]:
+                    inconsistencies.append(h)
+
+        watcher = threading.Thread(target=snapshotter)
+        watcher.start()
+        for t in workers:
+            t.join()
+        done.set()
+        watcher.join()
+
+        assert not inconsistencies, f"torn snapshots: {inconsistencies[:3]}"
+        final = reg.snapshot()
+        assert final["counters"]["ops"] == THREADS * OPS
+        assert final["histograms"]["unit"]["count"] == THREADS * OPS
+        assert final["histograms"]["unit"]["sum"] == THREADS * OPS
+        assert final["histograms"]["unit"]["min"] == 1.0
+        assert final["histograms"]["unit"]["max"] == 1.0
+        assert final["histograms"]["unit"]["p99"] == 1.0
+
+    def test_create_on_first_use_is_race_free(self):
+        reg = MetricsRegistry()
+        start = threading.Barrier(THREADS)
+        seen = []
+        lock = threading.Lock()
+
+        def create():
+            start.wait()
+            c = reg.counter("shared")
+            c.inc()
+            with lock:
+                seen.append(id(c))
+
+        threads = [threading.Thread(target=create) for _ in range(THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Everyone got the *same* instrument, so no increment was lost to a
+        # racing second Counter("shared").
+        assert len(set(seen)) == 1
+        assert reg.counter("shared").value == THREADS

@@ -164,3 +164,95 @@ class TestReport:
         empty.mkdir()
         assert main(["report", "--results-dir", str(empty),
                      "--output", str(tmp_path / "r.md")]) == 1
+
+
+class TestHealth:
+    @staticmethod
+    def snapshot_file(tmp_path, slow_rank=None):
+        series = {}
+        for metric, base in (("phase.io_s", 0.01), ("phase.exchange_s", 0.5),
+                             ("phase.fw_bw_s", 0.01), ("phase.ge_wu_s", 0.26)):
+            series[metric] = {
+                str(r): [[e, base] for e in range(3)] for r in range(4)
+            }
+        if slow_rank is not None:
+            series["phase.exchange_s"][str(slow_rank)] = [[e, 0.75] for e in range(3)]
+            series["phase.ge_wu_s"][str(slow_rank)] = [[e, 0.02] for e in range(3)]
+        snap = {
+            "schema": "repro.obs.telemetry/v1",
+            "pushes": 12,
+            "ranks": [0, 1, 2, 3],
+            "series": series,
+            "last": {},
+            "quantiles": {},
+        }
+        path = tmp_path / "tele.json"
+        path.write_text(json.dumps(snap))
+        return path
+
+    def test_clean_snapshot_reports_ok(self, tmp_path, capsys):
+        path = self.snapshot_file(tmp_path)
+        assert main(["health", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+        assert "4 rank(s)" in out
+
+    def test_straggler_named_from_file(self, tmp_path, capsys):
+        path = self.snapshot_file(tmp_path, slow_rank=2)
+        assert main(["health", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "straggler" in out
+        assert "rank 2" in out
+
+    def test_strict_exits_nonzero_on_findings(self, tmp_path):
+        path = self.snapshot_file(tmp_path, slow_rank=1)
+        assert main(["health", str(path), "--strict"]) == 1
+
+    def test_openmetrics_export(self, tmp_path):
+        path = self.snapshot_file(tmp_path)
+        om = tmp_path / "tele.om"
+        assert main(["health", str(path), "--openmetrics", str(om)]) == 0
+        assert om.read_text().endswith("# EOF\n")
+
+    def test_missing_file_errors(self, tmp_path):
+        assert main(["health", str(tmp_path / "nope.json")]) == 1
+
+    def test_invalid_json_errors(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json")
+        assert main(["health", str(bad)]) == 1
+
+    def test_non_snapshot_json_errors(self, tmp_path):
+        bad = tmp_path / "other.json"
+        bad.write_text('{"some": "dict"}')
+        assert main(["health", str(bad)]) == 1
+
+    def test_no_input_errors(self):
+        assert main(["health"]) == 2
+
+    def test_parser_accepts_demo_flags(self):
+        args = build_parser().parse_args(
+            ["health", "--run", "--slow-rank", "2", "--slow-factor", "8"]
+        )
+        assert args.run and args.slow_rank == 2 and args.slow_factor == 8.0
+
+
+class TestBenchScenario:
+    def test_parser_default_is_all(self):
+        assert build_parser().parse_args(["bench"]).scenario == "all"
+
+    def test_parser_accepts_each_scenario(self):
+        for name in ("exchange", "epoch", "telemetry"):
+            assert build_parser().parse_args(
+                ["bench", "--scenario", name]
+            ).scenario == name
+
+    def test_parser_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "--scenario", "vibes"])
+
+    def test_chaos_train_flight_dir_flag(self):
+        args = build_parser().parse_args(
+            ["chaos-train", "--flight-dir", "/tmp/fl"]
+        )
+        assert args.flight_dir == "/tmp/fl"
