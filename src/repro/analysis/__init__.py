@@ -1,15 +1,22 @@
-"""SPMD correctness analysis: static lint + runtime verification.
+"""SPMD correctness analysis: static lint + model checking + runtime verification.
 
 The shuffle/MPI stack rests on invariants no type checker can see: every
 rank must enter the same collective sequence, the exchange permutation
 must be bit-identical everywhere (Algorithm 1's precondition), requests
 must be completed, and all randomness must flow through the seed tree.
-This package enforces them twice:
+This package enforces them three ways:
 
 * **statically** — :func:`lint_paths` / ``python -m repro lint`` runs the
-  AST rules in :mod:`repro.analysis.rules` (SPMD001-SPMD005) over a
-  source tree and reports structured findings with ``# repro: noqa[...]``
-  suppression;
+  AST rules in :mod:`repro.analysis.rules` over a source tree: the
+  syntactic rules SPMD001-SPMD005 plus the interprocedural-dataflow
+  rules SPMD006-SPMD009 built on :mod:`repro.analysis.summaries`
+  (per-function communication/ownership summaries folded against the
+  live tag registry), with ``# repro: noqa[...]`` suppression;
+* **by model checking** — :func:`check_model` / ``python -m repro
+  verify-protocol`` exhaustively explores the reliable-exchange round
+  protocol (:mod:`repro.analysis.protocol`) under message faults and
+  rank kills, proving deadlock/leak/stale-commit freedom on small
+  worlds and re-detecting every seeded protocol mutation;
 * **dynamically** — ``run_spmd(fn, size, verify=True)`` swaps in
   :class:`CheckedCommunicator`, which cross-checks each collective call's
   signature across ranks before executing it, asserts shared-stream
@@ -20,8 +27,20 @@ from repro.mpi.errors import VerificationError
 
 from .findings import Finding, Severity
 from .linter import LintReport, iter_python_files, lint_file, lint_paths, lint_source
+from .protocol import (
+    DEFAULT_CONFIGS,
+    MUTATIONS,
+    CheckConfig,
+    CheckResult,
+    Violation,
+    check,
+    check_model,
+    format_trace,
+    run_mutation_sweep,
+)
 from .rules import DEFAULT_RULES, FileContext, Rule
 from .runtime import CheckedCommunicator, fingerprint, payload_signature
+from .summaries import FunctionSummary, ModuleSummary, module_summary
 
 __all__ = [
     "Finding",
@@ -34,6 +53,18 @@ __all__ = [
     "Rule",
     "FileContext",
     "DEFAULT_RULES",
+    "FunctionSummary",
+    "ModuleSummary",
+    "module_summary",
+    "CheckConfig",
+    "CheckResult",
+    "Violation",
+    "DEFAULT_CONFIGS",
+    "MUTATIONS",
+    "check",
+    "check_model",
+    "run_mutation_sweep",
+    "format_trace",
     "CheckedCommunicator",
     "VerificationError",
     "payload_signature",

@@ -52,3 +52,25 @@ class Finding:
         d = asdict(self)
         d["severity"] = str(self.severity)
         return d
+
+    def render_github(self) -> str:
+        """GitHub Actions workflow-command form.
+
+        Emitting ``::error file=...,line=...`` from a CI step makes the
+        finding surface as an inline annotation on the PR diff.
+        """
+        cmd = "error" if self.severity is Severity.ERROR else "warning"
+        props = (
+            f"file={_esc(self.path, prop=True)},"
+            f"line={self.line},col={self.col},"
+            f"title={_esc(self.rule_id, prop=True)}"
+        )
+        return f"::{cmd} {props}::{_esc(self.message)}"
+
+
+def _esc(text: str, *, prop: bool = False) -> str:
+    """Escape workflow-command data (and, for properties, ``,``/``:``)."""
+    text = text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    if prop:
+        text = text.replace(":", "%3A").replace(",", "%2C")
+    return text

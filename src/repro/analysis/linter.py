@@ -1,11 +1,17 @@
 """Lint driver: files in, findings out.
 
 Wraps the rule passes in :mod:`repro.analysis.rules` with file discovery,
-parsing, inline suppression and report assembly.  Suppression is per line::
+parsing, inline suppression and report assembly.  Suppression is per
+statement::
 
     req = comm.irecv()          # repro: noqa[SPMD002]
     anything_at_all()           # repro: noqa          (all rules)
     x = thing()                 # repro: noqa[SPMD002,SPMD004]
+
+A noqa comment anywhere on a multi-line statement covers the whole
+statement — rules anchor findings to the line of the offending *node*,
+which for a wrapped call is often not the physical line carrying the
+trailing comment.
 
 Unparseable files are reported as a single ``PARSE`` finding rather than
 crashing the run, so one broken file cannot hide findings in the rest.
@@ -69,6 +75,46 @@ def _noqa_map(source: str) -> dict[int, set[str] | None]:
     return out
 
 
+def _expand_noqa(
+    noqa: dict[int, set[str] | None], tree: ast.Module
+) -> dict[int, set[str] | None]:
+    """Widen each noqa line to its innermost enclosing statement's span.
+
+    Findings anchor to the ``lineno`` of the offending node, which for a
+    statement wrapped over several physical lines is usually not the line
+    carrying the trailing ``# repro: noqa`` comment.  Expanding over the
+    statement's ``[lineno, end_lineno]`` makes suppression behave per
+    *statement*, matching how authors read the comment.
+    """
+    if not noqa:
+        return noqa
+    spans = [
+        (node.lineno, node.end_lineno)
+        for node in ast.walk(tree)
+        if isinstance(node, ast.stmt) and node.end_lineno is not None
+    ]
+    out: dict[int, set[str] | None] = {}
+
+    def merge(line: int, rules: set[str] | None) -> None:
+        if line in out and (out[line] is None or rules is None):
+            out[line] = None
+        elif line in out:
+            out[line] = out[line] | rules
+        else:
+            out[line] = None if rules is None else set(rules)
+
+    for line, rules in noqa.items():
+        covering = [s for s in spans if s[0] <= line <= s[1]]
+        if not covering:
+            merge(line, rules)
+            continue
+        # Innermost statement = tightest covering span.
+        lo, hi = min(covering, key=lambda s: s[1] - s[0])
+        for covered in range(lo, hi + 1):
+            merge(covered, rules)
+    return out
+
+
 def _rule_subset(rules: Sequence[Rule], select: Iterable[str] | None) -> Sequence[Rule]:
     if select is None:
         return rules
@@ -110,7 +156,7 @@ def lint_source(
     raw: list[Finding] = []
     for rule in rules:
         raw.extend(rule.check(ctx))
-    noqa = _noqa_map(source)
+    noqa = _expand_noqa(_noqa_map(source), tree)
     findings: list[Finding] = []
     suppressed = 0
     for f in raw:

@@ -1,0 +1,804 @@
+"""Explicit-state model checker for the reliable-exchange protocol.
+
+The scheduler's reliable exchange (CRC/ACK/NACK with bounded resends,
+deadline-based degraded-Q commit/rollback, zero-copy buffer ownership
+settled at ACK/commit time) is interleaving-sensitive code: its unit tests
+exercise *some* schedules, this module exhaustively explores *all* of them
+on small worlds.
+
+The abstract model mirrors the live protocol one-to-one:
+
+* **Round state machine** — each rank's per-round send/recv halves advance
+  through :data:`repro.shuffle.scheduler.ROUND_TRANSITIONS`, imported
+  from the scheduler itself so the checked model and the shipped protocol
+  share one transition table and cannot drift silently.
+* **Network** — per ``(src, dst, tag)`` FIFO channels, matching the
+  in-process world's per-(source, tag) mailbox ordering.  Control
+  channels are loss-free (the chaos engine drops and corrupts *data*
+  envelopes only — ``ChaosEngine.plan_message`` gates those faults on
+  ``is_data``) but may see duplication and delay-reordering, exactly the
+  faults ``scope="all"`` clauses can apply to them.
+* **Buffer pool** — a ledger of buffer states (``in_use`` / ``released``
+  / ``adopted``) with the live pool's strict double-retire semantics and
+  the idempotent ``try_adopt`` used by abort teardown.
+
+Explored faults (budget-bounded): ``drop`` / ``dup`` / ``corrupt`` /
+``delay`` (head-to-tail reordering) on channels, ``stale`` injection (a
+same-parity envelope from two epochs ago), and ``kill`` (fail-stop rank
+death feeding the dead-peer detection path).
+
+Checked invariants:
+
+* no deadlock — every non-terminal state has a non-fault action enabled;
+* no buffer leak, double-adopt or double-release — pool operations are
+  checked at application time, and every ``in_use`` buffer at a terminal
+  state must still be referenced by a dead/failed rank (bytes stranded by
+  fail-stop death are the one sanctioned loss);
+* stale messages never commit — a committed payload's epoch must be the
+  current epoch;
+* agreement — all settled ranks commit the same round count;
+* liveness of the round machine — settled/aborted ranks end with every
+  round half in :data:`repro.shuffle.scheduler.TERMINAL_ROUND_STATES`.
+
+**Mutant mode** re-checks seeded protocol mutations (:data:`MUTATIONS`)
+— e.g. dropping the ``adopt_if_in_use`` abort-race guard, skipping
+``_drain_late_acks``, releasing the send buffer before its ACK — and
+requires every one of them to produce at least one counterexample trace.
+A surviving mutant means the invariant net has a hole.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field, replace
+
+from repro.shuffle.scheduler import ROUND_TRANSITIONS, TERMINAL_ROUND_STATES
+
+__all__ = [
+    "CheckConfig",
+    "CheckResult",
+    "Violation",
+    "MUTATIONS",
+    "DEFAULT_CONFIGS",
+    "check",
+    "check_model",
+    "run_mutation_sweep",
+    "format_trace",
+]
+
+#: Epoch the modelled exchange runs in, and the same-parity epoch a
+#: ``stale`` fault injects from (two behind, like a resend that out-lived
+#: its epoch and its successor).
+EPOCH = 3
+STALE_EPOCH = EPOCH - 2
+
+_LIVE = ("loop", "commit")
+_GONE = ("dead", "failed")
+
+
+@dataclass(frozen=True)
+class CheckConfig:
+    """One exploration: a world size, fault alphabet and budget."""
+
+    name: str
+    size: int = 2
+    rounds: int = 1
+    deadline: bool = False
+    faults: tuple[str, ...] = ()
+    fault_budget: int = 0
+    max_attempts: int = 2
+    #: BFS depth bound; ``None`` explores exhaustively.
+    max_depth: int | None = None
+    mutation: str | None = None
+
+    def dest(self, rank: int, rnd: int) -> int:
+        # Never self: cycle through the other ranks round-by-round.
+        return (rank + rnd % (self.size - 1) + 1) % self.size
+
+    def src(self, rank: int, rnd: int) -> int:
+        return (rank - rnd % (self.size - 1) - 1) % self.size
+
+
+@dataclass
+class Violation:
+    kind: str
+    detail: str
+    trace: tuple[str, ...]
+
+
+@dataclass
+class CheckResult:
+    config: CheckConfig
+    states: int = 0
+    transitions: int = 0
+    truncated: bool = False
+    violations: list[Violation] = field(default_factory=list)
+    #: ``(side, state, event)`` table entries the exploration exercised.
+    coverage: set = field(default_factory=set)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+#: Seeded protocol mutations for mutant mode.  Each entry removes one
+#: load-bearing line of the real protocol; the checker must produce a
+#: counterexample for every one of them.
+MUTATIONS: dict[str, str] = {
+    "release_before_ack": (
+        "sender releases its pooled buffer right after isend instead of "
+        "retaining it until the ACK — the receiver's commit-time adopt "
+        "becomes a use-after-free"
+    ),
+    "skip_drain_late_acks": (
+        "commit settlement skips _drain_late_acks, so an ACK posted just "
+        "before the receiver's deadline is never seen and the sender "
+        "reclaims a buffer the receiver adopts"
+    ),
+    "no_adopt_guard": (
+        "abort teardown uses strict adopt() instead of the idempotent "
+        "try_adopt(), losing the race where both sides of an in-flight "
+        "batch retire the same buffer"
+    ),
+    "skip_stale_check": (
+        "_handle_data drops the (epoch, round) identity check, letting a "
+        "stale same-parity envelope verify and commit"
+    ),
+    "ack_before_verify": (
+        "receiver ACKs on arrival instead of after the CRC check — a "
+        "corrupt delivery transfers ownership of bytes nobody ever adopts"
+    ),
+    "no_timeout_nack": (
+        "receiver never NACKs on timeout, so a dropped data message "
+        "stalls the exchange forever without a deadline"
+    ),
+    "forget_rollback_release": (
+        "commit settlement keeps rolled-back verified payloads instead of "
+        "releasing them back to the pool"
+    ),
+    "forget_unacked_release": (
+        "commit settlement forgets to release un-ACKed send buffers after "
+        "the late-ACK drain"
+    ),
+}
+
+
+class _Bug(Exception):
+    """Raised while applying an action when an invariant breaks there."""
+
+    def __init__(self, kind: str, detail: str):
+        super().__init__(f"{kind}: {detail}")
+        self.kind = kind
+        self.detail = detail
+
+
+# --------------------------------------------------------------------- state
+# A mutable working state; frozen to nested tuples for hashing.  Per-rank
+# round record keys (order is the frozen tuple layout):
+#   send, recv   -- ROUND_TRANSITIONS states of each half
+#   att, nacks   -- resend attempts honoured / NACKs sent
+#   sbuf, rpay   -- buffer ids referenced by sender / verified receiver
+#   pep          -- epoch of the verified payload
+#   posted       -- an irecv is outstanding
+_RKEYS = ("send", "recv", "att", "nacks", "sbuf", "rpay", "pep", "posted")
+
+
+class _State:
+    __slots__ = ("ranks", "chans", "ledger", "faults_used")
+
+    def __init__(self, ranks, chans, ledger, faults_used):
+        self.ranks = ranks          # list of dicts
+        self.chans = chans          # dict key -> list of messages
+        self.ledger = ledger        # dict bid -> "in_use"|"released"|"adopted"
+        self.faults_used = faults_used
+
+    def freeze(self):
+        ranks = tuple(
+            (
+                r["status"],
+                r["prefix"],
+                r["committed"],
+                tuple(tuple(rd[k] for k in _RKEYS) for rd in r["rounds"]),
+            )
+            for r in self.ranks
+        )
+        chans = tuple(
+            sorted((k, tuple(v)) for k, v in self.chans.items() if v)
+        )
+        ledger = tuple(sorted(self.ledger.items()))
+        return (ranks, chans, ledger, self.faults_used)
+
+    @classmethod
+    def thaw(cls, frozen):
+        ranks_f, chans_f, ledger_f, faults_used = frozen
+        ranks = [
+            {
+                "status": status,
+                "prefix": prefix,
+                "committed": committed,
+                "rounds": [dict(zip(_RKEYS, rd)) for rd in rounds],
+            }
+            for status, prefix, committed, rounds in ranks_f
+        ]
+        chans = {k: list(v) for k, v in chans_f}
+        ledger = dict(ledger_f)
+        return cls(ranks, chans, ledger, faults_used)
+
+
+def _initial(cfg: CheckConfig):
+    """The state right after every rank posted its sends and irecvs."""
+    st = _State([], {}, {}, 0)
+    for r in range(cfg.size):
+        rounds = []
+        for i in range(cfg.rounds):
+            bid = (r, i)
+            if cfg.mutation == "release_before_ack":
+                st.ledger[bid] = "released"
+                sbuf = None
+            else:
+                st.ledger[bid] = "in_use"
+                sbuf = bid
+            rounds.append(
+                {
+                    "send": "inflight",
+                    "recv": "waiting",
+                    "att": 0,
+                    "nacks": 0,
+                    "sbuf": sbuf,
+                    "rpay": None,
+                    "pep": None,
+                    "posted": True,
+                }
+            )
+            chan = (r, cfg.dest(r, i), "data", i)
+            st.chans.setdefault(chan, []).append((EPOCH, i, bid, True))
+        st.ranks.append(
+            {"status": "loop", "prefix": -1, "committed": -1, "rounds": rounds}
+        )
+    return st
+
+
+# ------------------------------------------------------------------- helpers
+def _advance(cov: set, rd: dict, side: str, event: str) -> None:
+    state = rd["send"] if side == "send" else rd["recv"]
+    new = ROUND_TRANSITIONS.get((side, state, event))
+    if new is None:
+        raise RuntimeError(
+            f"model drift: no transition for ({side}, {state}, {event}) in "
+            "ROUND_TRANSITIONS"
+        )
+    cov.add((side, state, event))
+    rd["send" if side == "send" else "recv"] = new
+
+
+def _retire(ledger: dict, bid, to: str, *, strict: bool) -> None:
+    """Pool release/adopt with the live pool's double-retire semantics."""
+    if bid is None:
+        return
+    state = ledger[bid]
+    if state != "in_use":
+        if strict:
+            raise _Bug(
+                "double_retire",
+                f"buffer {bid} already {state}; {to} is a use-after-free",
+            )
+        return  # try_adopt: the other side already settled it
+    ledger[bid] = to
+
+
+def _push(st: _State, chan, msg) -> None:
+    st.chans.setdefault(chan, []).append(msg)
+
+
+def _prefix(rank: dict) -> int:
+    n = 0
+    for rd in rank["rounds"]:
+        if rd["recv"] != "verified":
+            break
+        n += 1
+    return n
+
+
+def _abort_rank(cov, cfg: CheckConfig, st: _State, r: int) -> None:
+    """PeerFailure teardown: cancel, try_adopt both halves' buffers."""
+    rank = st.ranks[r]
+    strict = cfg.mutation == "no_adopt_guard"
+    for rd in rank["rounds"]:
+        if rd["send"] not in TERMINAL_ROUND_STATES:
+            _advance(cov, rd, "send", "abort")
+        if rd["recv"] not in TERMINAL_ROUND_STATES:
+            _advance(cov, rd, "recv", "abort")
+        _retire(st.ledger, rd["sbuf"], "adopted", strict=strict)
+        rd["sbuf"] = None
+        _retire(st.ledger, rd["rpay"], "adopted", strict=strict)
+        rd["rpay"] = None
+        rd["posted"] = False
+    rank["status"] = "aborted"
+
+
+def _settle_rank(cov, cfg: CheckConfig, st: _State, r: int, committed: int) -> None:
+    """One rank's _apply_commit: drain, reclaim, rollback, adopt."""
+    rank = st.ranks[r]
+    mut = cfg.mutation
+    if mut != "skip_drain_late_acks":
+        # The commit collective is a barrier, so every ACK posted before it
+        # is already in our mailbox; late NACKs are dropped.
+        for s in range(cfg.size):
+            chan = (s, r, "ctrl", 0)
+            for kind, ep, idx in st.chans.pop(chan, []):
+                if kind != "ack" or ep != EPOCH or not 0 <= idx < cfg.rounds:
+                    continue
+                rd = rank["rounds"][idx]
+                if rd["send"] == "inflight":
+                    _advance(cov, rd, "send", "ack")
+                    rd["sbuf"] = None  # receiver verified: it owns the bytes
+    for i, rd in enumerate(rank["rounds"]):
+        if rd["send"] == "inflight":
+            _advance(cov, rd, "send", "reclaim")
+            if mut != "forget_unacked_release":
+                _retire(st.ledger, rd["sbuf"], "released", strict=True)
+            rd["sbuf"] = None
+        elif rd["send"] == "acked":
+            _advance(cov, rd, "send", "commit" if i < committed else "rollback")
+        if rd["recv"] == "verified":
+            if i < committed:
+                _advance(cov, rd, "recv", "commit")
+                if rd["pep"] != EPOCH:
+                    raise _Bug(
+                        "stale_commit",
+                        f"rank {r} committed round {i} with a payload from "
+                        f"epoch {rd['pep']} (current epoch {EPOCH})",
+                    )
+                _retire(st.ledger, rd["rpay"], "adopted", strict=True)
+                rd["rpay"] = None
+            else:
+                _advance(cov, rd, "recv", "rollback")
+                if mut != "forget_rollback_release":
+                    _retire(st.ledger, rd["rpay"], "released", strict=True)
+                    rd["rpay"] = None
+        elif rd["recv"] == "waiting":
+            _advance(cov, rd, "recv", "deadline")
+            rd["posted"] = False
+    rank["status"] = "settled"
+    rank["committed"] = committed
+
+
+# ------------------------------------------------------------------- actions
+def _successors(cov, cfg: CheckConfig, frozen):
+    """Yield ``(label, is_fault, outcome)`` where outcome is a frozen next
+    state or a :class:`_Bug`."""
+
+    def attempt(label, is_fault, fn):
+        st = _State.thaw(frozen)
+        try:
+            fn(st)
+        except _Bug as bug:
+            return (label, is_fault, bug)
+        return (label, is_fault, st.freeze())
+
+    out = []
+    ranks_f = frozen[0]
+    chans = dict(frozen[1])
+    faults_used = frozen[3]
+    statuses = [rf[0] for rf in ranks_f]
+
+    for r in range(cfg.size):
+        if statuses[r] != "loop":
+            continue
+        rounds_f = ranks_f[r][3]
+
+        # Service one control message (live: _service_control drains FIFO).
+        for s in range(cfg.size):
+            chan = (s, r, "ctrl", 0)
+            if chans.get(chan):
+                out.append(
+                    attempt(
+                        f"rank{r}: ctrl from rank{s}",
+                        False,
+                        lambda st, r=r, chan=chan: _apply_ctrl(cov, cfg, st, r, chan),
+                    )
+                )
+
+        for i in range(cfg.rounds):
+            rd = dict(zip(_RKEYS, rounds_f[i]))
+            src = cfg.src(r, i)
+            dchan = (src, r, "data", i)
+            # Deliver the head data message into the posted irecv.
+            if rd["posted"] and chans.get(dchan):
+                out.append(
+                    attempt(
+                        f"rank{r}: data round {i} from rank{src}",
+                        False,
+                        lambda st, r=r, i=i, chan=dchan: _apply_data(
+                            cov, cfg, st, r, i, chan
+                        ),
+                    )
+                )
+            # Timeout NACK: only when no deliverable data is waiting (the
+            # live loop tests the irecv before checking next_nack_t).
+            if (
+                cfg.mutation != "no_timeout_nack"
+                and rd["recv"] == "waiting"
+                and rd["posted"]
+                and not chans.get(dchan)
+                and rd["nacks"] <= cfg.max_attempts
+            ):
+                out.append(
+                    attempt(
+                        f"rank{r}: timeout NACK round {i}",
+                        False,
+                        lambda st, r=r, i=i: _apply_nack(
+                            cov, cfg, st, r, i, timed_out=True
+                        ),
+                    )
+                )
+
+        # Leave the loop: everything settled, or the deadline expired.
+        if all(rf[0] == "acked" and rf[1] == "verified" for rf in rounds_f):
+            out.append(
+                attempt(
+                    f"rank{r}: all rounds done, enter commit",
+                    False,
+                    lambda st, r=r: _apply_exit(st, r),
+                )
+            )
+        elif cfg.deadline:
+            out.append(
+                attempt(
+                    f"rank{r}: deadline expires",
+                    False,
+                    lambda st, r=r: _apply_exit(st, r),
+                )
+            )
+
+        # Dead-peer detection on unsettled counterparties.
+        for i in range(cfg.rounds):
+            rf = rounds_f[i]
+            if (rf[0] == "inflight" and statuses[cfg.dest(r, i)] in _GONE) or (
+                rf[1] == "waiting" and statuses[cfg.src(r, i)] in _GONE
+            ):
+                out.append(
+                    attempt(
+                        f"rank{r}: peer failure detected, abort",
+                        False,
+                        lambda st, r=r: _abort_rank(cov, cfg, st, r),
+                    )
+                )
+                break
+
+    # Commit collective: all ranks arrived -> atomic min-allreduce + settle.
+    if all(s == "commit" for s in statuses):
+        def commit_all(st):
+            committed = min(rank["prefix"] for rank in st.ranks)
+            for r in range(cfg.size):
+                _settle_rank(cov, cfg, st, r, committed)
+
+        out.append(attempt(f"commit allreduce (all {cfg.size} ranks)", False, commit_all))
+    else:
+        # A rank blocked in the collective while a peer is dead/failed gets
+        # PeerFailure from the rendezvous and aborts.
+        if any(s in _GONE for s in statuses):
+            for r in range(cfg.size):
+                if statuses[r] == "commit":
+                    out.append(
+                        attempt(
+                            f"rank{r}: peer failure at commit, abort",
+                            False,
+                            lambda st, r=r: _abort_rank(cov, cfg, st, r),
+                        )
+                    )
+
+    # ------------------------------------------------------------- faults
+    if faults_used < cfg.fault_budget:
+        def fault(label, fn):
+            def run(st):
+                st.faults_used += 1
+                fn(st)
+
+            out.append(attempt(label, True, run))
+
+        for chan, msgs in chans.items():
+            if not msgs:
+                continue
+            src, dst, kind, i = chan
+            if "drop" in cfg.faults and kind == "data":
+                fault(
+                    f"fault: drop head of {kind}[{src}->{dst},{i}]",
+                    lambda st, chan=chan: st.chans[chan].pop(0),
+                )
+            if "corrupt" in cfg.faults and kind == "data" and msgs[0][3]:
+                def corrupt(st, chan=chan):
+                    ep, idx, bid, _ok = st.chans[chan][0]
+                    st.chans[chan][0] = (ep, idx, bid, False)
+
+                fault(f"fault: corrupt head of data[{src}->{dst},{i}]", corrupt)
+            if "dup" in cfg.faults:
+                fault(
+                    f"fault: duplicate head of {kind}[{src}->{dst},{i}]",
+                    lambda st, chan=chan: st.chans[chan].append(st.chans[chan][0]),
+                )
+            if "delay" in cfg.faults and len(msgs) >= 2:
+                fault(
+                    f"fault: delay head of {kind}[{src}->{dst},{i}]",
+                    lambda st, chan=chan: st.chans[chan].append(st.chans[chan].pop(0)),
+                )
+        if "stale" in cfg.faults:
+            for r in range(cfg.size):
+                if statuses[r] != "loop":
+                    continue
+                for i in range(cfg.rounds):
+                    src = cfg.src(r, i)
+                    fault(
+                        f"fault: stale epoch-{STALE_EPOCH} data[{src}->{r},{i}]",
+                        lambda st, src=src, r=r, i=i: _push(
+                            st, (src, r, "data", i), (STALE_EPOCH, i, None, True)
+                        ),
+                    )
+        if "kill" in cfg.faults:
+            for r in range(cfg.size):
+                if statuses[r] in _LIVE:
+                    def kill(st, r=r):
+                        st.ranks[r]["status"] = "dead"
+
+                    fault(f"fault: kill rank{r}", kill)
+
+    return out
+
+
+def _apply_ctrl(cov, cfg: CheckConfig, st: _State, r: int, chan) -> None:
+    kind, ep, idx = st.chans[chan].pop(0)
+    if ep != EPOCH or not 0 <= idx < cfg.rounds:
+        return  # stale control: discarded by the epoch check
+    rd = st.ranks[r]["rounds"][idx]
+    if kind == "ack":
+        if rd["send"] == "inflight":
+            _advance(cov, rd, "send", "ack")
+            rd["sbuf"] = None  # receiver verified: ownership transferred
+        return
+    if rd["send"] != "inflight":
+        return  # NACK for an already-ACKed round: duplicate, ignore
+    rd["att"] += 1
+    if rd["att"] > cfg.max_attempts:
+        _advance(cov, rd, "send", "nack_overflow")
+        st.ranks[r]["status"] = "failed"  # UnrecoveredFaultError
+        return
+    _advance(cov, rd, "send", "nack")
+    _push(st, (r, cfg.dest(r, idx), "data", idx), (EPOCH, idx, rd["sbuf"], True))
+
+
+def _apply_data(cov, cfg: CheckConfig, st: _State, r: int, i: int, chan) -> None:
+    ep, idx, bid, ok = st.chans[chan].pop(0)
+    rd = st.ranks[r]["rounds"][i]
+    src = cfg.src(r, i)
+    if cfg.mutation != "skip_stale_check" and (ep != EPOCH or idx != i):
+        _advance(cov, rd, "recv", "data_stale")
+        return  # discarded; the re-posted irecv keeps listening
+    if cfg.mutation == "ack_before_verify":
+        _push(st, (r, src, "ctrl", 0), ("ack", EPOCH, i))
+    if ok:
+        _advance(cov, rd, "recv", "data_ok")
+        rd["rpay"] = bid
+        rd["pep"] = ep
+        rd["posted"] = False
+        if cfg.mutation != "ack_before_verify":
+            _push(st, (r, src, "ctrl", 0), ("ack", EPOCH, i))
+    else:
+        _apply_nack(cov, cfg, st, r, i, timed_out=False)
+
+
+def _apply_nack(cov, cfg, st: _State, r: int, i: int, *, timed_out: bool) -> None:
+    rd = st.ranks[r]["rounds"][i]
+    _advance(cov, rd, "recv", "timeout" if timed_out else "data_corrupt")
+    rd["nacks"] += 1
+    if rd["nacks"] > cfg.max_attempts:
+        _advance(cov, rd, "recv", "nack_overflow")
+        st.ranks[r]["status"] = "failed"  # UnrecoveredFaultError
+        return
+    _push(st, (r, cfg.src(r, i), "ctrl", 0), ("nack", EPOCH, i))
+
+
+def _apply_exit(st: _State, r: int) -> None:
+    rank = st.ranks[r]
+    rank["status"] = "commit"
+    rank["prefix"] = _prefix(rank)
+
+
+# ------------------------------------------------------------------ checking
+def _terminal_bugs(cfg: CheckConfig, frozen) -> list[tuple[str, str]]:
+    """Invariant checks on a terminal state (no live rank remains)."""
+    bugs = []
+    ranks_f, chans_f, ledger_f, _ = frozen
+    # Buffer leak: an in_use buffer not referenced by a dead/failed rank.
+    refs_dead = set()
+    for r, (status, _p, _c, rounds) in enumerate(ranks_f):
+        if status in _GONE:
+            for rd in rounds:
+                refs_dead.add(rd[_RKEYS.index("sbuf")])
+                refs_dead.add(rd[_RKEYS.index("rpay")])
+    for bid, state in ledger_f:
+        if state == "in_use" and bid not in refs_dead:
+            bugs.append(
+                (
+                    "buffer_leak",
+                    f"buffer {bid} still in_use at exchange end with no "
+                    "dead rank holding it",
+                )
+            )
+    # Agreement on the committed prefix.
+    committed = {rf[2] for rf in ranks_f if rf[0] == "settled"}
+    if len(committed) > 1:
+        bugs.append(
+            ("commit_divergence", f"settled ranks disagree on commit: {sorted(committed)}")
+        )
+    # Round-machine liveness: settled/aborted ranks fully terminal.
+    for r, (status, _p, _c, rounds) in enumerate(ranks_f):
+        if status not in ("settled", "aborted"):
+            continue
+        for i, rd in enumerate(rounds):
+            for side_idx, side in ((0, "send"), (1, "recv")):
+                if rd[side_idx] not in TERMINAL_ROUND_STATES:
+                    bugs.append(
+                        (
+                            "nonterminal_round",
+                            f"rank {r} ended with {side} half of round {i} "
+                            f"in state {rd[side_idx]!r}",
+                        )
+                    )
+    return bugs
+
+
+def _trace(seen, frozen) -> tuple[str, ...]:
+    labels = []
+    cur = frozen
+    while True:
+        parent, label, _depth = seen[cur]
+        if parent is None:
+            break
+        labels.append(label)
+        cur = parent
+    return tuple(reversed(labels))
+
+
+def check(
+    cfg: CheckConfig,
+    *,
+    stop_on_violation: bool = False,
+    max_violations: int = 25,
+) -> CheckResult:
+    """Breadth-first exploration of every interleaving under ``cfg``."""
+    res = CheckResult(config=cfg)
+    cov = res.coverage
+    init = _initial(cfg).freeze()
+    seen = {init: (None, None, 0)}
+    frontier = deque([init])
+    while frontier:
+        frozen = frontier.popleft()
+        depth = seen[frozen][2]
+        res.states += 1
+        statuses = [rf[0] for rf in frozen[0]]
+        if all(s not in _LIVE for s in statuses):
+            res.violations.extend(
+                Violation(kind, detail, _trace(seen, frozen))
+                for kind, detail in _terminal_bugs(cfg, frozen)
+            )
+            if stop_on_violation and res.violations:
+                return res
+            continue
+        if cfg.max_depth is not None and depth >= cfg.max_depth:
+            res.truncated = True
+            continue
+        succ = _successors(cov, cfg, frozen)
+        if not any(not is_fault for _, is_fault, _o in succ):
+            res.violations.append(
+                Violation(
+                    "deadlock",
+                    f"non-terminal state with no enabled action (ranks: "
+                    f"{statuses})",
+                    _trace(seen, frozen),
+                )
+            )
+            if stop_on_violation:
+                return res
+        for label, _is_fault, outcome in succ:
+            res.transitions += 1
+            if isinstance(outcome, _Bug):
+                res.violations.append(
+                    Violation(
+                        outcome.kind,
+                        outcome.detail,
+                        _trace(seen, frozen) + (label,),
+                    )
+                )
+                if stop_on_violation:
+                    return res
+                continue
+            if outcome not in seen:
+                seen[outcome] = (frozen, label, depth + 1)
+                frontier.append(outcome)
+        if len(res.violations) >= max_violations:
+            res.truncated = True
+            break
+    return res
+
+
+#: The CI matrix: exhaustive M=2 sweeps over the full fault alphabet in
+#: both deadline modes (plus a two-round world for partial-commit
+#: rollback), and a bounded-depth M=3 world where three-party races (the
+#: abort-abort adopt race) live.
+DEFAULT_CONFIGS: tuple[CheckConfig, ...] = (
+    CheckConfig(
+        name="m2-nodeadline",
+        size=2,
+        rounds=1,
+        deadline=False,
+        faults=("drop", "dup", "corrupt", "delay", "stale"),
+        fault_budget=2,
+    ),
+    CheckConfig(
+        name="m2-deadline",
+        size=2,
+        rounds=1,
+        deadline=True,
+        faults=("drop", "dup", "corrupt", "delay", "stale", "kill"),
+        fault_budget=2,
+    ),
+    CheckConfig(
+        name="m3-deadline",
+        size=3,
+        rounds=1,
+        deadline=True,
+        faults=("drop", "corrupt", "kill"),
+        fault_budget=2,
+        max_depth=14,
+    ),
+    # Largest state space last: the mutation sweep early-exits on the first
+    # counterexample, so every mutant is caught before this config runs.
+    CheckConfig(
+        name="m2-r2-deadline",
+        size=2,
+        rounds=2,
+        deadline=True,
+        faults=("drop", "dup"),
+        fault_budget=2,
+    ),
+)
+
+
+def check_model(
+    configs: tuple[CheckConfig, ...] = DEFAULT_CONFIGS,
+    *,
+    mutation: str | None = None,
+    stop_on_violation: bool = False,
+) -> list[CheckResult]:
+    """Run every config (optionally with a mutation applied)."""
+    results = []
+    for cfg in configs:
+        cfg = replace(cfg, mutation=mutation, name=f"{cfg.name}" + (f"+{mutation}" if mutation else ""))
+        results.append(check(cfg, stop_on_violation=stop_on_violation))
+        if stop_on_violation and results[-1].violations:
+            break
+    return results
+
+
+def run_mutation_sweep(
+    configs: tuple[CheckConfig, ...] = DEFAULT_CONFIGS,
+    mutations: tuple[str, ...] = tuple(MUTATIONS),
+) -> dict[str, Violation | None]:
+    """Re-check each seeded mutant; a ``None`` value is a SURVIVOR (bad)."""
+    out: dict[str, Violation | None] = {}
+    for name in mutations:
+        if name not in MUTATIONS:
+            raise ValueError(f"unknown mutation {name!r}; known: {sorted(MUTATIONS)}")
+        found = None
+        for res in check_model(configs, mutation=name, stop_on_violation=True):
+            if res.violations:
+                found = res.violations[0]
+                break
+        out[name] = found
+    return out
+
+
+def format_trace(v: Violation, *, indent: str = "  ") -> str:
+    lines = [f"{v.kind}: {v.detail}"]
+    lines += [f"{indent}{i + 1:>3}. {step}" for i, step in enumerate(v.trace)]
+    return "\n".join(lines)

@@ -9,12 +9,19 @@ SPMD002   ``isend``/``irecv`` request discarded or never completed (leak)
 SPMD003   raw RNG outside ``utils/rng.py`` (breaks the seed-tree contract)
 SPMD004   buffer mutated after being sent/contributed (zero-copy aliasing)
 SPMD005   bare ``assert`` in library code (stripped under ``python -O``)
+SPMD006   wire tag unregistered or sent on another subsystem's range
+SPMD007   ``if``/``else`` branches perform different collective orders
+SPMD008   pool buffer can leave its scope unreleased/unadopted
+SPMD009   unbounded blocking recv on a fault-tolerant path
 ========  ==================================================================
 
-The rules are deliberately *syntactic*: they reason about one function at a
-time in source order and ignore inter-procedural flow, which keeps them
-fast, dependency-free and predictable.  A finding that is provably safe in
-context can be silenced in place with ``# repro: noqa[SPMD00x]``.
+SPMD001–005 are deliberately *syntactic*: one function at a time, source
+order, no inter-procedural flow.  SPMD006–009 are *dataflow* rules built
+on :mod:`repro.analysis.summaries`: per-function communication/ownership
+summaries with constant folding against the live tag registry, spliced
+transitively through the module's own call graph.  A finding that is
+provably safe in context can be silenced in place with
+``# repro: noqa[SPMD00x]``.
 """
 
 from __future__ import annotations
@@ -37,6 +44,10 @@ __all__ = [
     "RawRandomSource",
     "MutateAfterSend",
     "BareAssert",
+    "TagCollision",
+    "CollectiveOrderDivergence",
+    "UnreleasedPoolBuffer",
+    "UnboundedBlockingRecv",
 ]
 
 #: Method names that are collective over the communicator: every rank must
@@ -495,6 +506,304 @@ class BareAssert(Rule):
                 )
 
 
+# --------------------------------------------------------------------------
+# SPMD006
+
+
+class TagCollision(Rule):
+    """P2p tag outside the registry, or sent on another subsystem's range.
+
+    Every wire tag must come from :mod:`repro.mpi.tags`; two subsystems
+    improvising literals in the same interval silently cross-deliver
+    messages (the pre-registry tree/barrier tags sat *inside* the ring
+    allreduce's per-step interval).  The rule folds each ``tag=`` argument
+    through module constants and ``TagRange`` arithmetic: an exact tag
+    that no registered range contains, or a ``send``/``isend`` whose
+    resolved range is owned by a different subsystem than the sending
+    module, is a finding.  Tags it cannot resolve statically are skipped.
+    """
+
+    id = "SPMD006"
+    title = "unregistered or cross-subsystem wire tag"
+    severity = Severity.ERROR
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        from .summaries import module_summary
+
+        if ctx.is_test:
+            return
+        mod = module_summary(ctx)
+        if mod.module is None:  # not repro.* source — no ownership to check
+            return
+        from repro.mpi import tags as tag_registry
+
+        for fs in mod.functions.values():
+            for ev in fs.comm_events:
+                rng = ev.tag_range
+                if ev.tag is not None and rng is None:
+                    rng = tag_registry.lookup(ev.tag)
+                    if rng is None:
+                        yield self._finding(
+                            ctx, ev.node,
+                            f"tag {ev.tag} is not inside any range of "
+                            "repro.mpi.tags; allocate a TagRange there so "
+                            "collisions are caught by construction",
+                        )
+                        continue
+                if rng is None:
+                    continue  # dynamic tag the fold cannot see through
+                if ev.is_send and not (
+                    mod.module == rng.owner
+                    or mod.module.startswith(rng.owner + ".")
+                ):
+                    yield self._finding(
+                        ctx, ev.node,
+                        f"send on tag range '{rng.name}' owned by "
+                        f"{rng.owner}, but this module is {mod.module}; "
+                        "use (or allocate) a range owned by this subsystem",
+                    )
+
+
+# --------------------------------------------------------------------------
+# SPMD007
+
+
+class CollectiveOrderDivergence(Rule):
+    """``if``/``else`` whose branches perform different collective orders.
+
+    SPMD001 catches collectives guarded by *rank-dependent* conditions;
+    this rule catches the subtler bug where both branches do call
+    collectives but in different orders (or different collectives), so any
+    predicate that can disagree across ranks — a data-dependent loss
+    check, a per-rank queue depth — interleaves two rendezvous schedules
+    and deadlocks.  Branch sequences are computed transitively through
+    same-module helpers, so hiding the second ``allreduce`` one call down
+    does not hide the divergence.
+
+    Ordering is a per-communicator contract, so sequences are compared
+    per receiver: a communicator appearing in only one branch is the
+    split-subcommunicator idiom (``leaders.alltoall`` inside
+    ``if is_leader:``) or SPMD001's business, not a divergence.
+    """
+
+    id = "SPMD007"
+    title = "collective ordering diverges across branches"
+    severity = Severity.ERROR
+
+    @staticmethod
+    def _by_comm(seq):
+        by: dict[str, list[str]] = {}
+        for op, recv in seq:
+            by.setdefault(recv, []).append(op)
+        return by
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        from .summaries import module_summary
+
+        if ctx.is_test:
+            return
+        mod = module_summary(ctx)
+        for fs in mod.functions.values():
+            for node in ast.walk(fs.node):
+                if not (isinstance(node, ast.If) and node.body and node.orelse):
+                    continue
+                then_by = self._by_comm(mod.sequence_of(node.body, fs.cls))
+                else_by = self._by_comm(mod.sequence_of(node.orelse, fs.cls))
+                for comm in sorted(set(then_by) & set(else_by)):
+                    if then_by[comm] != else_by[comm]:
+                        yield self._finding(
+                            ctx, node,
+                            f"the branches call collectives on '{comm}' in "
+                            f"different orders ({', '.join(then_by[comm])}) "
+                            f"vs ({', '.join(else_by[comm])}); if the "
+                            "condition can disagree across ranks the "
+                            "rendezvous schedules interleave and deadlock "
+                            "— hoist the collectives out of the branch",
+                        )
+
+
+# --------------------------------------------------------------------------
+# SPMD008
+
+
+#: Builtins that may take a tracked buffer without taking ownership of it.
+_NON_ESCAPING_CALLS = frozenset({
+    "isinstance", "len", "type", "id", "repr", "str", "print",
+})
+
+#: Methods that retire a pool buffer (return it or transfer ownership).
+_RETIRING_METHODS = frozenset({"release", "adopt", "try_adopt"})
+
+
+class UnreleasedPoolBuffer(Rule):
+    """Pool buffer acquired on a path that can leave without retiring it.
+
+    A :class:`~repro.mpi.pool.BufferPool` buffer must end every control
+    path either retired (``release``/``adopt``/``try_adopt``) or escaped
+    to a new owner (returned, stored into a container/attribute, or
+    passed to a non-trivial call).  An early ``return`` or ``raise``
+    while one is still held leaks it from the pool's in-use ledger — the
+    exact bug class the protocol model checker's ``buffer_leak`` invariant
+    chases at runtime; this rule catches it at lint time.
+    """
+
+    id = "SPMD008"
+    title = "pool buffer can leave scope unreleased"
+    severity = Severity.ERROR
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.is_test:
+            return
+        for scope in _function_scopes(ctx.tree):
+            if isinstance(scope, ast.Module):
+                continue
+            yield from self._check_scope(ctx, scope)
+
+    @staticmethod
+    def _is_acquire(value: ast.AST) -> bool:
+        if not isinstance(value, ast.Call):
+            return False
+        f = value.func
+        if isinstance(f, ast.Attribute) and f.attr == "acquire":
+            recv = f.value
+            name = recv.attr if isinstance(recv, ast.Attribute) else (
+                recv.id if isinstance(recv, ast.Name) else ""
+            )
+            return name.endswith("pool")
+        return (
+            isinstance(f, ast.Name)
+            and f.id == "pack_samples"
+            and any(k.arg == "pool" for k in value.keywords)
+        )
+
+    def _check_scope(self, ctx: FileContext, scope: ast.AST):
+        # (line, col, kind, name, node); kinds: acquire/retire/escape/exit
+        events: list[tuple[int, int, str, str | None, ast.AST]] = []
+        tracked: set[str] = set()
+        for node in _scope_nodes(scope):
+            if isinstance(node, ast.Assign):
+                if len(node.targets) == 1 and \
+                        isinstance(node.targets[0], ast.Name) and \
+                        self._is_acquire(node.value):
+                    name = node.targets[0].id
+                    tracked.add(name)
+                    events.append(
+                        (node.lineno, node.col_offset, "acquire", name, node)
+                    )
+                elif any(
+                    isinstance(t, (ast.Subscript, ast.Attribute))
+                    for t in node.targets
+                ):
+                    # stored into a container/attribute: a new owner exists
+                    for sub in ast.walk(node.value):
+                        if isinstance(sub, ast.Name):
+                            events.append(
+                                (node.lineno, node.col_offset, "escape",
+                                 sub.id, node)
+                            )
+            elif isinstance(node, ast.Call):
+                f = node.func
+                if isinstance(f, ast.Attribute) and \
+                        f.attr in _RETIRING_METHODS and \
+                        isinstance(f.value, ast.Name):
+                    events.append(
+                        (node.lineno, node.col_offset, "retire",
+                         f.value.id, node)
+                    )
+                elif not (
+                    isinstance(f, ast.Name) and f.id in _NON_ESCAPING_CALLS
+                ):
+                    for arg in list(node.args) + [k.value for k in node.keywords]:
+                        if isinstance(arg, ast.Name):
+                            events.append(
+                                (node.lineno, node.col_offset, "escape",
+                                 arg.id, node)
+                            )
+            elif isinstance(node, ast.Return):
+                names = set()
+                if node.value is not None:
+                    names = {
+                        s.id for s in ast.walk(node.value)
+                        if isinstance(s, ast.Name)
+                    }
+                events.append(
+                    (node.lineno, node.col_offset, "exit", None, node)
+                )
+                for n in names:
+                    events.append(
+                        (node.lineno, node.col_offset - 1, "escape", n, node)
+                    )
+            elif isinstance(node, ast.Raise):
+                events.append(
+                    (node.lineno, node.col_offset, "exit", None, node)
+                )
+        if not tracked:
+            return
+        events.sort(key=lambda e: (e[0], e[1]))
+        live: dict[str, ast.AST] = {}
+        for _ln, _col, kind, name, node in events:
+            if kind == "acquire":
+                live[name] = node
+            elif kind in ("retire", "escape") and name in live:
+                del live[name]
+            elif kind == "exit" and live:
+                held = ", ".join(sorted(live))
+                yield self._finding(
+                    ctx, node,
+                    f"pool buffer(s) {held} still held when this path "
+                    "leaves the function; release/adopt them (or hand them "
+                    "to a new owner) on every exit path",
+                )
+                live.clear()  # one finding per exit path is enough
+        for name, node in live.items():
+            yield self._finding(
+                ctx, node,
+                f"pool buffer '{name}' is never released, adopted or "
+                "handed to a new owner before the function ends",
+            )
+
+
+# --------------------------------------------------------------------------
+# SPMD009
+
+
+class UnboundedBlockingRecv(Rule):
+    """Blocking receive with no deadline inside fault-tolerant code.
+
+    A module that detects or raises peer failures is promising to make
+    progress when a peer dies — but a bare ``recv()``/``probe()`` blocks
+    forever on a message the dead peer will never send.  Fault-tolerant
+    paths must either poll (``while not comm.iprobe(...)`` with failure
+    checks in the loop body) or pass a ``timeout=``/``deadline=`` so the
+    wait is bounded.  Modules that never touch the failure machinery are
+    exempt: their blocking receives are ordinary rendezvous.
+    """
+
+    id = "SPMD009"
+    title = "unbounded blocking recv on a fault-tolerant path"
+    severity = Severity.ERROR
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        from .summaries import module_summary
+
+        if ctx.is_test:
+            return
+        mod = module_summary(ctx)
+        for qual, fs in mod.functions.items():
+            if not mod.is_fault_path(qual):
+                continue
+            for ev in fs.comm_events:
+                if ev.is_blocking and not ev.has_timeout and \
+                        not ev.iprobe_guarded:
+                    yield self._finding(
+                        ctx, ev.node,
+                        f"blocking {ev.method}() on a fault-tolerant path "
+                        "with no timeout/deadline and no iprobe guard; a "
+                        "dead peer makes this wait forever — poll with "
+                        "iprobe or pass a deadline",
+                    )
+
+
 #: The rule set ``repro lint`` runs by default, in report order.
 DEFAULT_RULES: tuple[Rule, ...] = (
     RankDependentCollective(),
@@ -502,4 +811,8 @@ DEFAULT_RULES: tuple[Rule, ...] = (
     RawRandomSource(),
     MutateAfterSend(),
     BareAssert(),
+    TagCollision(),
+    CollectiveOrderDivergence(),
+    UnreleasedPoolBuffer(),
+    UnboundedBlockingRecv(),
 )

@@ -31,8 +31,16 @@ Subcommands
     degraded-Q machinery.  ``--compare-clean`` asserts the final accuracy
     matches an un-faulted run (default tolerance 0: bit-identical).
 ``lint``
-    SPMD correctness lint (rules SPMD001-SPMD005) over python sources;
-    exits nonzero on findings.  ``--format json`` for machine consumption.
+    SPMD correctness lint (rules SPMD001-SPMD009, the latter four
+    interprocedural-dataflow) over python sources; exits nonzero on
+    findings.  ``--format json`` for machine consumption, ``--format
+    github`` for Actions inline annotations.
+``verify-protocol``
+    Explicit-state model check of the reliable-exchange round protocol
+    (send → verify → ACK/NACK → resend → commit/rollback composed with
+    buffer-pool ownership) under message drop/dup/delay/stale/corruption
+    and rank kills; also re-checks seeded protocol mutations and fails if
+    any survives undetected.
 ``health``
     Anomaly/straggler report over a telemetry snapshot: read a JSON file
     written by a previous run (``repro health telemetry.json``) or run a
@@ -287,17 +295,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p_lint = sub.add_parser(
-        "lint", help="SPMD correctness lint (AST rules SPMD001-SPMD005)"
+        "lint", help="SPMD correctness lint (AST rules SPMD001-SPMD009)"
     )
     p_lint.add_argument(
         "paths", nargs="*", default=["src"],
         help="files or directories to lint (default: src)",
     )
-    p_lint.add_argument("--format", choices=["text", "json"], default="text",
-                        help="report format")
+    p_lint.add_argument(
+        "--format", choices=["text", "json", "github"], default="text",
+        help="report format (github = Actions ::error annotations)",
+    )
     p_lint.add_argument(
         "--select", default=None, metavar="RULES",
         help="comma-separated rule ids to run (default: all)",
+    )
+
+    p_vp = sub.add_parser(
+        "verify-protocol",
+        help="model-check the reliable-exchange protocol (and its mutants)",
+    )
+    p_vp.add_argument(
+        "--config", default=None, metavar="NAME",
+        help="run only the named config (default: all)",
+    )
+    p_vp.add_argument(
+        "--mutants", default=None, metavar="NAMES",
+        help="comma-separated mutants to sweep (default: all); "
+        "'none' skips the sweep",
+    )
+    p_vp.add_argument(
+        "--list-mutants", action="store_true",
+        help="list the seeded protocol mutations and exit",
     )
 
     return parser
@@ -781,6 +809,14 @@ def _cmd_lint(args) -> int:
         return 2
     if args.format == "json":
         print(json.dumps(report.to_dict(), indent=2))
+    elif args.format == "github":
+        for f in report.findings:
+            print(f.render_github())
+        print(
+            f"{len(report.findings)} finding(s) in "
+            f"{len(report.files)} file(s)",
+            file=sys.stderr,
+        )
     else:
         for f in report.findings:
             print(f.render())
@@ -791,6 +827,74 @@ def _cmd_lint(args) -> int:
             file=sys.stderr,
         )
     return 1 if report.findings else 0
+
+
+def _cmd_verify_protocol(args) -> int:
+    from repro.analysis.protocol import (
+        DEFAULT_CONFIGS,
+        MUTATIONS,
+        check,
+        format_trace,
+        run_mutation_sweep,
+    )
+
+    if args.list_mutants:
+        for name in sorted(MUTATIONS):
+            print(f"{name}: {MUTATIONS[name]}")
+        return 0
+
+    configs = DEFAULT_CONFIGS
+    if args.config is not None:
+        configs = tuple(c for c in DEFAULT_CONFIGS if c.name == args.config)
+        if not configs:
+            known = ", ".join(c.name for c in DEFAULT_CONFIGS)
+            print(f"unknown config {args.config!r}; known: {known}",
+                  file=sys.stderr)
+            return 2
+
+    failed = False
+    for cfg in configs:
+        res = check(cfg)
+        marker = "bounded" if res.truncated else "exhaustive"
+        print(
+            f"{cfg.name}: {res.states} states, {res.transitions} "
+            f"transitions ({marker}), {len(res.violations)} violation(s)"
+        )
+        for v in res.violations:
+            failed = True
+            print(format_trace(v))
+
+    if args.mutants != "none":
+        kwargs = {}
+        if args.mutants:
+            kwargs["mutations"] = tuple(
+                m.strip() for m in args.mutants.split(",") if m.strip()
+            )
+        try:
+            sweep = run_mutation_sweep(configs, **kwargs)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        for name in sorted(sweep):
+            verdict = sweep[name]
+            if verdict is None:
+                failed = True
+                scope = (
+                    f"config {args.config!r}" if args.config is not None
+                    else "the selected configs"
+                )
+                print(f"mutant {name}: SURVIVED — {scope} cannot "
+                      "distinguish it from the real protocol (some mutants "
+                      "need a specific world, e.g. no_timeout_nack needs a "
+                      "no-deadline config and no_adopt_guard needs 3 ranks)")
+            else:
+                print(f"mutant {name}: detected ({verdict.kind})")
+
+    if failed:
+        print("verify-protocol: FAILED", file=sys.stderr)
+        return 1
+    print("verify-protocol: ok", file=sys.stderr)
+    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -881,6 +985,7 @@ _HANDLERS = {
     "bench": _cmd_bench,
     "health": _cmd_health,
     "lint": _cmd_lint,
+    "verify-protocol": _cmd_verify_protocol,
 }
 
 

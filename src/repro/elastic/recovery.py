@@ -34,6 +34,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.mpi.request import waitall
+from repro.mpi.tags import RECOVERY
 from repro.shuffle.storage import StorageArea, StorageFullError
 from repro.utils.retry import default_retrier
 
@@ -41,10 +42,11 @@ from .ledger import ReplicaLedger
 
 __all__ = ["ShardRecovery", "RecoveryReport", "RECOVERY_TAG_BASE"]
 
-#: Tag space for recovery transfers.  Recovery runs on a freshly shrunk
-#: communicator (its own matching context), so these cannot collide with
-#: exchange traffic; the base just keeps them recognisable in traces.
-RECOVERY_TAG_BASE = 1 << 12
+#: Tag space for recovery transfers (allocated in repro.mpi.tags).  Recovery
+#: runs on a freshly shrunk communicator (its own matching context), so these
+#: cannot collide with exchange traffic; the registry range just keeps them
+#: recognisable in traces and lintable by SPMD006.
+RECOVERY_TAG_BASE = RECOVERY.base
 
 
 @dataclass
@@ -256,7 +258,9 @@ class ShardRecovery:
         recv_reqs: list[tuple[int, object]] = []
         nbytes = transfers = from_replica = from_source = 0
         for idx, (gid, src, dst) in enumerate(assignments):
-            tag = RECOVERY_TAG_BASE + idx
+            # Wraps modulo the range width; FIFO matching per (source, tag)
+            # channel keeps reused tags unambiguous within one recovery.
+            tag = RECOVERY.tag(idx)
             if src is not None and src != dst:
                 if me == src:
                     sample, label = self.storage.get_by_gid(gid)

@@ -33,6 +33,9 @@ from .launcher import SpmdResult, run_spmd
 from .message import Message, Status, payload_nbytes
 from .pool import BufferPool, PoolBuffer
 from .request import RecvRequest, Request, SendRequest, testall, waitall
+from .tags import TagRange
+from .tags import lookup as lookup_tag
+from .tags import ranges as tag_ranges
 from .world import World
 
 __all__ = [
@@ -61,5 +64,8 @@ __all__ = [
     "SendRequest",
     "testall",
     "waitall",
+    "TagRange",
+    "tag_ranges",
+    "lookup_tag",
     "World",
 ]

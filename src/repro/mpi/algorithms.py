@@ -17,12 +17,16 @@ from __future__ import annotations
 import numpy as np
 
 from .communicator import Communicator
+from .tags import BARRIER, RING, TREE
 
 __all__ = ["ring_allreduce", "tree_broadcast", "recursive_doubling_barrier"]
 
-_RING_TAG = 1 << 14
-_TREE_TAG = 1 << 14 | 1
-_BARRIER_TAG = 1 << 14 | 2
+# Tags come from the central registry (repro.mpi.tags).  Note the registry
+# fixed a latent collision here: _TREE_TAG and _BARRIER_TAG used to sit at
+# _RING_TAG + 1 and + 2, inside the ring's per-step tag interval.
+_RING_TAG = RING.base
+_TREE_TAG = TREE.base
+_BARRIER_TAG = BARRIER.base
 
 
 def ring_allreduce(comm: Communicator, array: np.ndarray) -> np.ndarray:

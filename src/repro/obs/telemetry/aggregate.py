@@ -53,8 +53,11 @@ __all__ = [
     "write_openmetrics",
 ]
 
-#: Dedicated wire tag of telemetry pushes (see module docstring for why
-#: this value collides with none of the exchange's tag ranges).
+#: Dedicated wire tag of telemetry pushes.  The authoritative allocation is
+#: ``repro.mpi.tags.TELEMETRY``; the value is mirrored here (rather than
+#: imported) because this module must stay free of :mod:`repro.mpi` imports
+#: — ``repro.mpi.world`` imports *us*.  ``tests/mpi/test_tags.py`` asserts
+#: the two stay equal.
 TELEMETRY_TAG = (1 << 19) + 5
 
 #: Schema tag of exported JSON snapshots.

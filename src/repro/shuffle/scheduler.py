@@ -65,24 +65,82 @@ from repro.mpi.communicator import Communicator
 from repro.mpi.errors import PeerFailure, UnrecoveredFaultError
 from repro.mpi.message import ANY_SOURCE, Checksummed, payload_nbytes
 from repro.mpi.request import Request, waitall
+from repro.mpi.tags import EXCHANGE_CTRL, EXCHANGE_DATA, PARITY_BIT
 from repro.utils.retry import Backoff
 from repro.utils.rng import SeedTree
 
 from .exchange_plan import ExchangePlan, exchange_count
 from .storage import StorageArea
 
-__all__ = ["Scheduler", "EXCHANGE_TAG_BASE", "EXCHANGE_CTRL_TAG"]
+__all__ = [
+    "Scheduler",
+    "EXCHANGE_TAG_BASE",
+    "EXCHANGE_CTRL_TAG",
+    "ROUND_TRANSITIONS",
+    "TERMINAL_ROUND_STATES",
+]
 
 # Tag space reserved for sample-exchange rounds: one tag per round within an
 # epoch, plus an epoch-parity bit.  Ranks can be at most one epoch apart
 # (synchronize() blocks until all sources posted), so parity plus per-channel
-# FIFO matching keeps epochs unambiguous.
-EXCHANGE_TAG_BASE = 1 << 16
-_EPOCH_PARITY_BIT = 1 << 20
+# FIFO matching keeps epochs unambiguous.  Allocated centrally in
+# repro.mpi.tags; the module-level constants remain for compatibility.
+EXCHANGE_TAG_BASE = EXCHANGE_DATA.base
+_EPOCH_PARITY_BIT = PARITY_BIT
 # Control plane of the reliable exchange: ACK/NACK messages, one tag per
 # epoch parity.  Kept outside the data-round tag range so a control message
 # can never be matched by a data irecv.
-EXCHANGE_CTRL_TAG = 1 << 18
+EXCHANGE_CTRL_TAG = EXCHANGE_CTRL.base
+
+#: The reliable-exchange round state machine, as an explicit transition
+#: table keyed ``(side, state, event) -> new state``.  This is the
+#: load-bearing definition: :meth:`_Round.advance` refuses any transition
+#: not listed here, and the protocol model checker
+#: (:mod:`repro.analysis.protocol`) imports this table as its round-level
+#: transition function, so the checked model and the live protocol cannot
+#: drift apart silently.
+#:
+#: Send side (our outgoing half of a round): ``inflight`` until the
+#: receiver's ACK confirms a verified delivery (``acked``), looping through
+#: bounded resends on NACKs; at commit time an acked round inside the
+#: agreed prefix commits, an acked round beyond it rolls back, and an
+#: un-ACKed round (possible only under a deadline) is reclaimed — its
+#: buffer provably unobserved after :meth:`Scheduler._drain_late_acks`.
+#:
+#: Recv side (our incoming half): ``waiting`` absorbs stale/corrupt
+#: deliveries and timeout NACKs without leaving the state; a CRC-verified
+#: payload moves to ``verified``; commit/rollback settle it, an expired
+#: deadline abandons a still-waiting round, and NACK-budget exhaustion
+#: fails it.  ``abort`` (peer death) tears down either side from any
+#: non-terminal state.
+ROUND_TRANSITIONS: dict[tuple[str, str, str], str] = {
+    # --- send side ---
+    ("send", "inflight", "ack"): "acked",
+    ("send", "inflight", "nack"): "inflight",        # resend, budget left
+    ("send", "inflight", "nack_overflow"): "failed",
+    ("send", "inflight", "reclaim"): "reclaimed",    # un-ACKed at commit
+    ("send", "inflight", "abort"): "aborted",
+    ("send", "acked", "commit"): "committed",
+    ("send", "acked", "rollback"): "rolled_back",
+    ("send", "acked", "abort"): "aborted",
+    # --- recv side ---
+    ("recv", "waiting", "data_ok"): "verified",
+    ("recv", "waiting", "data_stale"): "waiting",
+    ("recv", "waiting", "data_corrupt"): "waiting",
+    ("recv", "waiting", "timeout"): "waiting",
+    ("recv", "waiting", "nack_overflow"): "failed",
+    ("recv", "waiting", "deadline"): "abandoned",    # never verified at commit
+    ("recv", "waiting", "abort"): "aborted",
+    ("recv", "verified", "commit"): "committed",
+    ("recv", "verified", "rollback"): "rolled_back",
+    ("recv", "verified", "abort"): "aborted",
+}
+
+#: States with no outgoing transitions: every exchange must leave each round
+#: half in exactly one of these (the model checker's liveness invariant).
+TERMINAL_ROUND_STATES = frozenset(
+    {"committed", "rolled_back", "reclaimed", "abandoned", "failed", "aborted"}
+)
 
 
 class _Round:
@@ -91,7 +149,7 @@ class _Round:
     __slots__ = (
         "index", "dest", "src", "tag", "buffer", "moves", "nbytes", "samples",
         "send_attempts", "acked", "verified", "payload", "recv_req", "nacks",
-        "next_nack_t",
+        "next_nack_t", "send_state", "recv_state",
     )
 
     def __init__(self, index: int, dest: int, src: int, tag: int) -> None:
@@ -110,6 +168,26 @@ class _Round:
         self.recv_req = None        # outstanding irecv (None once verified)
         self.nacks = 0              # NACKs we sent for this round
         self.next_nack_t = 0.0      # when to NACK again absent progress
+        self.send_state = "inflight"
+        self.recv_state = "waiting"
+
+    def advance(self, side: str, event: str) -> str:
+        """Advance one side's protocol state through :data:`ROUND_TRANSITIONS`.
+
+        Raises ``RuntimeError`` on a transition the table does not allow —
+        an illegal transition here is a protocol bug, not a transient."""
+        state = self.send_state if side == "send" else self.recv_state
+        new = ROUND_TRANSITIONS.get((side, state, event))
+        if new is None:
+            raise RuntimeError(
+                f"illegal protocol transition: {side} half of round "
+                f"{self.index} in state {state!r} got event {event!r}"
+            )
+        if side == "send":
+            self.send_state = new
+        else:
+            self.recv_state = new
+        return new
 
 
 class Scheduler:
@@ -449,7 +527,7 @@ class Scheduler:
                 self.comm.count_copy(payload.payload.nbytes)
             else:
                 payload = entries
-            tag = EXCHANGE_TAG_BASE + parity + i
+            tag = EXCHANGE_DATA.tag(i, parity=parity)
             self.flight.record(
                 "round.post",
                 epoch=self.epoch,
@@ -599,7 +677,7 @@ class Scheduler:
         or duplicate data messages are discarded by the epoch check when the
         same-parity tag comes around again."""
         parity = (self.epoch % 2) * _EPOCH_PARITY_BIT
-        ctrl_tag = EXCHANGE_CTRL_TAG + parity
+        ctrl_tag = EXCHANGE_CTRL.tag(parity=parity)
         deadline = (
             None if self.deadline_s is None else self._epoch_t0 + self.deadline_s
         )
@@ -655,6 +733,7 @@ class Scheduler:
             st = self._rounds[idx]
             if kind == "ack":
                 if not st.acked:
+                    st.advance("send", "ack")
                     st.acked = True
                     st.buffer = None  # released: receiver verified the bytes
                     unacked.pop(idx, None)
@@ -665,6 +744,7 @@ class Scheduler:
             elif not st.acked:  # NACK for a round we still owe
                 st.send_attempts += 1
                 if st.send_attempts > self.max_attempts:
+                    st.advance("send", "nack_overflow")
                     self._unrecovered(
                         f"exchange round {idx} of epoch {self.epoch}: "
                         f"{st.send_attempts} attempts to rank {st.dest} all "
@@ -672,6 +752,7 @@ class Scheduler:
                         round=idx,
                         peer=st.dest,
                     )
+                st.advance("send", "nack")
                 self.resends += 1
                 self.resent_bytes += st.nbytes
                 self._metric_inc("exchange.resends")
@@ -709,6 +790,7 @@ class Scheduler:
         if ep != self.epoch or idx != st.index:
             # Leftover of an earlier same-parity epoch (a duplicate delivery
             # or a resend that raced a deadline): discard, keep listening.
+            st.advance("recv", "data_stale")
             self.stale_discards += 1
             self._metric_inc("exchange.stale_discards")
             self.flight.record(
@@ -721,6 +803,7 @@ class Scheduler:
             # array via tobytes(); the packed CRC is copy-free.
             self.comm.count_copy(st.nbytes)
         if env.ok():
+            st.advance("recv", "data_ok")
             st.verified = True
             st.payload = env.payload
             st.recv_req = None
@@ -746,8 +829,10 @@ class Scheduler:
 
     def _nack(self, st: _Round, ctrl_tag: int, *, timed_out: bool) -> None:
         """Ask ``st.src`` to retransmit round ``st.index``."""
+        st.advance("recv", "timeout" if timed_out else "data_corrupt")
         st.nacks += 1
         if st.nacks > self.max_attempts:
+            st.advance("recv", "nack_overflow")
             self._unrecovered(
                 f"exchange round {st.index} of epoch {self.epoch}: no valid "
                 f"payload from rank {st.src} after {st.nacks - 1} NACKs",
@@ -813,15 +898,26 @@ class Scheduler:
         # view of that buffer exists anywhere, and the sender reclaims it.
         self._drain_late_acks()
         for st in self._rounds:
-            if not st.acked and isinstance(st.buffer, PackedBatch):
-                st.buffer.release()
+            if not st.acked:
+                st.advance("send", "reclaim")
+                if isinstance(st.buffer, PackedBatch):
+                    st.buffer.release()
                 st.buffer = None
         for st in self._rounds[committed:]:
             # Rolled back after verification: the payload was never
             # installed, so its buffer goes straight back to the pool.
+            if st.recv_state == "verified":
+                st.advance("recv", "rollback")
             if isinstance(st.payload, PackedBatch):
                 st.payload.release()
                 st.payload = None
+        for i, st in enumerate(self._rounds):
+            if st.send_state == "acked":
+                st.advance("send", "commit" if i < committed else "rollback")
+            if st.recv_state == "waiting":
+                st.advance("recv", "deadline")
+            elif st.recv_state == "verified":
+                st.advance("recv", "commit")
         tr = self.tracer
         if tr.enabled:
             # Receive events are emitted here, in round order, rather than at
@@ -911,7 +1007,7 @@ class Scheduler:
         control.  This makes ACK state definitive — which the batched path
         relies on to reclaim send buffers safely.  Late NACKs are dropped:
         the epoch is sealed and nobody is listening for resends."""
-        ctrl_tag = EXCHANGE_CTRL_TAG + (self.epoch % 2) * _EPOCH_PARITY_BIT
+        ctrl_tag = EXCHANGE_CTRL.tag(parity=(self.epoch % 2) * _EPOCH_PARITY_BIT)
         while self.comm.iprobe(source=ANY_SOURCE, tag=ctrl_tag):
             with self.tracer.suspended():
                 kind, ep, idx = self.comm.recv(source=ANY_SOURCE, tag=ctrl_tag)
@@ -919,6 +1015,7 @@ class Scheduler:
                 continue
             st = self._rounds[idx]
             if not st.acked:
+                st.advance("send", "ack")
                 st.acked = True
                 st.buffer = None  # receiver verified: it owns the buffer now
 
@@ -982,6 +1079,10 @@ class Scheduler:
         nothing was installed or evicted, so the hot set is exactly what it
         was at ``scheduling()`` time."""
         for st in self._rounds:
+            if st.send_state not in TERMINAL_ROUND_STATES:
+                st.advance("send", "abort")
+            if st.recv_state not in TERMINAL_ROUND_STATES:
+                st.advance("recv", "abort")
             if st.recv_req is not None and not st.recv_req.completed:
                 st.recv_req.cancel()
             st.recv_req = None

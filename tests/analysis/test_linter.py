@@ -50,6 +50,84 @@ class TestLintSource:
         assert [f.line for f in findings] == sorted(f.line for f in findings)
 
 
+class TestMultiLineNoqa:
+    """A noqa anywhere on a multi-line statement covers the whole
+    statement — findings anchor to the node's first line, which is often
+    not the physical line carrying the trailing comment."""
+
+    def test_noqa_on_closing_line_suppresses(self):
+        src = textwrap.dedent(
+            """
+            def f(comm, x):
+                comm.isend(
+                    x,
+                    dest=0,
+                )  # repro: noqa[SPMD002]
+            """
+        )
+        findings, suppressed = lint_source(src, path="src/m.py")
+        assert findings == []
+        assert suppressed == 1
+
+    def test_noqa_on_first_line_suppresses_too(self):
+        src = textwrap.dedent(
+            """
+            def f(comm, x):
+                comm.isend(  # repro: noqa[SPMD002]
+                    x,
+                    dest=0,
+                )
+            """
+        )
+        findings, suppressed = lint_source(src, path="src/m.py")
+        assert findings == []
+        assert suppressed == 1
+
+    def test_noqa_does_not_leak_to_adjacent_statements(self):
+        src = textwrap.dedent(
+            """
+            def f(comm, x):
+                comm.isend(
+                    x,
+                    dest=0,
+                )  # repro: noqa[SPMD002]
+                comm.isend(x, dest=1)
+            """
+        )
+        findings, suppressed = lint_source(src, path="src/m.py")
+        assert [f.rule_id for f in findings] == ["SPMD002"]
+        assert findings[0].line == 7
+        assert suppressed == 1
+
+    def test_wrong_rule_id_does_not_suppress(self):
+        src = textwrap.dedent(
+            """
+            def f(comm, x):
+                comm.isend(
+                    x,
+                    dest=0,
+                )  # repro: noqa[SPMD005]
+            """
+        )
+        findings, suppressed = lint_source(src, path="src/m.py")
+        assert [f.rule_id for f in findings] == ["SPMD002"]
+        assert suppressed == 0
+
+    def test_bare_noqa_covers_all_rules_across_the_statement(self):
+        src = textwrap.dedent(
+            """
+            def f(comm, x):
+                comm.isend(
+                    x,
+                    dest=0,
+                )  # repro: noqa
+            """
+        )
+        findings, suppressed = lint_source(src, path="src/m.py")
+        assert findings == []
+        assert suppressed == 1
+
+
 class TestLintPaths:
     def test_directory_walk_and_report(self, tmp_path):
         pkg = tmp_path / "pkg"
@@ -140,3 +218,48 @@ class TestCli:
         proc = self._run("lint", str(tmp_path), "--select", "SPMD999")
         assert proc.returncode == 2
         assert "SPMD999" in proc.stderr
+
+    def test_lint_github_format_emits_annotations(self, tmp_path):
+        f = tmp_path / "bad.py"
+        f.write_text("def f(comm):\n    comm.isend(1, dest=0)\n")
+        proc = self._run("lint", str(f), "--format", "github")
+        assert proc.returncode == 1
+        line = proc.stdout.strip().splitlines()[0]
+        assert line.startswith("::error ")
+        assert f"file={f}" in line
+        assert "line=2" in line
+        assert "title=SPMD002" in line
+        assert "::" in line.split(" ", 1)[1]
+
+    def test_lint_github_format_escapes_newlines(self):
+        from repro.analysis import Finding, Severity
+
+        f = Finding(path="a,b.py", line=1, col=1, rule_id="SPMD001",
+                    message="two\nlines with 100%", severity=Severity.WARNING)
+        out = f.render_github()
+        assert out.startswith("::warning ")
+        assert "\n" not in out
+        assert "%0A" in out
+        assert "100%25" in out
+        assert "file=a%2Cb.py" in out
+
+    def test_verify_protocol_list_mutants(self):
+        proc = self._run("verify-protocol", "--list-mutants")
+        assert proc.returncode == 0
+        assert "release_before_ack" in proc.stdout
+
+    def test_verify_protocol_single_config_and_mutant(self):
+        proc = self._run(
+            "verify-protocol", "--config", "m2-nodeadline",
+            "--mutants", "release_before_ack",
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "m2-nodeadline" in proc.stdout
+        assert "exhaustive" in proc.stdout
+        assert "mutant release_before_ack: detected" in proc.stdout
+        assert "verify-protocol: ok" in proc.stderr
+
+    def test_verify_protocol_unknown_config_is_usage_error(self):
+        proc = self._run("verify-protocol", "--config", "nope")
+        assert proc.returncode == 2
+        assert "unknown config" in proc.stderr

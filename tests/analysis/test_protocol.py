@@ -1,0 +1,150 @@
+"""The protocol model checker: real-model cleanliness + mutant detection.
+
+The full CI matrix (including the ~200k-state two-round world) runs in the
+``protocol-verify`` CI job via ``repro verify-protocol``; these tests keep
+the tier-1 suite fast by exhausting the three quick configs and the whole
+mutation sweep.
+"""
+
+import pytest
+
+from repro.analysis.protocol import (
+    DEFAULT_CONFIGS,
+    EPOCH,
+    MUTATIONS,
+    CheckConfig,
+    Violation,
+    check,
+    check_model,
+    format_trace,
+    run_mutation_sweep,
+)
+from repro.shuffle.scheduler import ROUND_TRANSITIONS, TERMINAL_ROUND_STATES
+
+FAST_CONFIGS = tuple(c for c in DEFAULT_CONFIGS if c.name != "m2-r2-deadline")
+
+
+@pytest.fixture(scope="module")
+def fast_results():
+    return [check(cfg) for cfg in FAST_CONFIGS]
+
+
+class TestRealModel:
+    def test_no_violations_in_any_fast_config(self, fast_results):
+        for res in fast_results:
+            assert res.ok, (
+                f"{res.config.name}: "
+                + "\n".join(format_trace(v) for v in res.violations)
+            )
+
+    def test_exploration_is_nontrivial(self, fast_results):
+        for res in fast_results:
+            assert res.states > 100, res.config.name
+            assert res.transitions > res.states
+
+    def test_exhaustive_configs_are_not_truncated(self, fast_results):
+        for res in fast_results:
+            if res.config.max_depth is None:
+                assert not res.truncated, res.config.name
+
+    def test_transition_table_fully_covered(self, fast_results):
+        covered = set()
+        for res in fast_results:
+            covered |= res.coverage
+        missing = set(ROUND_TRANSITIONS) - covered
+        assert not missing, f"table entries never exercised: {sorted(missing)}"
+        # And nothing outside the table was ever used (advance would raise,
+        # but assert the contract explicitly).
+        assert covered <= set(ROUND_TRANSITIONS)
+
+    def test_exploration_is_deterministic(self):
+        cfg = FAST_CONFIGS[0]
+        a, b = check(cfg), check(cfg)
+        assert (a.states, a.transitions) == (b.states, b.transitions)
+
+
+class TestMutants:
+    def test_every_seeded_mutant_is_detected(self):
+        results = run_mutation_sweep()
+        survivors = [name for name, v in results.items() if v is None]
+        assert not survivors, f"mutants survived undetected: {survivors}"
+        assert set(results) == set(MUTATIONS)
+
+    def test_counterexamples_carry_a_trace(self):
+        results = run_mutation_sweep(mutations=("release_before_ack",))
+        v = results["release_before_ack"]
+        assert isinstance(v, Violation)
+        assert v.kind == "double_retire"
+        assert len(v.trace) >= 1
+        text = format_trace(v)
+        assert "double_retire" in text
+        assert "1." in text
+
+    def test_adopt_guard_race_needs_three_ranks(self):
+        # The abort-abort double-adopt race needs two *survivors*: with
+        # M=2 the kill leaves one rank aborting alone, so the mutant is
+        # undetectable there — the M=3 config is what catches it.
+        m2 = tuple(c for c in DEFAULT_CONFIGS if c.size == 2)
+        assert all(
+            r.ok for r in check_model(m2, mutation="no_adopt_guard")
+        )
+        m3 = tuple(c for c in DEFAULT_CONFIGS if c.size == 3)
+        results = check_model(m3, mutation="no_adopt_guard", stop_on_violation=True)
+        assert any(not r.ok for r in results)
+
+    def test_timeout_mutant_deadlocks_without_deadline(self):
+        cfg = CheckConfig(
+            name="t",
+            size=2,
+            rounds=1,
+            deadline=False,
+            faults=("drop",),
+            fault_budget=1,
+            mutation="no_timeout_nack",
+        )
+        res = check(cfg, stop_on_violation=True)
+        assert res.violations
+        assert res.violations[0].kind == "deadlock"
+
+    def test_stale_mutant_commits_a_past_epoch(self):
+        cfg = CheckConfig(
+            name="s",
+            size=2,
+            rounds=1,
+            deadline=False,
+            faults=("stale", "drop"),
+            fault_budget=2,
+            mutation="skip_stale_check",
+        )
+        res = check(cfg, stop_on_violation=True)
+        assert res.violations
+        assert res.violations[0].kind == "stale_commit"
+        assert str(EPOCH - 2) in res.violations[0].detail
+
+    def test_unknown_mutation_rejected(self):
+        with pytest.raises(ValueError, match="unknown mutation"):
+            run_mutation_sweep(mutations=("not_a_mutation",))
+
+
+class TestModelShape:
+    def test_plan_never_self_sends(self):
+        for size in (2, 3, 4):
+            for rounds in (1, 2, 3):
+                cfg = CheckConfig(name="p", size=size, rounds=rounds)
+                for r in range(size):
+                    for i in range(rounds):
+                        assert cfg.dest(r, i) != r
+                        # src/dest are inverses: src(dest(r,i), i) == r
+                        assert cfg.src(cfg.dest(r, i), i) == r
+
+    def test_terminal_states_match_scheduler_table(self):
+        # Terminal = no outgoing transition in the shared table.
+        with_outgoing = {state for (_s, state, _e) in ROUND_TRANSITIONS}
+        targets = set(ROUND_TRANSITIONS.values())
+        assert TERMINAL_ROUND_STATES == targets - with_outgoing
+
+    def test_faultfree_config_commits_everything(self):
+        cfg = CheckConfig(name="clean", size=2, rounds=2, deadline=False)
+        res = check(cfg)
+        assert res.ok
+        assert res.states > 1
