@@ -9,7 +9,14 @@ it and how to read the numbers.
 
 from .epoch import bench_epoch_loader
 from .exchange import bench_exchange, exchange_q_sweep
-from .runner import DEFAULT_RESULTS_DIR, SCENARIOS, check_regression, run_bench
+from .runner import (
+    DEFAULT_RESULTS_DIR,
+    MIN_SERVE_FAIRNESS,
+    SCENARIOS,
+    check_regression,
+    run_bench,
+)
+from .serve import bench_serve
 from .telemetry import FLIGHT_OVERHEAD_BUDGET, bench_telemetry
 
 __all__ = [
@@ -17,9 +24,11 @@ __all__ = [
     "exchange_q_sweep",
     "bench_epoch_loader",
     "bench_telemetry",
+    "bench_serve",
     "run_bench",
     "check_regression",
     "DEFAULT_RESULTS_DIR",
     "SCENARIOS",
     "FLIGHT_OVERHEAD_BUDGET",
+    "MIN_SERVE_FAIRNESS",
 ]

@@ -19,6 +19,7 @@ from typing import Any
 
 from .epoch import bench_epoch_loader
 from .exchange import bench_exchange, exchange_q_sweep
+from .serve import bench_serve
 from .telemetry import FLIGHT_OVERHEAD_BUDGET, bench_telemetry
 
 __all__ = ["run_bench", "check_regression", "DEFAULT_RESULTS_DIR", "SCENARIOS"]
@@ -30,25 +31,32 @@ DEFAULT_RESULTS_DIR = Path(__file__).resolve().parents[3] / "benchmarks" / "resu
 EXCHANGE_ARTIFACT = "BENCH_exchange.json"
 EPOCH_ARTIFACT = "BENCH_epoch.json"
 TELEMETRY_ARTIFACT = "BENCH_telemetry.json"
+SERVE_ARTIFACT = "BENCH_serve.json"
 
 #: Selectable benchmark scenarios (``repro bench --scenario``).
-SCENARIOS = ("exchange", "epoch", "telemetry")
+SCENARIOS = ("exchange", "epoch", "telemetry", "serve")
 
 #: Deterministic floor on the copy ratio (per-sample path copies at least
 #: pickle + 2x CRC walks per payload; batched pays one gather).
 MIN_BYTES_COPIED_RATIO = 2.0
+
+#: Floor on the grant-order Jain index for symmetric tenants: equal-weight
+#: backlogged tenants must share service near-evenly in every prefix.
+MIN_SERVE_FAIRNESS = 0.9
 
 _SMOKE = {
     "exchange": dict(ranks=2, samples=48, shape=(32, 32), q=0.5, epochs=2),
     "q_sweep": dict(ranks=2, samples=48, shape=(32, 32), qs=(0.25, 0.5, 1.0), epochs=1),
     "epoch": dict(samples=192, shape=(3, 16, 16), batch_size=32, epochs=2),
     "telemetry": dict(ranks=2, samples=96, epochs=2, repeats=3),
+    "serve": dict(tenants=2, samples=96, shape=(3, 8, 8), requests=8, batch=6, workers=2),
 }
 _FULL = {
     "exchange": dict(ranks=4, samples=256, shape=(3, 32, 32), q=0.5, epochs=3),
     "q_sweep": dict(ranks=4, samples=256, shape=(3, 32, 32), qs=(0.1, 0.25, 0.5, 1.0), epochs=2),
     "epoch": dict(samples=1024, shape=(3, 32, 32), batch_size=64, epochs=3),
     "telemetry": dict(ranks=4, samples=256, epochs=3, repeats=5),
+    "serve": dict(tenants=4, samples=512, shape=(3, 16, 16), requests=32, batch=8, workers=3),
 }
 
 
@@ -77,14 +85,14 @@ def run_bench(
     base = Path(baseline_dir) if baseline_dir is not None else DEFAULT_RESULTS_DIR
     baselines: dict[str, Any] = {}
     if check:
-        for name in (EXCHANGE_ARTIFACT, EPOCH_ARTIFACT, TELEMETRY_ARTIFACT):
+        for name in (EXCHANGE_ARTIFACT, EPOCH_ARTIFACT, TELEMETRY_ARTIFACT, SERVE_ARTIFACT):
             path = base / name
             if path.is_file():
                 baselines[name] = json.loads(path.read_text())
 
     params = _SMOKE if smoke else _FULL
     out.mkdir(parents=True, exist_ok=True)
-    exchange = epoch = telemetry = None
+    exchange = epoch = telemetry = serve = None
     if "exchange" in scenarios:
         exchange = bench_exchange(seed=seed, **params["exchange"])
         exchange["q_sweep"] = exchange_q_sweep(seed=seed, **params["q_sweep"])
@@ -101,14 +109,22 @@ def run_bench(
         telemetry["schema"] = "repro.bench.telemetry/v1"
         telemetry["smoke"] = smoke
         (out / TELEMETRY_ARTIFACT).write_text(json.dumps(telemetry, indent=2) + "\n")
+    if "serve" in scenarios:
+        serve = bench_serve(seed=seed, **params["serve"])
+        serve["schema"] = "repro.bench.serve/v1"
+        serve["smoke"] = smoke
+        (out / SERVE_ARTIFACT).write_text(json.dumps(serve, indent=2) + "\n")
 
     problems: list[str] = []
     if check:
-        problems = check_regression(exchange, epoch, baselines, telemetry=telemetry)
+        problems = check_regression(
+            exchange, epoch, baselines, telemetry=telemetry, serve=serve
+        )
     return {
         "exchange": exchange,
         "epoch": epoch,
         "telemetry": telemetry,
+        "serve": serve,
         "problems": problems,
         "out_dir": str(out),
     }
@@ -142,6 +158,7 @@ def check_regression(
     baselines: dict[str, Any],
     *,
     telemetry: dict | None = None,
+    serve: dict | None = None,
     tolerance: float = 0.2,
 ) -> list[str]:
     """Compare a fresh run against the committed baselines.
@@ -195,4 +212,31 @@ def check_regression(
                 "telemetry: enabling the always-on layer changed the training "
                 "result"
             )
+    if serve is not None:
+        fairness = serve["ratios"]["fairness_jain"]
+        if fairness < MIN_SERVE_FAIRNESS:
+            problems.append(
+                f"serve: grant-order Jain index {fairness:.3f} below the "
+                f"{MIN_SERVE_FAIRNESS} floor — symmetric tenants are not "
+                "being served fairly"
+            )
+        if serve["ratios"]["hot_hit_rate"] <= 0.0:
+            problems.append(
+                "serve: hot-cache hit rate is zero on the overlapping-dataset "
+                "scenario — cross-tenant sharing is broken"
+            )
+        faults = serve["faults"]
+        if faults["errors"] or faults["served"] < faults["submitted"]:
+            problems.append(
+                f"serve: {faults['errors']} request(s) failed under injected "
+                f"flaky reads ({faults['served']}/{faults['submitted']} "
+                "served) — the retry discipline is not absorbing faults"
+            )
+        problems += _ratio_regressions(
+            "serve",
+            serve,
+            baselines.get(SERVE_ARTIFACT),
+            ("fairness_jain", "hot_hit_rate"),
+            tolerance,
+        )
     return problems

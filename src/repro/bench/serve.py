@@ -1,0 +1,229 @@
+"""Heavy-traffic benchmark for the multi-tenant shard service.
+
+Three questions, answered on one box with simulated tenants
+(:class:`~repro.serve.ShardServer` + worker threads):
+
+* **Is service fair?**  N symmetric tenants pre-fill the admission queue,
+  then the workers drain it; with equal weights start-time fair queueing
+  must round-robin the backlog, so the Jain index over the grant-log
+  prefix is ~1.0.  The CI gate requires >= 0.9.
+* **Does sharing pay?**  Tenants over overlapping datasets re-request the
+  same underlying samples; the content-hash hot cache must convert the
+  overlap into hits (gate: hit rate > 0), and the artifact records how
+  many PFS reads the caches absorbed.
+* **Does the fault discipline hold?**  A flaky-read chaos engine injects
+  faults at the server's storage boundary; every request must still be
+  served within the retry budget (gate via ``faults.errors == 0`` being
+  recorded — the regression check fails the run on served < submitted).
+
+The artifact (``BENCH_serve.json``) carries per-tenant p50/p99 latency
+from the public :meth:`~repro.obs.metrics.Histogram.quantiles` API, the
+fairness index, and exact cache accounting.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+import numpy as np
+
+from repro.data.dataset import TensorDataset
+from repro.faults import ChaosEngine
+from repro.serve import ServedDataset, ShardServer, TenantConfig, jain_index
+
+__all__ = ["bench_serve"]
+
+
+def _make_dataset(samples: int, shape: tuple, seed: int) -> TensorDataset:
+    rng = np.random.default_rng(seed)
+    features = rng.standard_normal((samples, *shape)).astype(np.float32)
+    labels = np.arange(samples) % 10
+    return TensorDataset(features, labels)
+
+
+def _tenant_names(n: int) -> list[str]:
+    return [f"tenant-{i}" for i in range(n)]
+
+
+def _symmetric(
+    dataset: TensorDataset,
+    *,
+    tenants: int,
+    requests: int,
+    batch: int,
+    workers: int,
+    seed: int,
+) -> dict[str, Any]:
+    """Equal-weight tenants over one dataset, queue pre-filled so the
+    fair dequeue (not submission timing) decides the grant order."""
+    server = ShardServer()
+    server.register_dataset("shared", backing=dataset)
+    names = _tenant_names(tenants)
+    for name in names:
+        server.add_tenant(TenantConfig(name))
+    n = len(dataset)
+    pending = []
+    # Interleave submissions round-robin so no tenant gets a head start;
+    # with the workers not yet running, every tenant is fully backlogged
+    # by the time service begins.
+    for r in range(requests):
+        for t, name in enumerate(names):
+            lo = (r * batch + t * 17) % n
+            gids = [(lo + k) % n for k in range(batch)]
+            pending.append(server.submit(name, "shared", gids))
+    t0 = time.perf_counter()
+    server.start(workers=workers)
+    for req in pending:
+        req.result(timeout=120.0)
+    elapsed = time.perf_counter() - t0
+    for req in pending:
+        req.batch.try_adopt()
+    grant_log = list(server.admission.grant_log)
+    # The fairness figure uses the first half of the grant log: a fair
+    # scheduler serves every backlogged tenant evenly in *every* prefix,
+    # an unfair one drains tenants sequentially and still looks fine at
+    # the end of the run.
+    prefix = grant_log[: max(1, len(grant_log) // 2)]
+    prefix_counts = [prefix.count(name) for name in names]
+    stats = server.stats()
+    server.stop()
+    return {
+        "tenants": {
+            name: {
+                "served": stats["tenants"][name]["served"],
+                "p50_s": stats["tenants"][name]["latency"]["p50"],
+                "p99_s": stats["tenants"][name]["latency"]["p99"],
+            }
+            for name in names
+        },
+        "jain_grant_prefix": jain_index(prefix_counts),
+        "jain_served": stats["fairness"]["jain_served"],
+        "grants": len(grant_log),
+        "elapsed_s": elapsed,
+        "requests_per_s": len(pending) / elapsed if elapsed > 0 else float("inf"),
+    }
+
+
+def _overlap(
+    dataset: TensorDataset,
+    *,
+    tenants: int,
+    requests: int,
+    batch: int,
+    workers: int,
+) -> dict[str, Any]:
+    """Tenants over overlapping datasets: two registered names share one
+    backing, so the content-hash cache must dedupe across them."""
+    server = ShardServer()
+    server.register_dataset("view-a", backing=dataset)
+    server.register_dataset("view-b", backing=dataset)
+    names = _tenant_names(tenants)
+    for name in names:
+        server.add_tenant(TenantConfig(name))
+    n = len(dataset)
+    server.start(workers=workers)
+    try:
+        for i, name in enumerate(names):
+            view = "view-a" if i % 2 == 0 else "view-b"
+            # Every tenant walks the same gid window, so each sample is
+            # read from the backing once and served from cache after.
+            sd = ServedDataset(server, name, view, [g % n for g in range(requests * batch)])
+            for entries in sd.batches(batch):
+                del entries
+        stats = server.stats()
+    finally:
+        server.stop()
+    return {
+        "hot": stats["caches"]["hot"],
+        "cold": stats["caches"]["cold"],
+        "hot_hit_rate": stats["caches"]["hot"]["hit_rate"],
+        "pfs_reads": stats["caches"]["cold"]["misses"],
+    }
+
+
+def _faulty(
+    dataset: TensorDataset,
+    *,
+    tenants: int,
+    requests: int,
+    batch: int,
+    workers: int,
+    flaky_p: float,
+    seed: int,
+) -> dict[str, Any]:
+    """Flaky reads injected at the server boundary; the retry discipline
+    must serve every request anyway."""
+    chaos = ChaosEngine(f"flaky-read:p={flaky_p}", seed=seed)
+    server = ShardServer(fault_hook=chaos.storage_hook)
+    server.register_dataset("shared", backing=dataset)
+    names = _tenant_names(tenants)
+    for name in names:
+        server.add_tenant(TenantConfig(name))
+    n = len(dataset)
+    errors = 0
+    served = 0
+    server.start(workers=workers)
+    try:
+        for i, name in enumerate(names):
+            for r in range(requests):
+                gids = [(r * batch + k + i * 29) % n for k in range(batch)]
+                try:
+                    reply = server.fetch(name, "shared", gids, timeout=120.0)
+                    reply.try_adopt()
+                    served += 1
+                except Exception:  # noqa: BLE001 - counted, gated below
+                    errors += 1
+    finally:
+        server.stop()
+    return {
+        "injected": chaos.counts.get("flaky-read", 0),
+        "served": served,
+        "errors": errors,
+        "submitted": tenants * requests,
+    }
+
+
+def bench_serve(
+    *,
+    tenants: int = 4,
+    samples: int = 256,
+    shape: tuple = (3, 16, 16),
+    requests: int = 16,
+    batch: int = 8,
+    workers: int = 2,
+    flaky_p: float = 0.05,
+    seed: int = 0,
+) -> dict[str, Any]:
+    """Run the three serve scenarios and assemble the artifact dict.
+
+    ``requests`` is per tenant; each request asks for ``batch`` samples.
+    The ``ratios`` block carries the self-normalised figures the
+    regression gate compares against the committed baseline.
+    """
+    dataset = _make_dataset(samples, shape, seed)
+    symmetric = _symmetric(
+        dataset, tenants=tenants, requests=requests, batch=batch,
+        workers=workers, seed=seed,
+    )
+    overlap = _overlap(
+        dataset, tenants=tenants, requests=requests, batch=batch, workers=workers,
+    )
+    faults = _faulty(
+        dataset, tenants=tenants, requests=max(2, requests // 4), batch=batch,
+        workers=workers, flaky_p=flaky_p, seed=seed,
+    )
+    return {
+        "params": {
+            "tenants": tenants, "samples": samples, "shape": list(shape),
+            "requests": requests, "batch": batch, "workers": workers,
+            "flaky_p": flaky_p, "seed": seed,
+        },
+        "symmetric": symmetric,
+        "overlap": overlap,
+        "faults": faults,
+        "ratios": {
+            "fairness_jain": symmetric["jain_grant_prefix"],
+            "hot_hit_rate": overlap["hot_hit_rate"],
+        },
+    }

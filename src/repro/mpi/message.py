@@ -158,6 +158,13 @@ def copy_payload(obj: Any) -> Any:
         return Checksummed(
             meta=obj.meta, payload=copy_payload(obj.payload), crc=obj.crc
         )
+    if isinstance(obj, tuple):
+        # Element-wise, so pass-through members (a PackedBatch riding in a
+        # protocol tuple, e.g. the serve response envelope) stay zero-copy
+        # while mutable siblings are still defensively copied.
+        return tuple(copy_payload(x) for x in obj)
+    if isinstance(obj, list):
+        return [copy_payload(x) for x in obj]
     return pickle.loads(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
 
 

@@ -33,6 +33,7 @@ __all__ = [
     "RING",
     "TREE",
     "BARRIER",
+    "SERVE",
     "EXCHANGE_DATA",
     "EXCHANGE_CTRL",
     "TELEMETRY",
@@ -125,6 +126,12 @@ TREE = TagRange("tree_broadcast", base=(1 << 14) + 4096, width=4096, owner="repr
 #: Recursive-doubling barrier: fold-in/out plus one tag per doubling mask.
 BARRIER = TagRange("barrier", base=(1 << 14) + 8192, width=4096, owner="repro.mpi")
 
+#: Multi-tenant shard service (request/response planes of
+#: :mod:`repro.serve.wire`).  Offset 0 carries tenant requests to the
+#: server rank; offset 1 carries responses back.  Per-channel FIFO matching
+#: keeps a client's in-flight requests ordered, so two offsets suffice.
+SERVE = TagRange("serve", base=1 << 15, width=4096, owner="repro.serve")
+
 #: Reliable-exchange data rounds: one tag per round index, parity per epoch.
 EXCHANGE_DATA = TagRange(
     "exchange_data", base=1 << 16, width=1 << 16, owner="repro.shuffle", parity=True
@@ -143,6 +150,7 @@ REGISTRY: tuple[TagRange, ...] = (
     RING,
     TREE,
     BARRIER,
+    SERVE,
     EXCHANGE_DATA,
     EXCHANGE_CTRL,
     TELEMETRY,

@@ -46,7 +46,14 @@ from .merge import (
     phase_totals,
     phase_totals_by_rank,
 )
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry, Reservoir
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Reservoir,
+    quantile_key,
+)
 from .summary import TraceSummary, render_summary, summarize_events, summarize_trace
 from .telemetry import (
     FlightLog,
@@ -85,6 +92,7 @@ __all__ = [
     "summarize_trace",
     "render_summary",
     "Reservoir",
+    "quantile_key",
     "FlightLog",
     "FlightRecorder",
     "PhaseClock",

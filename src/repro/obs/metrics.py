@@ -23,11 +23,18 @@ from __future__ import annotations
 
 import math
 import threading
-from typing import Any
+from typing import Any, Iterable
 
 from repro.utils.rng import hash_unit
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "Reservoir"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Reservoir",
+    "quantile_key",
+]
 
 
 class Reservoir:
@@ -77,8 +84,37 @@ class Reservoir:
         idx = int(round(q * (len(ordered) - 1)))
         return ordered[min(len(ordered) - 1, max(0, idx))]
 
+    def quantiles(self, qs: Iterable[float]) -> dict[str, float]:
+        """Several quantiles in one sorted pass, keyed ``p50``-style.
+
+        The public digest-read API: telemetry exporters and per-tenant
+        latency reports ask for ``quantiles([0.5, 0.95, 0.99])`` instead
+        of poking the reservoir per quantile (one sort instead of one per
+        point).  Keys follow the conventional percentile spelling:
+        ``0.5 -> "p50"``, ``0.99 -> "p99"``, ``0.999 -> "p99.9"``.
+        """
+        qs = list(qs)
+        if not self._values:
+            return {quantile_key(q): math.nan for q in qs}
+        ordered = sorted(self._values)
+        out = {}
+        for q in qs:
+            if not 0.0 <= q <= 1.0:
+                raise ValueError(f"quantile must be in [0, 1], got {q}")
+            idx = int(round(q * (len(ordered) - 1)))
+            out[quantile_key(q)] = ordered[min(len(ordered) - 1, max(0, idx))]
+        return out
+
     def __len__(self) -> int:
         return len(self._values)
+
+
+def quantile_key(q: float) -> str:
+    """Conventional percentile label for a quantile: ``0.99 -> "p99"``."""
+    pct = q * 100.0
+    if math.isclose(pct, round(pct)):
+        return f"p{int(round(pct))}"
+    return f"p{pct:g}"
 
 
 class Counter:
@@ -182,18 +218,24 @@ class Histogram:
         with self._lock:
             return self._summary_locked()
 
+    def quantiles(self, qs: Iterable[float]) -> dict[str, float]:
+        """Reservoir quantiles keyed ``p50``-style (``quantiles([0.5,
+        0.95, 0.99])``) — the same public digest API as
+        :meth:`Reservoir.quantiles`, read under the histogram's lock."""
+        with self._lock:
+            return self._reservoir.quantiles(qs)
+
     def _summary_locked(self) -> dict[str, float]:
         if not self.count:
             return {"count": 0, "sum": 0.0, "min": math.nan, "max": math.nan,
                     "mean": math.nan, "p50": math.nan, "p95": math.nan,
                     "p99": math.nan}
-        return {
+        out = {
             "count": self.count, "sum": self.total, "min": self.min,
             "max": self.max, "mean": self.total / self.count,
-            "p50": self._reservoir.quantile(0.50),
-            "p95": self._reservoir.quantile(0.95),
-            "p99": self._reservoir.quantile(0.99),
         }
+        out.update(self._reservoir.quantiles((0.50, 0.95, 0.99)))
+        return out
 
 
 class MetricsRegistry:

@@ -36,6 +36,7 @@ from .health import (
     HealthFinding,
     detect_deficit_growth,
     detect_pool_leak,
+    detect_tenant_imbalance,
     detect_stragglers,
     render_findings,
     render_rank_summary,
@@ -56,6 +57,7 @@ __all__ = [
     "TelemetryAggregator",
     "detect_deficit_growth",
     "detect_pool_leak",
+    "detect_tenant_imbalance",
     "detect_stragglers",
     "drain_pending",
     "push_metrics",

@@ -122,12 +122,7 @@ class TelemetryAggregator:
                 for name, by_rank in sorted(self._series.items())
             }
             quantiles = {
-                name: {
-                    "count": digest.n,
-                    "p50": digest.quantile(0.50),
-                    "p95": digest.quantile(0.95),
-                    "p99": digest.quantile(0.99),
-                }
+                name: {"count": digest.n, **digest.quantiles((0.50, 0.95, 0.99))}
                 for name, digest in sorted(self._digests.items())
             }
             return {

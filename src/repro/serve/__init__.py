@@ -1,0 +1,67 @@
+"""Multi-tenant shuffle service over a shared sample store.
+
+The paper's PLS scheme assumes one training job owning its storage areas;
+the production shape is N concurrent PLS jobs shuffling over *shared*
+datasets.  This package is that service tier:
+
+* :mod:`~repro.serve.tenancy` — per-tenant admission control: a
+  token-bucket rate limit per tenant plus a weighted-fair (start-time
+  fair queueing) dequeue, so an aggressive tenant is throttled and a
+  trickling one is never starved.
+* :mod:`~repro.serve.cache` — the shared caches between the tenants and
+  the PFS: a cold-replica cache keyed ``(dataset, gid)`` with
+  cross-tenant LRU eviction inside a stated byte budget (eviction never
+  drops the last replica of a ledger-tracked sample), and a hot-sample
+  cache keyed by *content hash* so tenants over overlapping datasets hit
+  memory instead of storage.
+* :mod:`~repro.serve.server` — :class:`ShardServer`: owns the storage
+  areas, runs worker threads over the admission queue, serves batched
+  sample requests as zero-copy :class:`~repro.mpi.codec.PackedBatch`
+  envelopes, injects storage faults at the server boundary (retried with
+  the PR-4 discipline), and reports per-tenant latency/fairness/hit-rate
+  through the usual metrics/flight-recorder surfaces.
+* :mod:`~repro.serve.client` — the tenant side:
+  :class:`ServedStorageArea` (a storage client that slots into the
+  existing :class:`~repro.shuffle.scheduler.Scheduler` seam) and
+  :class:`ServedDataset` (a loader path composing with
+  :class:`~repro.data.prefetch.PrefetchLoader`).
+* :mod:`~repro.serve.wire` — the SPMD transport: tenants that are ranks
+  of a world talk to a server rank on the dedicated
+  :data:`~repro.mpi.tags.SERVE` tag range.
+
+See ``docs/serve.md`` for the architecture and the tenancy model.
+"""
+
+from .cache import CacheStats, ColdReplicaCache, HotSampleCache, content_hash
+from .client import ServedDataset, ServedStorageArea
+from .server import Request, ServeError, ShardServer, TenantUnknownError
+from .tenancy import (
+    AdmissionController,
+    TenantConfig,
+    TenantState,
+    TokenBucket,
+    jain_index,
+)
+from .wire import REQUEST_TAG, RESPONSE_TAG, WireClient, serve_forever
+
+__all__ = [
+    "AdmissionController",
+    "CacheStats",
+    "ColdReplicaCache",
+    "HotSampleCache",
+    "Request",
+    "REQUEST_TAG",
+    "RESPONSE_TAG",
+    "ServeError",
+    "ServedDataset",
+    "ServedStorageArea",
+    "ShardServer",
+    "TenantConfig",
+    "TenantState",
+    "TenantUnknownError",
+    "TokenBucket",
+    "WireClient",
+    "content_hash",
+    "jain_index",
+    "serve_forever",
+]

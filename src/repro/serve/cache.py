@@ -1,0 +1,236 @@
+"""The shared caches between the tenants and the parallel file system.
+
+Two layers, both bounded by an explicit byte budget and both shared by
+*every* tenant (that sharing is the whole point — overlapping tenants pay
+for a sample once):
+
+* :class:`HotSampleCache` — keyed by **content hash** of the sample
+  bytes (plus label), so two tenants reading the same underlying sample
+  through different datasets (or different gids) hit one cached copy.
+  Plain LRU inside the budget.
+* :class:`ColdReplicaCache` — keyed ``(dataset, gid)``: the demoted /
+  already-fetched replicas that have not earned hot status.  LRU across
+  tenants inside the budget, with one carve-out: eviction **never drops
+  the last replica of a ledger-tracked sample** — when the ``pinned``
+  predicate says the entry is the only copy the replica ledger knows
+  about, the evictor skips it and moves to the next victim.  (An
+  unbounded pinned set can therefore exceed the budget; the cache
+  reports ``pinned_overflow`` so the operator sees it.)
+
+Both caches are thread-safe (server worker threads share them) and keep
+exact hit/miss/eviction accounting — the bench artifact's hit-rate figure
+comes straight from :meth:`CacheStats.hit_rate`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["CacheStats", "HotSampleCache", "ColdReplicaCache", "content_hash"]
+
+
+def content_hash(sample: np.ndarray, label: int) -> bytes:
+    """Stable digest of a sample's bytes, shape, dtype and label.
+
+    Shape and dtype are folded in so two different tensors that happen to
+    share raw bytes (e.g. a (2,3) and a (3,2) of the same values) do not
+    alias; the digest is 16 bytes of blake2b — comfortably below any
+    realistic collision budget for an in-memory cache.
+    """
+    arr = np.asarray(sample)
+    if not arr.flags.c_contiguous:
+        arr = np.ascontiguousarray(arr)
+    h = hashlib.blake2b(digest_size=16)
+    h.update(str((arr.dtype.str, arr.shape, int(label))).encode())
+    h.update(memoryview(arr).cast("B") if arr.nbytes else b"")
+    return h.digest()
+
+
+@dataclass
+class CacheStats:
+    """Exact cache accounting (mutated under the owning cache's lock)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    pinned_skips: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups observed."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """hits / lookups (0.0 before any lookup)."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def to_dict(self) -> dict:
+        """Plain-dict view (JSON-ready)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "pinned_skips": self.pinned_skips,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class HotSampleCache:
+    """Content-hash keyed LRU cache of ``(sample, label)`` pairs.
+
+    ``get``/``put`` are the whole surface: the server computes the hash
+    once per fetch (it has the bytes in hand anyway) and the cache makes
+    overlapping tenants share the copy.  Entries larger than the whole
+    budget are simply not cached.
+    """
+
+    def __init__(self, budget_bytes: int) -> None:
+        if budget_bytes <= 0:
+            raise ValueError(f"budget must be positive, got {budget_bytes}")
+        self.budget_bytes = budget_bytes
+        self.stats = CacheStats()
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[bytes, tuple[np.ndarray, int]] = OrderedDict()
+        self._nbytes = 0
+
+    def get(self, key: bytes) -> tuple[np.ndarray, int] | None:
+        """Look up by content hash; a hit refreshes LRU recency."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry
+
+    def put(self, key: bytes, sample: np.ndarray, label: int) -> bool:
+        """Install an entry, evicting LRU victims to fit the budget."""
+        size = sample.nbytes
+        if size > self.budget_bytes:
+            return False
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._nbytes -= old[0].nbytes
+            while self._nbytes + size > self.budget_bytes and self._entries:
+                _, (victim, _l) = self._entries.popitem(last=False)
+                self._nbytes -= victim.nbytes
+                self.stats.evictions += 1
+            self._entries[key] = (sample, int(label))
+            self._nbytes += size
+            return True
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes currently cached."""
+        with self._lock:
+            return self._nbytes
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+class ColdReplicaCache:
+    """Cross-tenant LRU over ``(dataset, gid)`` cold replicas.
+
+    ``pinned(dataset, gid)`` is consulted at eviction time: True means
+    the entry is the last replica the ledger knows about, so the evictor
+    skips it (counting a ``pinned_skip``) and tries the next-oldest
+    entry.  When *every* entry is pinned the cache accepts the overage
+    rather than drop data — visible as ``pinned_overflow()``.
+    """
+
+    def __init__(
+        self,
+        budget_bytes: int,
+        *,
+        pinned: Callable[[str, int], bool] | None = None,
+    ) -> None:
+        if budget_bytes <= 0:
+            raise ValueError(f"budget must be positive, got {budget_bytes}")
+        self.budget_bytes = budget_bytes
+        self.pinned = pinned
+        self.stats = CacheStats()
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple[str, int], tuple[np.ndarray, int]] = (
+            OrderedDict()
+        )
+        self._nbytes = 0
+
+    def get(self, dataset: str, gid: int) -> tuple[np.ndarray, int] | None:
+        """Look up a replica; a hit refreshes LRU recency."""
+        key = (dataset, int(gid))
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry
+
+    def put(self, dataset: str, gid: int, sample: np.ndarray, label: int) -> None:
+        """Install a replica, evicting unpinned LRU victims to fit."""
+        key = (dataset, int(gid))
+        size = sample.nbytes
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._nbytes -= old[0].nbytes
+            self._evict_to_fit(size)
+            self._entries[key] = (sample, int(label))
+            self._nbytes += size
+
+    def _evict_to_fit(self, incoming: int) -> None:
+        # Walk oldest-first; skip pinned entries instead of dropping the
+        # last replica of a ledger-tracked sample.  Runs under self._lock.
+        if self._nbytes + incoming <= self.budget_bytes:
+            return
+        for key in list(self._entries):
+            if self._nbytes + incoming <= self.budget_bytes:
+                return
+            if self.pinned is not None and self.pinned(key[0], key[1]):
+                self.stats.pinned_skips += 1
+                continue
+            victim, _label = self._entries.pop(key)
+            self._nbytes -= victim.nbytes
+            self.stats.evictions += 1
+
+    def drop(self, dataset: str, gid: int) -> bool:
+        """Explicitly remove one replica (True if it was cached)."""
+        with self._lock:
+            entry = self._entries.pop((dataset, int(gid)), None)
+            if entry is None:
+                return False
+            self._nbytes -= entry[0].nbytes
+            return True
+
+    def keys(self) -> list[tuple[str, int]]:
+        """Cached ``(dataset, gid)`` keys, oldest first."""
+        with self._lock:
+            return list(self._entries)
+
+    def pinned_overflow(self) -> int:
+        """Bytes above budget that pinned entries forced us to keep."""
+        with self._lock:
+            return max(0, self._nbytes - self.budget_bytes)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes currently cached."""
+        with self._lock:
+            return self._nbytes
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

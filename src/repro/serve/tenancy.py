@@ -1,0 +1,265 @@
+"""Per-tenant admission control: token buckets + weighted-fair dequeue.
+
+Two mechanisms compose, mirroring how storage-tier services protect
+themselves from N concurrent training jobs:
+
+* a **token bucket** per tenant bounds its sustained request rate (and a
+  burst allowance) — the *policing* half: an aggressive tenant is
+  throttled at admission, before it can queue work;
+* **start-time fair queueing** (SFQ) across the per-tenant FIFO queues
+  — the *scheduling* half: each request is stamped with a virtual start
+  time ``max(v_now, last_finish)`` and a finish time ``start + cost /
+  weight``; the dequeue always picks the backlogged tenant with the
+  smallest finish stamp.  Backlogged tenants therefore share service in
+  proportion to their weights regardless of how fast they submit, and a
+  trickling tenant can be starved for at most one request's worth of
+  virtual time.
+
+Both are deterministic given the submission sequence: the bucket refills
+from an injected clock and the SFQ stamps are pure arithmetic, so tests
+and benchmarks can drive them with a manual clock and assert exact
+fairness bounds.
+
+:func:`jain_index` is the fairness figure the bench artifact reports:
+``(sum x)^2 / (n * sum x^2)`` — 1.0 means perfectly equal shares, ``1/n``
+means one tenant got everything.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+__all__ = [
+    "TokenBucket",
+    "TenantConfig",
+    "TenantState",
+    "AdmissionController",
+    "jain_index",
+]
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/s, at most ``burst`` banked.
+
+    ``try_acquire(now)`` spends one token if available.  ``now`` comes
+    from the caller (the admission controller passes its clock), so the
+    refill arithmetic is a pure function of the timestamps — no hidden
+    wall-clock reads, hence reproducible under a manual clock.
+    """
+
+    __slots__ = ("rate", "burst", "_tokens", "_stamp")
+
+    def __init__(self, rate: float, burst: float, *, now: float = 0.0) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._stamp = float(now)
+
+    def _refill(self, now: float) -> None:
+        if now > self._stamp:
+            self._tokens = min(self.burst, self._tokens + (now - self._stamp) * self.rate)
+            self._stamp = now
+
+    def try_acquire(self, now: float) -> bool:
+        """Spend one token if the bucket holds one at time ``now``."""
+        self._refill(now)
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+    def tokens(self, now: float) -> float:
+        """Tokens banked at time ``now`` (after refill)."""
+        self._refill(now)
+        return self._tokens
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """One tenant's contract with the service.
+
+    ``rate``/``burst`` police the request rate (token bucket); ``weight``
+    sets the tenant's share of service when several tenants are
+    backlogged (SFQ).  The defaults are deliberately generous: an
+    un-configured tenant is fair-shared but effectively un-policed.
+    """
+
+    name: str
+    rate: float = 1e9      # requests/s the bucket refills at
+    burst: float = 1e9     # requests the bucket can bank
+    weight: float = 1.0    # fair-share weight among backlogged tenants
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tenant name must be non-empty")
+        if self.weight <= 0:
+            raise ValueError(f"weight must be positive, got {self.weight}")
+
+
+class TenantState:
+    """Mutable per-tenant runtime state inside the controller."""
+
+    __slots__ = (
+        "config", "bucket", "queue", "last_finish",
+        "submitted", "admitted", "throttled", "served",
+    )
+
+    def __init__(self, config: TenantConfig, *, now: float) -> None:
+        self.config = config
+        self.bucket = TokenBucket(config.rate, config.burst, now=now)
+        self.queue: deque = deque()
+        self.last_finish = 0.0
+        self.submitted = 0
+        self.admitted = 0
+        self.throttled = 0
+        self.served = 0
+
+
+class AdmissionController:
+    """Thread-safe multi-tenant request queue with policing + fair dequeue.
+
+    ``submit(tenant, item)`` runs the tenant's token bucket: a granted
+    token stamps the item with SFQ start/finish times and enqueues it;
+    an empty bucket rejects it (``False``) and counts a throttle — the
+    caller decides whether to retry, back off, or surface the rejection.
+
+    ``next_item()`` pops the queued item with the smallest virtual finish
+    stamp across tenants (weighted fairness among the backlogged) and
+    blocks up to ``timeout`` for one to arrive.  The grant log
+    (``grant_log``) records the dequeue order for fairness audits.
+    """
+
+    def __init__(
+        self,
+        tenants: Iterable[TenantConfig] = (),
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self._tenants: dict[str, TenantState] = {}
+        self._vtime = 0.0
+        self.grant_log: list[str] = []
+        for config in tenants:
+            self.add_tenant(config)
+
+    # ------------------------------------------------------------- tenants
+    def add_tenant(self, config: TenantConfig) -> None:
+        """Register a tenant; its bucket starts full at the current time."""
+        with self._lock:
+            if config.name in self._tenants:
+                raise ValueError(f"tenant {config.name!r} already registered")
+            self._tenants[config.name] = TenantState(config, now=self._clock())
+
+    def tenant(self, name: str) -> TenantState:
+        """The named tenant's state (KeyError if unregistered)."""
+        with self._lock:
+            try:
+                return self._tenants[name]
+            except KeyError:
+                raise KeyError(f"unknown tenant {name!r}") from None
+
+    def tenant_names(self) -> list[str]:
+        """Registered tenant names, registration order."""
+        with self._lock:
+            return list(self._tenants)
+
+    # ------------------------------------------------------------ admission
+    def submit(self, tenant: str, item: object, *, cost: float = 1.0) -> bool:
+        """Police and enqueue one request; False means throttled.
+
+        ``cost`` is the request's service demand in SFQ units (e.g. its
+        sample count), so a tenant issuing big batch requests is charged
+        proportionally against its weight.
+        """
+        if cost <= 0:
+            raise ValueError(f"cost must be positive, got {cost}")
+        with self._lock:
+            state = self._tenants.get(tenant)
+            if state is None:
+                raise KeyError(f"unknown tenant {tenant!r}")
+            state.submitted += 1
+            if not state.bucket.try_acquire(self._clock()):
+                state.throttled += 1
+                return False
+            start = max(self._vtime, state.last_finish)
+            finish = start + cost / state.config.weight
+            state.last_finish = finish
+            state.queue.append((finish, item))
+            state.admitted += 1
+            self._ready.notify()
+            return True
+
+    def next_item(self, *, timeout: float | None = None) -> tuple[str, object] | None:
+        """Dequeue the fairest next request as ``(tenant, item)``.
+
+        Picks the backlogged tenant whose head-of-queue virtual finish
+        stamp is smallest (ties broken by tenant registration order, so
+        the pick is deterministic).  Returns None after ``timeout``
+        seconds without anything queued.
+        """
+        with self._ready:
+            while True:
+                best: str | None = None
+                best_finish = 0.0
+                for name, state in self._tenants.items():
+                    if not state.queue:
+                        continue
+                    finish = state.queue[0][0]
+                    if best is None or finish < best_finish:
+                        best, best_finish = name, finish
+                if best is not None:
+                    state = self._tenants[best]
+                    finish, item = state.queue.popleft()
+                    # Virtual time advances to the granted request's start
+                    # stamp, so an idle tenant re-joining is not owed an
+                    # unbounded backlog of virtual time.
+                    self._vtime = max(self._vtime, finish)
+                    state.served += 1
+                    self.grant_log.append(best)
+                    return best, item
+                if not self._ready.wait(timeout):
+                    return None
+
+    def pending(self) -> int:
+        """Requests currently queued across all tenants."""
+        with self._lock:
+            return sum(len(s.queue) for s in self._tenants.values())
+
+    def counts(self) -> dict[str, dict[str, int]]:
+        """Per-tenant submitted/admitted/throttled/served totals."""
+        with self._lock:
+            return {
+                name: {
+                    "submitted": s.submitted,
+                    "admitted": s.admitted,
+                    "throttled": s.throttled,
+                    "served": s.served,
+                }
+                for name, s in self._tenants.items()
+            }
+
+
+def jain_index(shares: Iterable[float]) -> float:
+    """Jain's fairness index over per-tenant shares (1.0 = perfectly fair).
+
+    Empty input and all-zero shares return 1.0 (nothing was served, so
+    nothing was served unfairly).
+    """
+    values = [float(v) for v in shares]
+    if not values:
+        return 1.0
+    total = sum(values)
+    square_sum = sum(v * v for v in values)
+    if square_sum == 0.0:
+        return 1.0
+    return (total * total) / (len(values) * square_sum)

@@ -1,0 +1,185 @@
+"""SPMD transport for the shard service.
+
+When the tenants are ranks of a world, one rank hosts the
+:class:`~repro.serve.server.ShardServer` and runs :func:`serve_forever`;
+every other rank talks to it through a :class:`WireClient`, which exposes
+the same ``fetch(tenant, dataset, gids) -> PackedBatch`` surface as the
+in-process server — so :class:`~repro.serve.client.ServedDataset` and
+:class:`~repro.serve.client.ServedStorageArea` work unchanged over the
+wire.
+
+The protocol lives on the dedicated :data:`~repro.mpi.tags.SERVE` tag
+range (registered in the tag registry, so the exchange/telemetry planes
+can never alias it):
+
+* :data:`REQUEST_TAG` (offset 0) — tenant → server:
+  ``("fetch", client_rank, req_id, tenant, dataset, gids)`` or
+  ``("stop", client_rank)``.
+* :data:`RESPONSE_TAG` (offset 1) — server → tenant:
+  ``("ok", req_id, PackedBatch)``, ``("throttled", req_id, detail)`` or
+  ``("err", req_id, detail)``.
+
+Per-channel FIFO matching keeps one client's responses ordered, and the
+``req_id`` echo makes mismatches loud rather than silent.  Both sides
+poll with ``iprobe`` + deadline — a dead peer turns into a timeout error,
+never an unbounded blocking receive.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+from repro.mpi.tags import SERVE
+
+from .server import Request, ServeError
+
+__all__ = ["REQUEST_TAG", "RESPONSE_TAG", "WireClient", "serve_forever"]
+
+#: Tenant -> server request channel.
+REQUEST_TAG = SERVE.tag(0)
+#: Server -> tenant response channel.
+RESPONSE_TAG = SERVE.tag(1)
+
+#: Idle sleep between polls on both sides of the wire.
+_POLL_S = 0.002
+
+
+def serve_forever(
+    comm,
+    server,
+    *,
+    expected_stops: int | None = None,
+    idle_timeout_s: float | None = None,
+) -> int:
+    """Drive a started :class:`~repro.serve.server.ShardServer` from the
+    wire: drain requests, submit them through admission control, and send
+    each response back as soon as its worker finishes.
+
+    Runs until ``expected_stops`` distinct clients sent ``("stop", rank)``
+    (defaults to ``comm.size() - 1`` — every peer), or until
+    ``idle_timeout_s`` passes with no traffic and nothing in flight.
+    Returns the number of requests answered.
+    """
+    if expected_stops is None:
+        expected_stops = comm.size - 1
+    stopped: set[int] = set()
+    inflight: list[tuple[int, int, Request]] = []
+    answered = 0
+    last_activity = time.monotonic()
+
+    while True:
+        progressed = False
+        # Inbound: admit every queued request (iprobe-guarded, never blocks).
+        while comm.iprobe(tag=REQUEST_TAG):
+            msg = comm.recv(tag=REQUEST_TAG)
+            progressed = True
+            if msg[0] == "stop":
+                stopped.add(msg[1])
+                continue
+            _kind, client, req_id, tenant, dataset, gids = msg
+            try:
+                req = server.submit(tenant, dataset, gids)
+            except (ServeError, KeyError) as exc:
+                comm.send(("err", req_id, str(exc)), dest=client, tag=RESPONSE_TAG)
+                continue
+            if req.error is not None and req.error.startswith("throttled"):
+                comm.send(
+                    ("throttled", req_id, req.error), dest=client, tag=RESPONSE_TAG
+                )
+                continue
+            inflight.append((client, req_id, req))
+        # Outbound: relay every completed request.
+        still = []
+        for client, req_id, req in inflight:
+            if not req.wait(0):
+                still.append((client, req_id, req))
+                continue
+            progressed = True
+            answered += 1
+            if req.error is not None:
+                comm.send(("err", req_id, req.error), dest=client, tag=RESPONSE_TAG)
+            else:
+                comm.send(("ok", req_id, req.batch), dest=client, tag=RESPONSE_TAG)
+        inflight = still
+
+        if len(stopped) >= expected_stops and not inflight:
+            return answered
+        if progressed:
+            last_activity = time.monotonic()
+        elif (
+            idle_timeout_s is not None
+            and not inflight
+            and time.monotonic() - last_activity > idle_timeout_s
+        ):
+            return answered
+        if not progressed:
+            time.sleep(_POLL_S)
+
+
+class WireClient:
+    """Synchronous tenant-side proxy with the server's ``fetch`` surface.
+
+    One outstanding request at a time (matching the synchronous call
+    shape); throttle responses are retried with exponential backoff until
+    ``timeout``.  Use one client per tenant thread.
+    """
+
+    def __init__(self, comm, server_rank: int) -> None:
+        self.comm = comm
+        self.server_rank = server_rank
+        self._next_id = 0
+
+    def fetch(
+        self,
+        tenant: str,
+        dataset: str,
+        gids: Sequence[int],
+        *,
+        timeout: float | None = 30.0,
+    ):
+        """Request ``gids`` and block for the PackedBatch response."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        pause = _POLL_S
+        while True:
+            req_id = self._next_id
+            self._next_id += 1
+            self.comm.send(
+                ("fetch", self.comm.rank, req_id, tenant, dataset,
+                 [int(g) for g in gids]),
+                dest=self.server_rank,
+                tag=REQUEST_TAG,
+            )
+            reply = self._await_reply(req_id, deadline)
+            kind, _rid, body = reply
+            if kind == "ok":
+                return body
+            if kind == "err":
+                raise ServeError(body)
+            # Throttled: back off and resubmit against the refilled bucket.
+            if deadline is not None and time.monotonic() + pause > deadline:
+                raise ServeError(body)
+            time.sleep(pause)
+            pause = min(pause * 2, 0.1)
+
+    def _await_reply(self, req_id: int, deadline: float | None):
+        while True:
+            if self.comm.iprobe(source=self.server_rank, tag=RESPONSE_TAG):
+                reply = self.comm.recv(source=self.server_rank, tag=RESPONSE_TAG)
+                if reply[1] != req_id:
+                    raise ServeError(
+                        f"response req_id {reply[1]} does not match request "
+                        f"{req_id}; wire protocol violated"
+                    )
+                return reply
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServeError(
+                    f"no response from server rank {self.server_rank} "
+                    f"within the deadline"
+                )
+            time.sleep(_POLL_S)
+
+    def stop(self) -> None:
+        """Tell the server this client is done (counts toward its
+        ``expected_stops``)."""
+        self.comm.send(("stop", self.comm.rank), dest=self.server_rank, tag=REQUEST_TAG)

@@ -31,6 +31,7 @@ so the paper's storage bound still holds for the working set.
 from __future__ import annotations
 
 import itertools
+import threading
 from pathlib import Path
 from typing import Iterable, Iterator
 
@@ -54,11 +55,20 @@ class StorageArea:
     removals (unlike list indices), which is what the exchange scheduler
     needs: it records ids at ``scheduling()`` time and removes exactly those
     at ``clean_local_storage()`` time even though receives interleave.
+
+    Thread-safe: every mutating operation (and every multi-field read)
+    runs under one re-entrant lock.  A storage area used to be touched by
+    exactly one rank thread; the shard server
+    (:class:`~repro.serve.ShardServer`) shares one area across its worker
+    threads, so the add/demote/promote cache paths — the same shape as the
+    PR-5 ``_load_chunk`` race — must be atomic.  The lock is re-entrant
+    because ``demote``/``promote`` compose ``get``/``remove``/``add``.
     """
 
     def __init__(self, *, capacity_bytes: int | None = None):
         if capacity_bytes is not None and capacity_bytes <= 0:
             raise ValueError(f"capacity must be positive, got {capacity_bytes}")
+        self._lock = threading.RLock()
         self.capacity_bytes = capacity_bytes
         self._entries: dict[int, tuple[np.ndarray, int]] = {}
         self._ids = itertools.count()
@@ -83,29 +93,30 @@ class StorageArea:
         cannot fit is :class:`StorageFullError` raised."""
         sample = np.asarray(sample)
         size = sample.nbytes
-        if gid is not None:
-            # A hot add supersedes any cold replica of the same sample.
-            self._evict_cold_gid(gid)
-        if self.capacity_bytes is not None:
-            while (
-                self._nbytes + self._cold_nbytes + size > self.capacity_bytes
-                and self._cold
-            ):
-                self._evict_cold_gid(next(iter(self._cold)))
-            if self._nbytes + size > self.capacity_bytes:
-                raise StorageFullError(
-                    f"adding {size} B would exceed capacity "
-                    f"({self._nbytes}/{self.capacity_bytes} B used)"
-                )
-        sid = next(self._ids)
-        self._entries[sid] = (sample, int(label))
-        self._nbytes += size
-        if gid is not None:
-            self._gid_of[sid] = int(gid)
-            self._sid_of[int(gid)] = sid
-        self.peak_nbytes = max(self.peak_nbytes, self._nbytes)
-        self.peak_count = max(self.peak_count, len(self._entries))
-        return sid
+        with self._lock:
+            if gid is not None:
+                # A hot add supersedes any cold replica of the same sample.
+                self._evict_cold_gid(gid)
+            if self.capacity_bytes is not None:
+                while (
+                    self._nbytes + self._cold_nbytes + size > self.capacity_bytes
+                    and self._cold
+                ):
+                    self._evict_cold_gid(next(iter(self._cold)))
+                if self._nbytes + size > self.capacity_bytes:
+                    raise StorageFullError(
+                        f"adding {size} B would exceed capacity "
+                        f"({self._nbytes}/{self.capacity_bytes} B used)"
+                    )
+            sid = next(self._ids)
+            self._entries[sid] = (sample, int(label))
+            self._nbytes += size
+            if gid is not None:
+                self._gid_of[sid] = int(gid)
+                self._sid_of[int(gid)] = sid
+            self.peak_nbytes = max(self.peak_nbytes, self._nbytes)
+            self.peak_count = max(self.peak_count, len(self._entries))
+            return sid
 
     def add_many(
         self, entries: Iterable[tuple[np.ndarray, int, int | None]]
@@ -116,50 +127,60 @@ class StorageArea:
         the samples may be read-only zero-copy views into a received
         envelope — ``add`` keeps them un-copied, so the envelope's backing
         buffer stays alive exactly as long as the entries do."""
-        return [self.add(sample, label, gid=gid) for sample, label, gid in entries]
+        with self._lock:
+            return [self.add(sample, label, gid=gid) for sample, label, gid in entries]
 
     def get(self, sid: int) -> tuple[np.ndarray, int]:
         """Fetch the (sample, label) pair for an id (KeyError if absent)."""
         try:
-            return self._entries[sid]
+            with self._lock:
+                return self._entries[sid]
         except KeyError:
             raise KeyError(f"no sample with id {sid} in storage") from None
 
     def remove(self, sid: int) -> None:
         """Delete a stored sample by id."""
-        sample, _ = self.get(sid)
-        del self._entries[sid]
-        self._nbytes -= sample.nbytes
-        gid = self._gid_of.pop(sid, None)
-        if gid is not None and self._sid_of.get(gid) == sid:
-            del self._sid_of[gid]
+        with self._lock:
+            sample, _ = self.get(sid)
+            del self._entries[sid]
+            self._nbytes -= sample.nbytes
+            gid = self._gid_of.pop(sid, None)
+            if gid is not None and self._sid_of.get(gid) == sid:
+                del self._sid_of[gid]
 
     # -------------------------------------------------------- global identity
     def gid_of(self, sid: int) -> int | None:
         """Global id attached to a hot entry, or None if untracked."""
-        return self._gid_of.get(sid)
+        with self._lock:
+            return self._gid_of.get(sid)
 
     def sid_of(self, gid: int) -> int | None:
         """Hot storage id currently holding ``gid``, or None."""
-        return self._sid_of.get(gid)
+        with self._lock:
+            return self._sid_of.get(gid)
 
     def has_gid(self, gid: int) -> bool:
         """Whether ``gid`` is held hot (trainable) in this area."""
-        return gid in self._sid_of
+        with self._lock:
+            return gid in self._sid_of
 
     def hot_gids(self) -> list[int]:
         """Global ids of all hot entries that carry one, insertion order."""
-        return [self._gid_of[sid] for sid in self._entries if sid in self._gid_of]
+        with self._lock:
+            return [self._gid_of[sid] for sid in self._entries if sid in self._gid_of]
 
     def get_by_gid(self, gid: int) -> tuple[np.ndarray, int]:
         """Fetch ``(sample, label)`` for a global id, hot or cold."""
-        sid = self._sid_of.get(gid)
-        if sid is not None:
-            return self._entries[sid]
-        try:
-            return self._cold[gid]
-        except KeyError:
-            raise KeyError(f"gid {gid} neither hot nor cold in storage") from None
+        with self._lock:
+            sid = self._sid_of.get(gid)
+            if sid is not None:
+                return self._entries[sid]
+            try:
+                return self._cold[gid]
+            except KeyError:
+                raise KeyError(
+                    f"gid {gid} neither hot nor cold in storage"
+                ) from None
 
     # ----------------------------------------------------- cold replica cache
     def demote(self, sid: int) -> bool:
@@ -170,31 +191,37 @@ class StorageArea:
         moment a hot add needs the room.  Entries without a gid cannot be
         addressed for recovery, so they are simply removed; returns True
         iff a cold replica was retained."""
-        gid = self._gid_of.get(sid)
-        sample, label = self.get(sid)
-        self.remove(sid)
-        if gid is None:
-            return False
-        self._cold[gid] = (sample, label)
-        self._cold_nbytes += sample.nbytes
-        return True
+        with self._lock:
+            gid = self._gid_of.get(sid)
+            sample, label = self.get(sid)
+            self.remove(sid)
+            if gid is None:
+                return False
+            self._cold[gid] = (sample, label)
+            self._cold_nbytes += sample.nbytes
+            return True
 
     def promote(self, gid: int) -> int:
         """Re-activate a cold replica as a hot entry; returns its new sid."""
-        try:
-            sample, label = self._cold[gid]
-        except KeyError:
-            raise KeyError(f"gid {gid} has no cold replica to promote") from None
-        self._evict_cold_gid(gid)
-        return self.add(sample, label, gid=gid)
+        with self._lock:
+            try:
+                sample, label = self._cold[gid]
+            except KeyError:
+                raise KeyError(
+                    f"gid {gid} has no cold replica to promote"
+                ) from None
+            self._evict_cold_gid(gid)
+            return self.add(sample, label, gid=gid)
 
     def cold_gids(self) -> list[int]:
         """Global ids of the cold replicas currently cached (oldest first)."""
-        return list(self._cold.keys())
+        with self._lock:
+            return list(self._cold.keys())
 
     def has_cold(self, gid: int) -> bool:
         """Whether a cold replica of ``gid`` is cached."""
-        return gid in self._cold
+        with self._lock:
+            return gid in self._cold
 
     def _evict_cold_gid(self, gid: int) -> None:
         entry = self._cold.pop(gid, None)
@@ -203,64 +230,131 @@ class StorageArea:
 
     def drop_cold(self) -> int:
         """Evict every cold replica; returns the number evicted."""
-        n = len(self._cold)
-        self._cold.clear()
-        self._cold_nbytes = 0
-        return n
+        with self._lock:
+            n = len(self._cold)
+            self._cold.clear()
+            self._cold_nbytes = 0
+            return n
 
     @property
     def cold_nbytes(self) -> int:
         """Bytes held by cold replicas (shares the capacity budget)."""
-        return self._cold_nbytes
+        with self._lock:
+            return self._cold_nbytes
 
     @property
     def free_bytes(self) -> int | None:
         """Capacity headroom counting only hot bytes (cold is evictable);
         None when the area is unbounded."""
-        if self.capacity_bytes is None:
-            return None
-        return self.capacity_bytes - self._nbytes
+        with self._lock:
+            if self.capacity_bytes is None:
+                return None
+            return self.capacity_bytes - self._nbytes
 
     def resize(self, capacity_bytes: int | None) -> None:
         """Change the capacity bound (elastic recovery grows it to
         ``(1+Q)*N/(M-1)`` after a shrink).  Cold replicas are evicted as
         needed; shrinking below the hot footprint raises
         :class:`StorageFullError`."""
-        if capacity_bytes is not None:
-            if capacity_bytes <= 0:
-                raise ValueError(f"capacity must be positive, got {capacity_bytes}")
-            if self._nbytes > capacity_bytes:
-                raise StorageFullError(
-                    f"hot entries occupy {self._nbytes} B; cannot resize to "
-                    f"{capacity_bytes} B"
-                )
-            while self._cold and self._nbytes + self._cold_nbytes > capacity_bytes:
-                self._evict_cold_gid(next(iter(self._cold)))
-        self.capacity_bytes = capacity_bytes
+        with self._lock:
+            if capacity_bytes is not None:
+                if capacity_bytes <= 0:
+                    raise ValueError(
+                        f"capacity must be positive, got {capacity_bytes}"
+                    )
+                if self._nbytes > capacity_bytes:
+                    raise StorageFullError(
+                        f"hot entries occupy {self._nbytes} B; cannot resize to "
+                        f"{capacity_bytes} B"
+                    )
+                while self._cold and self._nbytes + self._cold_nbytes > capacity_bytes:
+                    self._evict_cold_gid(next(iter(self._cold)))
+            self.capacity_bytes = capacity_bytes
 
     def ids(self) -> list[int]:
         """Current ids in insertion order."""
-        return list(self._entries.keys())
+        with self._lock:
+            return list(self._entries.keys())
 
     def items(self) -> Iterator[tuple[int, np.ndarray, int]]:
-        """Yield (id, sample, label) triples in insertion order."""
-        for sid, (sample, label) in self._entries.items():
-            yield sid, sample, label
+        """Yield (id, sample, label) triples in insertion order (snapshot
+        taken under the lock, so concurrent adds/removes cannot tear it)."""
+        with self._lock:
+            snapshot = [
+                (sid, sample, label)
+                for sid, (sample, label) in self._entries.items()
+            ]
+        yield from snapshot
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, sid: int) -> bool:
-        return sid in self._entries
+        with self._lock:
+            return sid in self._entries
 
     @property
     def nbytes(self) -> int:
         """Total bytes currently stored."""
-        return self._nbytes
+        with self._lock:
+            return self._nbytes
 
     def labels(self) -> np.ndarray:
         """Labels of all stored samples, in insertion order."""
-        return np.array([label for _, label in self._entries.values()], dtype=np.int64)
+        with self._lock:
+            return np.array(
+                [label for _, label in self._entries.values()], dtype=np.int64
+            )
+
+    def audit(self) -> dict[str, int]:
+        """Check the accounting invariants under the lock; returns totals.
+
+        The invariants a concurrent add/demote/promote race would break:
+        ``nbytes`` equals the sum of hot entry bytes, ``cold_nbytes``
+        equals the sum of cold replica bytes, the sid<->gid maps are
+        mutually inverse, no gid is simultaneously hot and cold, and the
+        capacity bound holds.  Raises :class:`RuntimeError` on the first
+        violation — the concurrency hammer test calls this between (and
+        after) thread storms.
+        """
+        with self._lock:
+            hot = sum(sample.nbytes for sample, _ in self._entries.values())
+            cold = sum(sample.nbytes for sample, _ in self._cold.values())
+            if hot != self._nbytes:
+                raise RuntimeError(
+                    f"hot byte accounting drifted: tracked {self._nbytes}, "
+                    f"actual {hot}"
+                )
+            if cold != self._cold_nbytes:
+                raise RuntimeError(
+                    f"cold byte accounting drifted: tracked {self._cold_nbytes}, "
+                    f"actual {cold}"
+                )
+            for sid, gid in self._gid_of.items():
+                if sid not in self._entries:
+                    raise RuntimeError(f"gid map names dead sid {sid}")
+                if self._sid_of.get(gid) != sid:
+                    raise RuntimeError(
+                        f"sid<->gid maps disagree for sid {sid} / gid {gid}"
+                    )
+            for gid, sid in self._sid_of.items():
+                if self._gid_of.get(sid) != gid:
+                    raise RuntimeError(
+                        f"sid<->gid maps disagree for gid {gid} / sid {sid}"
+                    )
+                if gid in self._cold:
+                    raise RuntimeError(f"gid {gid} is both hot and cold")
+            if (
+                self.capacity_bytes is not None
+                and self._nbytes > self.capacity_bytes
+            ):
+                raise RuntimeError(
+                    f"hot bytes {self._nbytes} exceed capacity "
+                    f"{self.capacity_bytes}"
+                )
+            return {"hot_nbytes": hot, "cold_nbytes": cold,
+                    "entries": len(self._entries), "cold": len(self._cold)}
 
     def as_dataset(self) -> "StorageDataset":
         """Snapshot view usable by a DataLoader (ids frozen at call time)."""
@@ -317,17 +411,19 @@ class DiskStorageArea(StorageArea):
 
     def add(self, sample: np.ndarray, label: int, gid: int | None = None) -> int:
         """Append/record one entry."""
-        sid = super().add(sample, label, gid=gid)
-        atomic_save(self._path(sid, int(label)), np.asarray(sample))
-        return sid
+        with self._lock:
+            sid = super().add(sample, label, gid=gid)
+            atomic_save(self._path(sid, int(label)), np.asarray(sample))
+            return sid
 
     def remove(self, sid: int) -> None:
         """Delete a stored sample by id."""
-        _, label = self.get(sid)
-        super().remove(sid)
-        path = self._path(sid, label)
-        if path.exists():
-            path.unlink()
+        with self._lock:
+            _, label = self.get(sid)
+            super().remove(sid)
+            path = self._path(sid, label)
+            if path.exists():
+                path.unlink()
 
 
 class StorageDataset(Dataset):

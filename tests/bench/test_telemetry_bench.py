@@ -100,4 +100,4 @@ class TestScenarioSelection:
         )
 
     def test_scenarios_constant(self):
-        assert SCENARIOS == ("exchange", "epoch", "telemetry")
+        assert SCENARIOS == ("exchange", "epoch", "telemetry", "serve")

@@ -1,0 +1,123 @@
+"""Tenant-imbalance detector over shard-service telemetry snapshots."""
+
+from repro.obs.telemetry import detect_tenant_imbalance, run_health_checks
+from repro.serve import ShardServer, TenantConfig
+
+import numpy as np
+
+from repro.data.dataset import TensorDataset
+
+
+def tenant_snapshot(served, throttled=None, weights=None, names=None):
+    """Snapshot stub with the serve.tenant.* series (tenant index = rank)."""
+    throttled = throttled if throttled is not None else {r: 0 for r in served}
+    weights = weights if weights is not None else {r: 1.0 for r in served}
+    series = {
+        "serve.tenant.served": served,
+        "serve.tenant.throttled": throttled,
+        "serve.tenant.weight": weights,
+    }
+    snap = {
+        "schema": "repro.obs.telemetry/v1",
+        "pushes": len(served),
+        "ranks": sorted(served),
+        "series": {
+            metric: {str(r): [[0, float(v)]] for r, v in by.items()}
+            for metric, by in series.items()
+        },
+        "last": {},
+        "quantiles": {},
+    }
+    if names is not None:
+        snap["tenant_names"] = names
+    return snap
+
+
+class TestStarvedTenant:
+    def test_balanced_tenants_are_silent(self):
+        snap = tenant_snapshot({0: 50, 1: 48, 2: 52})
+        assert detect_tenant_imbalance(snap) == []
+
+    def test_starved_tenant_flagged_warn(self):
+        # 3 equal-weight tenants; fair share 1/3, warn below 1/6.
+        snap = tenant_snapshot({0: 60, 1: 60, 2: 15}, names=["a", "b", "c"])
+        findings = detect_tenant_imbalance(snap)
+        assert [f.kind for f in findings] == ["tenant-starved"]
+        assert findings[0].severity == "warn"
+        assert findings[0].rank == 2
+        assert "c" in findings[0].detail
+
+    def test_severely_starved_is_critical(self):
+        snap = tenant_snapshot({0: 99, 1: 99, 2: 2})
+        (finding,) = detect_tenant_imbalance(snap)
+        assert finding.severity == "critical"
+        assert "tenant[2]" in finding.detail  # fallback label without names
+
+    def test_weight_share_scales_the_bound(self):
+        # A weight-1 tenant against a weight-9 tenant fairly gets 10%;
+        # 8% of grants is above half that, so nothing fires.
+        snap = tenant_snapshot(
+            {0: 92, 1: 8}, weights={0: 9.0, 1: 1.0}
+        )
+        assert detect_tenant_imbalance(snap) == []
+
+    def test_too_few_grants_is_silent(self):
+        # Below TENANT_MIN_GRANTS total the shares are noise, not signal.
+        snap = tenant_snapshot({0: 5, 1: 0})
+        assert detect_tenant_imbalance(snap) == []
+
+    def test_snapshot_without_serve_series_is_silent(self):
+        snap = {
+            "schema": "repro.obs.telemetry/v1",
+            "pushes": 0,
+            "ranks": [],
+            "series": {},
+            "last": {},
+            "quantiles": {},
+        }
+        assert detect_tenant_imbalance(snap) == []
+        assert run_health_checks(snap) == []
+
+
+class TestAggressiveTenant:
+    def test_throttle_heavy_tenant_flagged(self):
+        snap = tenant_snapshot(
+            {0: 50, 1: 50}, throttled={0: 0, 1: 80}, names=["calm", "greedy"]
+        )
+        findings = detect_tenant_imbalance(snap)
+        assert [f.kind for f in findings] == ["tenant-aggressive"]
+        assert findings[0].rank == 1
+        assert "greedy" in findings[0].detail
+
+    def test_few_throttles_tolerated(self):
+        # Throttles below TENANT_MIN_THROTTLES never fire, whatever the ratio.
+        snap = tenant_snapshot({0: 1, 1: 1}, throttled={0: 0, 1: 4})
+        assert detect_tenant_imbalance(snap) == []
+
+    def test_throttles_proportionate_to_grants_tolerated(self):
+        snap = tenant_snapshot({0: 100, 1: 100}, throttled={0: 0, 1: 60})
+        assert detect_tenant_imbalance(snap) == []
+
+
+class TestLiveServerSnapshot:
+    def test_detector_reads_real_server_telemetry(self):
+        """End-to-end: an aggressive low-rate tenant shows up in findings
+        produced from the server's own telemetry_snapshot()."""
+        feats = np.arange(64 * 4, dtype=np.float32).reshape(64, 4)
+        srv = ShardServer()
+        srv.register_dataset("main", backing=TensorDataset(feats, np.zeros(64, dtype=np.int64)))
+        srv.add_tenant(TenantConfig("greedy", rate=1e-3, burst=1.0))
+        srv.add_tenant(TenantConfig("calm"))
+        with srv:
+            for gid in range(12):
+                srv.fetch("calm", "main", [gid]).release()
+            ok = srv.submit("greedy", "main", [0])
+            ok.result()  # first request rides the burst token
+            for gid in range(8):
+                req = srv.submit("greedy", "main", [gid])
+                assert req.error is not None and "throttled" in req.error
+        findings = run_health_checks(srv.telemetry_snapshot())
+        kinds = {f.kind for f in findings}
+        assert "tenant-aggressive" in kinds
+        aggressive = next(f for f in findings if f.kind == "tenant-aggressive")
+        assert "greedy" in aggressive.detail

@@ -1,0 +1,140 @@
+"""Shared caches: content hashing, LRU budgets, and replica pinning."""
+
+import numpy as np
+import pytest
+
+from repro.serve.cache import ColdReplicaCache, HotSampleCache, content_hash
+
+
+def _arr(fill, nbytes=64):
+    return np.full(nbytes, fill, dtype=np.uint8)
+
+
+class TestContentHash:
+    def test_equal_content_equal_hash(self):
+        a = np.arange(12, dtype=np.float32).reshape(3, 4)
+        b = np.arange(12, dtype=np.float32).reshape(3, 4)
+        assert content_hash(a, 7) == content_hash(b, 7)
+
+    def test_label_matters(self):
+        a = np.arange(4, dtype=np.float32)
+        assert content_hash(a, 0) != content_hash(a, 1)
+
+    def test_shape_matters_for_same_bytes(self):
+        a = np.arange(6, dtype=np.int16).reshape(2, 3)
+        b = np.arange(6, dtype=np.int16).reshape(3, 2)
+        assert content_hash(a, 0) != content_hash(b, 0)
+
+    def test_dtype_matters(self):
+        a = np.zeros(4, dtype=np.int32)
+        b = np.zeros(4, dtype=np.float32)
+        assert content_hash(a, 0) != content_hash(b, 0)
+
+    def test_non_contiguous_matches_contiguous(self):
+        base = np.arange(16, dtype=np.float32).reshape(4, 4)
+        assert content_hash(base.T, 0) == content_hash(base.T.copy(), 0)
+
+    def test_empty_array_hashable(self):
+        assert content_hash(np.empty(0, dtype=np.uint8), 0)
+
+
+class TestHotSampleCache:
+    def test_hit_miss_accounting_exact(self):
+        cache = HotSampleCache(budget_bytes=1024)
+        k1, k2 = b"k1" * 8, b"k2" * 8
+        assert cache.get(k1) is None
+        cache.put(k1, _arr(1), 0)
+        assert cache.get(k1)[1] == 0
+        assert cache.get(k2) is None
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 2
+        assert cache.stats.hit_rate == pytest.approx(1 / 3)
+
+    def test_lru_eviction_within_budget(self):
+        cache = HotSampleCache(budget_bytes=128)
+        cache.put(b"a", _arr(1, 64), 0)
+        cache.put(b"b", _arr(2, 64), 0)
+        cache.get(b"a")                     # refresh 'a'; 'b' is now LRU
+        cache.put(b"c", _arr(3, 64), 0)
+        assert cache.get(b"a") is not None
+        assert cache.get(b"b") is None
+        assert cache.nbytes == 128
+        assert cache.stats.evictions == 1
+
+    def test_oversized_entry_rejected(self):
+        cache = HotSampleCache(budget_bytes=32)
+        assert not cache.put(b"big", _arr(0, 64), 0)
+        assert len(cache) == 0
+
+    def test_reput_same_key_replaces(self):
+        cache = HotSampleCache(budget_bytes=256)
+        cache.put(b"k", _arr(1, 64), 0)
+        cache.put(b"k", _arr(2, 32), 0)
+        assert cache.nbytes == 32
+        assert len(cache) == 1
+
+
+class TestColdReplicaCache:
+    def test_two_tenant_trace_exact_accounting(self):
+        """Deterministic overlapping trace: every hit/miss is predictable."""
+        cache = ColdReplicaCache(budget_bytes=4096)
+        trace = [("imagenet", 1), ("imagenet", 2), ("imagenet", 1),
+                 ("imagenet", 3), ("imagenet", 2), ("imagenet", 1)]
+        for ds, gid in trace:
+            if cache.get(ds, gid) is None:
+                cache.put(ds, gid, _arr(gid), gid)
+        # gids 1,2,3 each miss once; 1 hits twice, 2 hits once.
+        assert cache.stats.misses == 3
+        assert cache.stats.hits == 3
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+        assert len(cache) == 3
+
+    def test_datasets_do_not_alias(self):
+        cache = ColdReplicaCache(budget_bytes=4096)
+        cache.put("a", 1, _arr(1), 1)
+        assert cache.get("b", 1) is None
+
+    def test_lru_eviction_oldest_first(self):
+        cache = ColdReplicaCache(budget_bytes=128)
+        cache.put("d", 1, _arr(1, 64), 0)
+        cache.put("d", 2, _arr(2, 64), 0)
+        cache.put("d", 3, _arr(3, 64), 0)
+        assert cache.get("d", 1) is None
+        assert cache.get("d", 2) is not None
+        assert cache.stats.evictions == 1
+
+    def test_pinned_last_replica_never_evicted(self):
+        """Eviction walks past pinned entries: the last ledger-tracked
+        replica survives arbitrarily much cache pressure."""
+        pinned_gids = {7}
+        cache = ColdReplicaCache(
+            budget_bytes=128, pinned=lambda ds, gid: gid in pinned_gids
+        )
+        cache.put("d", 7, _arr(7, 64), 7)    # oldest AND pinned
+        for gid in range(20, 40):
+            cache.put("d", gid, _arr(1, 64), gid)
+        assert cache.get("d", 7) is not None
+        assert cache.stats.pinned_skips > 0
+        # The unpinned entries churned through the remaining budget.
+        assert cache.nbytes <= 128
+
+    def test_all_pinned_overflows_rather_than_drop(self):
+        cache = ColdReplicaCache(budget_bytes=128, pinned=lambda ds, gid: True)
+        for gid in range(4):
+            cache.put("d", gid, _arr(gid, 64), gid)
+        assert len(cache) == 4
+        assert cache.pinned_overflow() == 4 * 64 - 128
+        assert cache.stats.evictions == 0
+
+    def test_explicit_drop(self):
+        cache = ColdReplicaCache(budget_bytes=256)
+        cache.put("d", 1, _arr(1), 1)
+        assert cache.drop("d", 1)
+        assert not cache.drop("d", 1)
+        assert cache.nbytes == 0
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            ColdReplicaCache(0)
+        with pytest.raises(ValueError):
+            HotSampleCache(-1)

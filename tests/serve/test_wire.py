@@ -1,0 +1,135 @@
+"""The SPMD transport: tenants as ranks, one rank hosting the server."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import TensorDataset
+from repro.mpi.codec import unpack_samples
+from repro.mpi.launcher import run_spmd
+from repro.serve import (
+    ServedDataset,
+    ServedStorageArea,
+    ServeError,
+    ShardServer,
+    TenantConfig,
+    WireClient,
+    serve_forever,
+)
+
+
+def _dataset(n=20, width=4):
+    feats = np.arange(n * width, dtype=np.float32).reshape(n, width)
+    return TensorDataset(feats, np.arange(n) % 3)
+
+
+def _serve(comm, configs, **server_kwargs):
+    srv = ShardServer(**server_kwargs)
+    srv.register_dataset("main", backing=_dataset())
+    for cfg in configs:
+        srv.add_tenant(cfg)
+    with srv:
+        answered = serve_forever(comm, srv)
+    return {"answered": answered, "stats": srv.stats()}
+
+
+class TestWire:
+    def test_two_tenant_round_trip(self):
+        def main(comm):
+            if comm.rank == 0:
+                return _serve(comm, [TenantConfig("t1"), TenantConfig("t2")])
+            client = WireClient(comm, 0)
+            batch = client.fetch(f"t{comm.rank}", "main", [2 * comm.rank, 3])
+            entries = unpack_samples(batch)
+            batch.try_adopt()
+            client.stop()
+            return [e[2] for e in entries]
+
+        result = run_spmd(main, 3)
+        assert result[1] == [2, 3]
+        assert result[2] == [4, 3]
+        assert result[0]["answered"] == 2
+        assert result[0]["stats"]["tenants"]["t1"]["served"] == 1
+
+    def test_served_dataset_over_wire(self):
+        def main(comm):
+            if comm.rank == 0:
+                return _serve(comm, [TenantConfig("t1")])["answered"]
+            client = WireClient(comm, 0)
+            ds = ServedDataset(client, "t1", "main", list(range(20)))
+            gids = [gid for b in ds.batches(6) for (_s, _l, gid) in b]
+            client.stop()
+            return gids
+
+        result = run_spmd(main, 2)
+        assert result[1] == list(range(20))
+        assert result[0] == 4  # ceil(20 / 6) requests answered
+
+    def test_served_storage_area_over_wire(self):
+        def main(comm):
+            if comm.rank == 0:
+                return _serve(comm, [TenantConfig("t1")])["answered"]
+            client = WireClient(comm, 0)
+            area = ServedStorageArea(client, "t1", "main", fetch_span=5)
+            area.attach_gids(range(10))
+            count = area.materialize_all()
+            client.stop()
+            return (count, area.audit()["stubs"])
+
+        result = run_spmd(main, 2)
+        assert result[1] == (10, 0)
+
+    def test_server_error_propagates_to_client(self):
+        def main(comm):
+            if comm.rank == 0:
+                return _serve(comm, [TenantConfig("t1")])["answered"]
+            client = WireClient(comm, 0)
+            try:
+                client.fetch("nobody", "main", [0])
+                outcome = "no error"
+            except ServeError as exc:
+                outcome = str(exc)
+            client.stop()
+            return outcome
+
+        result = run_spmd(main, 2)
+        assert "nobody" in result[1]
+
+    def test_throttled_client_backs_off_and_succeeds(self):
+        def main(comm):
+            if comm.rank == 0:
+                return _serve(
+                    comm, [TenantConfig("t1", rate=40.0, burst=1.0)]
+                )["stats"]["tenants"]["t1"]
+            client = WireClient(comm, 0)
+            got = 0
+            for gid in range(3):
+                batch = client.fetch("t1", "main", [gid], timeout=30.0)
+                batch.try_adopt()
+                got += 1
+            client.stop()
+            return got
+
+        result = run_spmd(main, 2)
+        assert result[1] == 3
+        assert result[0]["served"] == 3
+        # At least one submission bounced off the empty bucket first.
+        assert result[0]["throttled"] >= 1
+
+    def test_idle_timeout_exits_loop(self):
+        def main(comm):
+            srv = ShardServer()
+            srv.register_dataset("main", backing=_dataset())
+            srv.add_tenant(TenantConfig("t"))
+            with srv:
+                return serve_forever(comm, srv, idle_timeout_s=0.05)
+
+        result = run_spmd(main, 1)
+        assert result[0] == 0
+
+    def test_tags_are_disjoint_offsets_of_serve_range(self):
+        from repro.mpi.tags import SERVE
+        from repro.serve.wire import REQUEST_TAG, RESPONSE_TAG
+
+        assert REQUEST_TAG == SERVE.tag(0)
+        assert RESPONSE_TAG == SERVE.tag(1)
+        assert REQUEST_TAG != RESPONSE_TAG
