@@ -11,11 +11,14 @@ from .epoch import bench_epoch_loader
 from .exchange import bench_exchange, exchange_q_sweep
 from .runner import (
     DEFAULT_RESULTS_DIR,
+    MAX_MIGRATION_SHARE,
+    MIN_REJOIN_SPEED,
     MIN_SERVE_FAIRNESS,
     SCENARIOS,
     check_regression,
     run_bench,
 )
+from .robustness import bench_robustness
 from .serve import bench_serve
 from .telemetry import FLIGHT_OVERHEAD_BUDGET, bench_telemetry
 
@@ -25,10 +28,13 @@ __all__ = [
     "bench_epoch_loader",
     "bench_telemetry",
     "bench_serve",
+    "bench_robustness",
     "run_bench",
     "check_regression",
     "DEFAULT_RESULTS_DIR",
     "SCENARIOS",
     "FLIGHT_OVERHEAD_BUDGET",
+    "MAX_MIGRATION_SHARE",
+    "MIN_REJOIN_SPEED",
     "MIN_SERVE_FAIRNESS",
 ]

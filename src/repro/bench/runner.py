@@ -19,6 +19,7 @@ from typing import Any
 
 from .epoch import bench_epoch_loader
 from .exchange import bench_exchange, exchange_q_sweep
+from .robustness import bench_robustness
 from .serve import bench_serve
 from .telemetry import FLIGHT_OVERHEAD_BUDGET, bench_telemetry
 
@@ -32,9 +33,10 @@ EXCHANGE_ARTIFACT = "BENCH_exchange.json"
 EPOCH_ARTIFACT = "BENCH_epoch.json"
 TELEMETRY_ARTIFACT = "BENCH_telemetry.json"
 SERVE_ARTIFACT = "BENCH_serve.json"
+ROBUSTNESS_ARTIFACT = "BENCH_robustness_rejoin.json"
 
 #: Selectable benchmark scenarios (``repro bench --scenario``).
-SCENARIOS = ("exchange", "epoch", "telemetry", "serve")
+SCENARIOS = ("exchange", "epoch", "telemetry", "serve", "robustness")
 
 #: Deterministic floor on the copy ratio (per-sample path copies at least
 #: pickle + 2x CRC walks per payload; batched pays one gather).
@@ -44,12 +46,26 @@ MIN_BYTES_COPIED_RATIO = 2.0
 #: backlogged tenants must share service near-evenly in every prefix.
 MIN_SERVE_FAIRNESS = 0.9
 
+#: Floor on run-wall over rejoin-rebalance-wall.  An absolute gate, not a
+#: baseline ratio: the rebalance is milliseconds, so run-to-run noise on
+#: its wall time swings the ratio far more than any real regression —
+#: what must hold is the order-of-magnitude claim that healing is much
+#: cheaper than the run it heals (a pathological rebalance that
+#: re-exchanges everything drives this toward 1).
+MIN_REJOIN_SPEED = 5.0
+
+#: Cap on migrated-samples over total samples.  A single joiner owes its
+#: ~1/M share back; moving more than half the dataset means the planner
+#: is reshuffling instead of rebalancing.
+MAX_MIGRATION_SHARE = 0.5
+
 _SMOKE = {
     "exchange": dict(ranks=2, samples=48, shape=(32, 32), q=0.5, epochs=2),
     "q_sweep": dict(ranks=2, samples=48, shape=(32, 32), qs=(0.25, 0.5, 1.0), epochs=1),
     "epoch": dict(samples=192, shape=(3, 16, 16), batch_size=32, epochs=2),
     "telemetry": dict(ranks=2, samples=96, epochs=2, repeats=3),
     "serve": dict(tenants=2, samples=96, shape=(3, 8, 8), requests=8, batch=6, workers=2),
+    "robustness": dict(workers=3, samples=120, epochs=4, q=0.3),
 }
 _FULL = {
     "exchange": dict(ranks=4, samples=256, shape=(3, 32, 32), q=0.5, epochs=3),
@@ -57,6 +73,7 @@ _FULL = {
     "epoch": dict(samples=1024, shape=(3, 32, 32), batch_size=64, epochs=3),
     "telemetry": dict(ranks=4, samples=256, epochs=3, repeats=5),
     "serve": dict(tenants=4, samples=512, shape=(3, 16, 16), requests=32, batch=8, workers=3),
+    "robustness": dict(workers=4, samples=240, epochs=6, q=0.3),
 }
 
 
@@ -85,14 +102,17 @@ def run_bench(
     base = Path(baseline_dir) if baseline_dir is not None else DEFAULT_RESULTS_DIR
     baselines: dict[str, Any] = {}
     if check:
-        for name in (EXCHANGE_ARTIFACT, EPOCH_ARTIFACT, TELEMETRY_ARTIFACT, SERVE_ARTIFACT):
+        for name in (
+            EXCHANGE_ARTIFACT, EPOCH_ARTIFACT, TELEMETRY_ARTIFACT,
+            SERVE_ARTIFACT, ROBUSTNESS_ARTIFACT,
+        ):
             path = base / name
             if path.is_file():
                 baselines[name] = json.loads(path.read_text())
 
     params = _SMOKE if smoke else _FULL
     out.mkdir(parents=True, exist_ok=True)
-    exchange = epoch = telemetry = serve = None
+    exchange = epoch = telemetry = serve = robustness = None
     if "exchange" in scenarios:
         exchange = bench_exchange(seed=seed, **params["exchange"])
         exchange["q_sweep"] = exchange_q_sweep(seed=seed, **params["q_sweep"])
@@ -114,17 +134,26 @@ def run_bench(
         serve["schema"] = "repro.bench.serve/v1"
         serve["smoke"] = smoke
         (out / SERVE_ARTIFACT).write_text(json.dumps(serve, indent=2) + "\n")
+    if "robustness" in scenarios:
+        robustness = bench_robustness(seed=seed, **params["robustness"])
+        robustness["schema"] = "repro.bench.robustness/v1"
+        robustness["smoke"] = smoke
+        (out / ROBUSTNESS_ARTIFACT).write_text(
+            json.dumps(robustness, indent=2) + "\n"
+        )
 
     problems: list[str] = []
     if check:
         problems = check_regression(
-            exchange, epoch, baselines, telemetry=telemetry, serve=serve
+            exchange, epoch, baselines, telemetry=telemetry, serve=serve,
+            robustness=robustness,
         )
     return {
         "exchange": exchange,
         "epoch": epoch,
         "telemetry": telemetry,
         "serve": serve,
+        "robustness": robustness,
         "problems": problems,
         "out_dir": str(out),
     }
@@ -159,6 +188,7 @@ def check_regression(
     *,
     telemetry: dict | None = None,
     serve: dict | None = None,
+    robustness: dict | None = None,
     tolerance: float = 0.2,
 ) -> list[str]:
     """Compare a fresh run against the committed baselines.
@@ -239,4 +269,45 @@ def check_regression(
             ("fairness_jain", "hot_hit_rate"),
             tolerance,
         )
+    if robustness is not None:
+        # Absolute gates: healing must be invisible and complete.  These
+        # are determinism properties, not timings, so no baseline needed.
+        if not robustness.get("bit_identical"):
+            problems.append(
+                "robustness: crashed-and-restarted lifecycle run is not "
+                "bit-identical to the no-crash reference"
+            )
+        if not robustness.get("capacity_restored"):
+            problems.append(
+                "robustness: per-rank shard capacity did not return to the "
+                "N/M target after the rejoin rebalance"
+            )
+        if robustness.get("q_deficit_final"):
+            problems.append(
+                f"robustness: exchange Q-deficit "
+                f"{robustness['q_deficit_final']:g} still outstanding at "
+                "run end — degraded epochs were never repaid"
+            )
+        speed = robustness.get("ratios", {}).get("rejoin_speed")
+        if speed is None:
+            problems.append(
+                "robustness: ratio 'rejoin_speed' missing from current run"
+            )
+        elif speed < MIN_REJOIN_SPEED:
+            problems.append(
+                f"robustness: rejoin_speed {speed:.3g} below the "
+                f"{MIN_REJOIN_SPEED:g}x floor — the rebalance is no longer "
+                "much cheaper than the run it heals"
+            )
+        share = robustness.get("ratios", {}).get("migration_share")
+        if share is None:
+            problems.append(
+                "robustness: ratio 'migration_share' missing from current run"
+            )
+        elif share > MAX_MIGRATION_SHARE:
+            problems.append(
+                f"robustness: migration_share {share:.3g} above the "
+                f"{MAX_MIGRATION_SHARE:g} cap — the planner reshuffled "
+                "instead of repaying the joiner's share"
+            )
     return problems

@@ -30,6 +30,14 @@ Subcommands
     checksummed exchange, retrying I/O and (with ``--exchange-deadline``)
     degraded-Q machinery.  ``--compare-clean`` asserts the final accuracy
     matches an un-faulted run (default tolerance 0: bit-identical).
+``lifecycle-train``
+    Supervised self-healing training: rank kills (``--kill``), whole-job
+    crash/restart from the latest complete snapshot (``--restart-after``),
+    and rank rejoin with deterministic shard rebalance (``--rejoin``),
+    all driven by the elastic :class:`~repro.elastic.Supervisor` and
+    recorded as flight-recorder transitions.  ``--compare-clean`` asserts
+    the crashed-and-restarted run ends bit-identical to one that never
+    crashed.
 ``lint``
     SPMD correctness lint (rules SPMD001-SPMD009, the latter four
     interprocedural-dataflow) over python sources; exits nonzero on
@@ -238,6 +246,65 @@ def build_parser() -> argparse.ArgumentParser:
         "end-of-run snapshot) as JSON files into DIR",
     )
 
+    p_lc = sub.add_parser(
+        "lifecycle-train",
+        help="supervised self-healing PLS training: kill ranks, crash and "
+        "restart the whole job, rejoin dead ranks and rebalance shards",
+    )
+    p_lc.add_argument("--samples", type=int, default=240)
+    p_lc.add_argument("--classes", type=int, default=4)
+    p_lc.add_argument("--features", type=int, default=16)
+    p_lc.add_argument("--workers", type=int, default=4)
+    p_lc.add_argument("--epochs", type=int, default=5)
+    p_lc.add_argument("--batch-size", type=int, default=8)
+    p_lc.add_argument("--lr", type=float, default=0.05)
+    p_lc.add_argument("--q", type=float, default=0.3, help="exchange fraction Q")
+    p_lc.add_argument(
+        "--partition",
+        choices=["random", "contiguous", "strided", "class_sorted", "dirichlet"],
+        default="class_sorted",
+    )
+    p_lc.add_argument("--seed", type=int, default=0)
+    p_lc.add_argument(
+        "--kill", default="", metavar="SPEC",
+        help="rank fail-stop schedule: rank@epoch[:point][,...] "
+        "(e.g. '1@1:mid_exchange')",
+    )
+    p_lc.add_argument(
+        "--rejoin", default="", metavar="SPEC",
+        help="rejoin schedule: rank@epoch[,...] — the killed rank is "
+        "re-admitted at that epoch's boundary and shards rebalance back "
+        "toward N/M (e.g. '1@3')",
+    )
+    p_lc.add_argument(
+        "--restart-after", default="", metavar="EPOCHS",
+        help="crash the whole job after these epochs' snapshots commit "
+        "(e.g. '1': the job dies at the start of epoch 2 and the "
+        "supervisor restarts it from epoch 1's snapshot)",
+    )
+    p_lc.add_argument(
+        "--snapshot-dir", default=None, metavar="DIR",
+        help="where full-job snapshots live (default: a temporary "
+        "directory; pass a real path to resume across invocations)",
+    )
+    p_lc.add_argument(
+        "--flight-dir", default=None, metavar="DIR",
+        help="write flight-recorder dumps (every lifecycle transition "
+        "post-mortem plus the final timeline) as JSON files into DIR — "
+        "readable by 'repro health <file>'",
+    )
+    p_lc.add_argument(
+        "--compare-clean", action="store_true",
+        help="also run with the same kill/rejoin schedule but no "
+        "crash/restart and compare the final model weights; exits 1 on "
+        "divergence beyond --tolerance",
+    )
+    p_lc.add_argument(
+        "--tolerance", type=float, default=0.0,
+        help="max |final accuracy delta| allowed with --compare-clean "
+        "(default 0: the restarted run must be bit-identical)",
+    )
+
     p_bench = sub.add_parser(
         "bench",
         help="exchange fast-path benchmarks (writes BENCH_exchange.json / "
@@ -262,7 +329,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument("--seed", type=int, default=0, help="benchmark seed")
     p_bench.add_argument(
-        "--scenario", choices=["all", "exchange", "epoch", "telemetry", "serve"],
+        "--scenario",
+        choices=["all", "exchange", "epoch", "telemetry", "serve", "robustness"],
         default="all",
         help="which benchmark to run (default: all)",
     )
@@ -725,6 +793,114 @@ def _cmd_chaos_train(args) -> int:
     return 0
 
 
+def _cmd_lifecycle_train(args) -> int:
+    import tempfile
+
+    import numpy as np
+
+    from repro.data import SyntheticSpec
+    from repro.elastic import LifecyclePlan, run_lifecycle
+    from repro.train import TrainConfig
+    from repro.train.experiments import make_experiment_data
+
+    try:
+        plan = LifecyclePlan.parse(
+            kills=args.kill, rejoins=args.rejoin,
+            restart_after=args.restart_after,
+        )
+    except ValueError as exc:
+        print(f"bad lifecycle schedule: {exc}", file=sys.stderr)
+        return 2
+    spec = SyntheticSpec(
+        n_samples=args.samples, n_classes=args.classes,
+        n_features=args.features, seed=args.seed,
+    )
+    config = TrainConfig(
+        model="mlp", in_shape=(args.features,), num_classes=args.classes,
+        epochs=args.epochs, batch_size=args.batch_size, base_lr=args.lr,
+        partition=args.partition, seed=args.seed,
+    )
+    train_ds, labels, val_X, val_y = make_experiment_data(spec)
+    if args.flight_dir:
+        import os
+
+        from repro.obs.telemetry import FLIGHT_DIR_ENV
+
+        os.environ[FLIGHT_DIR_ENV] = args.flight_dir
+    common = dict(
+        config=config, workers=args.workers, q=args.q,
+        train_dataset=train_ds, labels=labels, val_X=val_X, val_y=val_y,
+    )
+
+    def launch(lifecycle_plan, directory):
+        return run_lifecycle(
+            plan=lifecycle_plan, snapshot_dir=directory, **common,
+        )
+
+    if args.snapshot_dir:
+        result = launch(plan, args.snapshot_dir)
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-lifecycle-") as tmp:
+            result = launch(plan, tmp)
+
+    print_table(
+        ["segment", "rank", "transition", "detail"],
+        [
+            [
+                e["segment"], e["rank"], e["kind"],
+                ", ".join(
+                    f"{k}={v}" for k, v in e.items()
+                    if k not in ("segment", "rank", "kind", "ts")
+                ),
+            ]
+            for e in result.events
+        ],
+        title=f"lifecycle: {plan}",
+    )
+    for r in result.rejoins:
+        print(
+            f"rejoin at epoch {r['epoch']}: ranks {r['joiners']} re-admitted, "
+            f"{r['moved_gids']} samples migrated back "
+            f"({format_size(r['bytes_transferred'])}, {r['promoted']} promoted "
+            f"from cold replicas)"
+        )
+    print(
+        f"lifecycle run: {result.segments} segment(s), {result.restarts} "
+        f"restart(s), final {result.final_workers} worker(s) "
+        f"{list(result.final_group)}, capacity_ok={result.capacity_ok}, "
+        f"q_deficit={result.q_deficit:g}, verified={result.verified}, "
+        f"final top-1 {result.final_accuracy:.3f}"
+    )
+    if not result.verified:
+        print("lifecycle end-state verification failed", file=sys.stderr)
+        return 1
+    if not args.compare_clean:
+        return 0
+
+    # Same kill/rejoin schedule, no crash/restart: the supervised restart
+    # must be invisible in the final weights.
+    clean_plan = LifecyclePlan(kills=plan.kills, rejoins=plan.rejoins)
+    with tempfile.TemporaryDirectory(prefix="repro-lifecycle-clean-") as tmp:
+        clean = launch(clean_plan, tmp)
+    identical = set(result.model_state) == set(clean.model_state) and all(
+        np.array_equal(result.model_state[k], clean.model_state[k])
+        for k in result.model_state
+    )
+    delta = abs(result.final_accuracy - clean.final_accuracy)
+    print(
+        f"no-crash run final top-1 {clean.final_accuracy:.3f} "
+        f"(|delta| = {delta:.6f}, tolerance {args.tolerance:.6f}, "
+        f"weights bit-identical: {identical})"
+    )
+    if args.tolerance == 0 and not identical:
+        print("restarted run diverged from the no-crash run", file=sys.stderr)
+        return 1
+    if delta > args.tolerance:
+        print("accuracy after restart outside tolerance", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_bench(args) -> int:
     from repro.bench import SCENARIOS, run_bench
 
@@ -738,8 +914,11 @@ def _cmd_bench(args) -> int:
         scenarios=scenarios,
     )
     ex, ep, tel = result["exchange"], result["epoch"], result["telemetry"]
-    srv = result["serve"]
-    artifacts = ", ".join(f"BENCH_{name}.json" for name in scenarios)
+    srv, rob = result["serve"], result["robustness"]
+    artifact_names = {"robustness": "robustness_rejoin"}
+    artifacts = ", ".join(
+        f"BENCH_{artifact_names.get(name, name)}.json" for name in scenarios
+    )
     print(f"wrote {artifacts} to {result['out_dir']}")
     if ex is not None:
         print(
@@ -774,6 +953,18 @@ def _cmd_bench(args) -> int:
         )
     if srv is not None:
         _print_serve_summary(srv)
+    if rob is not None:
+        print(
+            "robustness: rejoin rebalance {speed:.1f}x cheaper than the run "
+            "it heals, {share:.0%} of samples migrated; bit-identical={bit}, "
+            "capacity restored={cap}, Q-deficit={qd:g}".format(
+                speed=rob["ratios"]["rejoin_speed"],
+                share=rob["ratios"]["migration_share"],
+                bit=rob["bit_identical"],
+                cap=rob["capacity_restored"],
+                qd=rob["q_deficit_final"],
+            )
+        )
     if args.check:
         if result["problems"]:
             for p in result["problems"]:
@@ -918,7 +1109,9 @@ def _cmd_health(args) -> int:
     from pathlib import Path
 
     from repro.obs.telemetry import (
+        FLIGHT_SCHEMA,
         render_findings,
+        render_flight_timeline,
         render_rank_summary,
         run_health_checks,
         to_openmetrics,
@@ -940,9 +1133,16 @@ def _cmd_health(args) -> int:
         except ValueError as exc:
             print(f"{path} is not valid JSON: {exc}", file=sys.stderr)
             return 1
+        if isinstance(snapshot, dict) and snapshot.get("schema") == FLIGHT_SCHEMA:
+            # A flight-recorder dump (e.g. from lifecycle-train
+            # --flight-dir): render the lifecycle transition timeline
+            # instead of the metric detectors.
+            print(render_flight_timeline(snapshot))
+            return 0
         if not isinstance(snapshot, dict) or "series" not in snapshot:
             print(
-                f"{path} is not a telemetry snapshot (no 'series' key)",
+                f"{path} is not a telemetry snapshot (no 'series' key) nor "
+                "a flight dump",
                 file=sys.stderr,
             )
             return 1
@@ -1180,6 +1380,7 @@ _HANDLERS = {
     "trace": _cmd_trace,
     "elastic-train": _cmd_elastic_train,
     "chaos-train": _cmd_chaos_train,
+    "lifecycle-train": _cmd_lifecycle_train,
     "bench": _cmd_bench,
     "serve": _cmd_serve,
     "serve-bench": _cmd_serve_bench,

@@ -13,13 +13,32 @@ fallback) under the re-based ``(1+Q)·N/(M-1)`` storage bound; and
 boundary, catch the failure, shrink, recover, redo the epoch over ``M-1``
 workers — with zero sample loss.
 
+The lifecycle layer closes the loop from *degrade* to *heal*:
+:class:`RankRejoin` migrates shards back toward ``N/M`` when a dead rank
+returns through :meth:`repro.mpi.Communicator.expand` (the JOIN
+handshake + deterministic :func:`plan_rebalance`), and
+:class:`Supervisor` drives the whole self-healing sequence — detect,
+shrink, continue degraded, checkpoint, crash/restart from the latest
+complete job snapshot, rejoin, rebalance, verify — under a
+:class:`~repro.faults.FaultProfile` chaos schedule.
+
 Failure schedules for tests/benchmarks come from :class:`FailurePlan`
 (``"1@2:mid_exchange"`` kills rank 1 midway through epoch 2).
 """
 
 from .failure import FailureEvent, FailurePlan
 from .ledger import ReplicaLedger, reconstruct_ledger
+from .lifecycle import (
+    Crashed,
+    LifecyclePlan,
+    LifecycleResult,
+    Supervisor,
+    lifecycle_train_worker,
+    resume_elastic_train,
+    run_lifecycle,
+)
 from .recovery import RecoveryReport, ShardRecovery
+from .rejoin import RankRejoin, RejoinReport, join_handshake, plan_rebalance, rebalance_targets
 from .trainer import ElasticRunResult, elastic_train_worker, run_elastic
 
 __all__ = [
@@ -29,6 +48,18 @@ __all__ = [
     "reconstruct_ledger",
     "RecoveryReport",
     "ShardRecovery",
+    "RankRejoin",
+    "RejoinReport",
+    "join_handshake",
+    "plan_rebalance",
+    "rebalance_targets",
+    "Crashed",
+    "LifecyclePlan",
+    "LifecycleResult",
+    "Supervisor",
+    "lifecycle_train_worker",
+    "resume_elastic_train",
+    "run_lifecycle",
     "ElasticRunResult",
     "elastic_train_worker",
     "run_elastic",

@@ -14,6 +14,9 @@ Grammar (clauses joined by ``;``)::
     torn-read:p=0.02            2% of storage reads raise ValueError
     slow:rank=3,x=10            rank 3 pays 10 slow-units per message sent
     kill:rank=1,epoch=2         fail-stop (forwarded to elastic.FailurePlan)
+    rejoin:rank=1,epoch=4       the killed rank rejoins at epoch 4's start
+    crash:epoch=3               whole-job fail-stop before epoch 3 (the
+                                supervisor restarts from epoch 2's snapshot)
 
 Optional on any message kind: ``epochs=a`` or ``epochs=a-b`` restricts the
 clause to those exchange epochs.  ``@scope`` narrows which messages a
@@ -29,12 +32,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["FaultClause", "FaultProfile", "KINDS", "SCOPES"]
+__all__ = ["FaultClause", "FaultProfile", "KINDS", "LIFECYCLE_KINDS", "SCOPES"]
 
 #: Recognised clause kinds, grouped by the subsystem they perturb.
 MESSAGE_KINDS = ("corrupt", "drop", "delay", "dup", "slow")
 STORAGE_KINDS = ("flaky-read", "torn-read")
-KINDS = MESSAGE_KINDS + STORAGE_KINDS + ("kill",)
+#: Fail-stop / lifecycle kinds, consumed by ``elastic.LifecyclePlan``.
+LIFECYCLE_KINDS = ("kill", "rejoin", "crash")
+KINDS = MESSAGE_KINDS + STORAGE_KINDS + LIFECYCLE_KINDS
 
 SCOPES = ("exchange", "control", "all")
 
@@ -48,6 +53,8 @@ _PARAMS = {
     "flaky-read": {"p"},
     "torn-read": {"p"},
     "kill": {"rank", "epoch", "point"},
+    "rejoin": {"rank", "epoch"},
+    "crash": {"epoch"},
 }
 
 
@@ -80,6 +87,11 @@ class FaultClause:
             parts.append(f"epoch={self.epoch}")
             if self.point != "begin":
                 parts.append(f"point={self.point}")
+        elif self.kind == "rejoin":
+            parts.append(f"rank={self.rank}")
+            parts.append(f"epoch={self.epoch}")
+        elif self.kind == "crash":
+            parts.append(f"epoch={self.epoch}")
         else:
             parts.append(f"p={self.p:g}")
             if self.ms is not None:
@@ -158,9 +170,11 @@ def _parse_clause(text: str) -> FaultClause:
         fields.setdefault("x", 10.0)
     if kind == "delay":
         fields.setdefault("ms", 20.0)
-    if kind == "kill":
+    if kind in ("kill", "rejoin"):
         if fields.get("rank") is None or fields.get("epoch") is None:
-            raise ValueError(f"clause {text!r}: kill needs rank=<r>,epoch=<e>")
+            raise ValueError(f"clause {text!r}: {kind} needs rank=<r>,epoch=<e>")
+    if kind == "crash" and fields.get("epoch") is None:
+        raise ValueError(f"clause {text!r}: crash needs epoch=<e>")
     return FaultClause(**fields)
 
 
@@ -185,8 +199,11 @@ class FaultProfile:
         return tuple(c for c in self.clauses if c.kind in kinds)
 
     def transient(self) -> "FaultProfile":
-        """The profile minus fail-stop (``kill``) clauses."""
-        return FaultProfile(tuple(c for c in self.clauses if c.kind != "kill"))
+        """The profile minus fail-stop/lifecycle clauses (kill, rejoin,
+        crash) — the faults the message/storage injectors handle inline."""
+        return FaultProfile(
+            tuple(c for c in self.clauses if c.kind not in LIFECYCLE_KINDS)
+        )
 
     def failure_plan(self):
         """The fail-stop side of the profile as an ``elastic.FailurePlan``.
@@ -201,6 +218,15 @@ class FaultProfile:
             FailureEvent(rank=c.rank, epoch=c.epoch, point=c.point)
             for c in self.by_kind("kill")
         )
+
+    def lifecycle_plan(self):
+        """The full lifecycle schedule (kill + rejoin + crash clauses) as an
+        ``elastic.LifecyclePlan`` — validation (every rejoin names a killed
+        rank and comes after its death, crash epochs have a prior snapshot)
+        happens in the plan's constructor."""
+        from repro.elastic.lifecycle import LifecyclePlan
+
+        return LifecyclePlan.from_profile(self)
 
     @property
     def has_message_faults(self) -> bool:

@@ -34,6 +34,19 @@ __all__ = ["Communicator", "ANY_SOURCE", "ANY_TAG"]
 _context_counter = itertools.count(1)
 
 
+def _shrink_context(gen: int) -> int:
+    # The 1<<20 offset keeps shrink contexts out of the split/dup id space,
+    # so a shrunk communicator can never alias a sibling's tags.
+    return (1 << 20) + gen * 131 + 97
+
+
+def _expand_context(gen: int) -> int:
+    # 1<<21 keeps expand contexts disjoint from both split/dup and shrink
+    # spaces; survivors and joiners compute it independently from the agreed
+    # generation, so the handshake needs no extra context negotiation.
+    return (1 << 21) + gen * 131 + 53
+
+
 class Communicator:
     """One rank's endpoint in a simulated MPI world.
 
@@ -74,9 +87,10 @@ class Communicator:
             raise ValueError(f"world rank {rank} not in communicator group {self.group}")
         self._local_rank = self.group.index(rank)
         self._coll_gen = itertools.count()
-        # Per-communicator shrink sequence: survivors advance it in lockstep
-        # (each shrink() call is collective), so the consensus key agrees.
+        # Per-communicator shrink/expand sequences: participants advance them
+        # in lockstep (both calls are collective), so the consensus keys agree.
         self._shrink_seq = itertools.count()
+        self._expand_seq = itertools.count()
         # Non-blocking requests issued through this communicator, for
         # pending_requests() introspection; pruned of completed entries as
         # it grows so long runs don't accumulate handles.
@@ -179,6 +193,20 @@ class Communicator:
         track their own requests.
         """
         return [r for r in self._issued_requests if not r.completed]
+
+    def forget_pending(self) -> int:
+        """Abandon this communicator's record of in-flight requests.
+
+        Used when a simulated node crash interrupts the rank mid-exchange
+        and the rank later *rejoins* instead of exiting: the abandoned
+        traffic can never complete (its peers shrank away), and a rejoined
+        rank returning normally should not trip the stranded-request check
+        over messages its former incarnation posted.  Returns how many
+        pending requests were dropped.
+        """
+        dropped = len([r for r in self._issued_requests if not r.completed])
+        self._issued_requests = []
+        return dropped
 
     # ------------------------------------------------------------ point-to-point
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
@@ -456,13 +484,64 @@ class Communicator:
                 "marked dead"
             )
         # type(self) so CheckedCommunicator keeps verification post-shrink.
-        # The 1<<20 offset keeps shrink contexts out of the split/dup id
-        # space, so a shrunk communicator can never alias a sibling's tags.
         return type(self)(
             self.world,
             self._world_rank,
-            context_id=(1 << 20) + gen * 131 + 97,
+            context_id=_shrink_context(gen),
             group=survivors,
+            tracer=self.tracer,
+        )
+
+    def expand(self, joiners: Sequence[int]) -> "Communicator":
+        """Re-admit ``joiners`` (world ranks) into this communicator.
+
+        The ULFM-style grow counterpart of :meth:`shrink`: every current
+        member calls it with the same joiner set, each joiner calls
+        :meth:`rejoin`, and both sides converge on one new communicator
+        whose group is the sorted union.  The call *is* the JOIN barrier —
+        it returns only once every member has arrived and every joiner has
+        knocked — and the returned communicator has a fresh matching
+        context derived from the agreed generation, so traffic of the
+        degraded communicator can never be mis-matched after the grow.
+        """
+        joiners = tuple(sorted(set(joiners)))
+        if not joiners:
+            raise ValueError("expand() needs at least one joiner")
+        overlap = set(joiners) & set(self.group)
+        if overlap:
+            raise ValueError(f"joiners {sorted(overlap)} are already members")
+        key = ("expand", self.context_id, next(self._expand_seq))
+        new_group, gen = self.world.expand_rendezvous(
+            key, self._world_rank, self.group, joiners
+        )
+        return type(self)(
+            self.world,
+            self._world_rank,
+            context_id=_expand_context(gen),
+            group=new_group,
+            tracer=self.tracer,
+        )
+
+    def rejoin(self) -> "Communicator | None":
+        """Joiner-side half of :meth:`expand`: knock, park, and come back.
+
+        Called by a previously-dead rank on any communicator it still holds
+        (the group of that stale communicator is irrelevant — only its
+        world binding is used).  Blocks until the survivors run
+        :meth:`expand` listing this rank, then returns a communicator
+        identical to theirs.  Returns ``None`` when the job crashes
+        cooperatively before admission.
+        """
+        self.world.request_join(self._world_rank)
+        admission = self.world.await_admission(self._world_rank)
+        if admission is None:
+            return None
+        new_group, gen = admission
+        return type(self)(
+            self.world,
+            self._world_rank,
+            context_id=_expand_context(gen),
+            group=new_group,
             tracer=self.tracer,
         )
 

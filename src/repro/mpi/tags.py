@@ -34,6 +34,7 @@ __all__ = [
     "TREE",
     "BARRIER",
     "SERVE",
+    "JOIN",
     "EXCHANGE_DATA",
     "EXCHANGE_CTRL",
     "TELEMETRY",
@@ -132,6 +133,12 @@ BARRIER = TagRange("barrier", base=(1 << 14) + 8192, width=4096, owner="repro.mp
 #: keeps a client's in-flight requests ordered, so two offsets suffice.
 SERVE = TagRange("serve", base=1 << 15, width=4096, owner="repro.serve")
 
+#: Elastic rank-rejoin (JOIN) handshake and rebalance transfers.  Offset 0
+#: carries the admission state snapshot from rank 0 to each joiner, offset 1
+#: the joiner's ACK back, and offsets 2+ the shard-rebalance transfers (one
+#: tag per transfer, FIFO-safe wrap like recovery's).
+JOIN = TagRange("join", base=(1 << 15) + 4096, width=4096, owner="repro.elastic", wrap=True)
+
 #: Reliable-exchange data rounds: one tag per round index, parity per epoch.
 EXCHANGE_DATA = TagRange(
     "exchange_data", base=1 << 16, width=1 << 16, owner="repro.shuffle", parity=True
@@ -151,6 +158,7 @@ REGISTRY: tuple[TagRange, ...] = (
     TREE,
     BARRIER,
     SERVE,
+    JOIN,
     EXCHANGE_DATA,
     EXCHANGE_CTRL,
     TELEMETRY,

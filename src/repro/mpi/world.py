@@ -142,6 +142,17 @@ class World:
         self._shrink_result: dict[tuple, tuple[tuple[int, ...], int]] = {}
         self._shrink_readers: dict[tuple, int] = {}
         self._shrink_counter = itertools.count(1)
+        # Rank-rejoin state (the grow counterpart of the shrink machinery):
+        # ranks knocking to re-enter, and the admission each one is handed
+        # once an expand_rendezvous lets it back in.
+        self._join_requests: set[int] = set()
+        self._join_admitted: dict[int, tuple[tuple[int, ...], int]] = {}
+        # A full-job crash (``crash@epoch`` in a lifecycle plan) is softer
+        # than ``abort``: workers unwind cooperatively, so waiters that have
+        # no other wake signal (a joiner parked in ``await_admission``)
+        # return instead of raising.
+        self.crashed = False
+        self.crash_reason: str | None = None
 
     # ------------------------------------------------------------------ abort
     def abort(self, reason: str) -> None:
@@ -331,6 +342,134 @@ class World:
             else:
                 self._shrink_readers[key] = readers
             return survivors, gen
+
+    # ----------------------------------------------------------------- rejoin
+    def announce_crash(self, reason: str) -> None:
+        """Record a cooperative full-job crash and wake every waiter.
+
+        Unlike :meth:`abort` this does not poison the world: live workers
+        unwind by *returning* (they observe the crash flag at their next
+        epoch boundary), and a joiner blocked in :meth:`await_admission`
+        returns ``None`` instead of an admission.
+        """
+        with self._coll_cond:
+            self.crashed = True
+            if self.crash_reason is None:
+                self.crash_reason = reason
+            self._coll_cond.notify_all()
+        for box in self.mailboxes:
+            with box.cond:
+                box.cond.notify_all()
+
+    def request_join(self, rank: int) -> None:
+        """Ring the doorbell: ``rank`` asks to be re-admitted to the job.
+
+        The request is consumed by the next :meth:`expand_rendezvous` that
+        lists ``rank`` among its joiners; until then the caller should park
+        in :meth:`await_admission`.
+        """
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} out of range [0,{self.size})")
+        with self._coll_cond:
+            self._join_requests.add(rank)
+            self._coll_cond.notify_all()
+
+    def join_requests(self) -> frozenset[int]:
+        """Ranks currently waiting to be re-admitted (snapshot)."""
+        with self._coll_cond:
+            return frozenset(self._join_requests)
+
+    def await_admission(self, rank: int) -> tuple[tuple[int, ...], int] | None:
+        """Block until an expand admits ``rank``; returns ``(group, gen)``.
+
+        Returns ``None`` when the job crashes cooperatively before the
+        admission arrives (the joiner unwinds with everyone else).  Raises
+        :class:`MPIAbort`/:class:`MPITimeout` on a hard abort or deadline.
+        """
+        with self._coll_cond:
+            while rank not in self._join_admitted:
+                if self.aborted:
+                    raise MPIAbort(f"world aborted: {self.abort_reason}")
+                if self.crashed:
+                    return None
+                self._check_deadline_locked()
+                self._coll_cond.wait(timeout=_POLL_INTERVAL)
+            return self._join_admitted.pop(rank)
+
+    def _revive_locked(self, rank: int) -> None:
+        """Clear a dead rank's tombstone so it can rejoin (caller holds
+        the collective lock)."""
+        self._dead.discard(rank)
+        self.epitaphs.pop(rank, None)
+
+    def expand_rendezvous(
+        self, key: tuple, rank: int, group: Sequence[int], joiners: Sequence[int]
+    ) -> tuple[tuple[int, ...], int]:
+        """Consensus admitting ``joiners`` back into ``group`` (the ULFM-style
+        grow counterpart of :meth:`shrink_rendezvous`).
+
+        Every *live* member of ``group`` calls this with the same ``key`` and
+        the same ``joiners``; the call returns once every survivor has
+        arrived **and** every joiner has knocked via :meth:`request_join` —
+        the wait itself is the barrier half of the JOIN handshake.  The first
+        arrival to observe completion freezes ``(new_group, generation)``,
+        revives the joiners (tombstones cleared, stale mailbox messages of
+        their previous life flushed) and posts each one its admission for
+        :meth:`await_admission` to pick up.
+        """
+        joiners = tuple(sorted(set(joiners)))
+        with self._coll_cond:
+            slot = self._shrink_slots.setdefault(key, set())
+            slot.add(rank)
+            self._coll_cond.notify_all()
+            while key not in self._shrink_result:
+                if self.aborted:
+                    raise MPIAbort(f"world aborted: {self.abort_reason}")
+                self._check_deadline_locked()
+                survivors = tuple(r for r in group if r not in self._dead)
+                if (
+                    survivors
+                    and all(r in slot for r in survivors)
+                    and all(j in self._join_requests for j in joiners)
+                ):
+                    # Freeze-first semantics as in shrink_rendezvous: one
+                    # agreed (group, generation) pair for every participant.
+                    new_group = tuple(sorted(set(survivors) | set(joiners)))
+                    gen = next(self._shrink_counter)
+                    self._shrink_result[key] = (new_group, gen)
+                    for j in joiners:
+                        self._revive_locked(j)
+                        self._join_requests.discard(j)
+                        # Flush before any survivor returns and sends on the
+                        # new context: nothing live can be queued yet.
+                        self.flush_mailbox(j)
+                        self._join_admitted[j] = (new_group, gen)
+                    self._coll_cond.notify_all()
+                    break
+                self._coll_cond.wait(timeout=_POLL_INTERVAL)
+            new_group, gen = self._shrink_result[key]
+            survivors = tuple(r for r in new_group if r not in joiners)
+            readers = self._shrink_readers.get(key, 0) + 1
+            if readers >= len(survivors):
+                self._shrink_slots.pop(key, None)
+                self._shrink_result.pop(key, None)
+                self._shrink_readers.pop(key, None)
+            else:
+                self._shrink_readers[key] = readers
+            return new_group, gen
+
+    def flush_mailbox(self, rank: int) -> int:
+        """Drop every undelivered message queued for ``rank``.
+
+        Called when a rank rejoins: messages addressed to its previous
+        incarnation (pre-death sends still buffered) must not be matched by
+        the revived rank's receives.  Returns the number dropped.
+        """
+        box = self.mailboxes[rank]
+        with box.cond:
+            dropped = len(box.messages)
+            box.messages.clear()
+        return dropped
 
     def _check_deadline_locked(self) -> None:
         if self._deadline is not None and time.monotonic() > self._deadline:

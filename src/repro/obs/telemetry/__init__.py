@@ -39,6 +39,7 @@ from .health import (
     detect_tenant_imbalance,
     detect_stragglers,
     render_findings,
+    render_flight_timeline,
     render_rank_summary,
     run_health_checks,
 )
@@ -62,6 +63,7 @@ __all__ = [
     "drain_pending",
     "push_metrics",
     "render_findings",
+    "render_flight_timeline",
     "render_rank_summary",
     "run_health_checks",
     "to_openmetrics",

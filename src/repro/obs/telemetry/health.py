@@ -50,6 +50,7 @@ __all__ = [
     "run_health_checks",
     "render_findings",
     "render_rank_summary",
+    "render_flight_timeline",
 ]
 
 #: Phases counted as a rank's own work (see module docstring).
@@ -371,6 +372,52 @@ def render_findings(findings: list[HealthFinding]) -> str:
         rows,
         floatfmt=".4g",
         title=f"health: {len(findings)} finding(s)",
+    )
+
+
+#: Event kinds worth showing in a lifecycle timeline (everything else in
+#: the rings is per-epoch phase noise).
+LIFECYCLE_EVENT_PREFIXES = ("lifecycle.", "elastic.", "rank.")
+
+
+def render_flight_timeline(
+    dump: dict, *, prefixes: tuple[str, ...] = LIFECYCLE_EVENT_PREFIXES
+) -> str:
+    """Ordered lifecycle/elastic transition table from a flight dump.
+
+    ``dump`` is a flight-recorder artifact (``repro.obs.flight/v1``: the
+    ``ranks`` key maps world rank to its event ring).  This is how
+    ``repro health`` surfaces a self-healing run's transitions — kill,
+    shrink, degraded continue, checkpoint, crash, restart, rejoin,
+    rebalance — from the post-mortem file alone.
+    """
+    rows = []
+    for rank_s, events in dump.get("ranks", {}).items():
+        for event in events:
+            kind = event.get("kind", "")
+            if kind.startswith(prefixes):
+                rows.append((float(event.get("ts", 0.0)), int(rank_s), event))
+    if not rows:
+        return "flight: no lifecycle events recorded"
+    rows.sort(key=lambda r: r[0])
+    t0 = rows[0][0]
+    table = [
+        [
+            f"+{ts - t0:.3f}s",
+            rank,
+            event["kind"],
+            ", ".join(
+                f"{k}={v}" for k, v in event.items()
+                if k not in ("ts", "kind")
+            ),
+        ]
+        for ts, rank, event in rows
+    ]
+    return render_table(
+        ["t", "rank", "transition", "detail"],
+        table,
+        title=f"lifecycle timeline: {len(rows)} event(s) "
+        f"({dump.get('reason', 'flight dump')})",
     )
 
 

@@ -56,6 +56,26 @@ class LocalShuffle(ShuffleStrategy):
             # across exchanges and re-fetch by after a failure.
             self.storage.add(np.asarray(sample), int(label), gid=int(idx))
 
+    def adopt(
+        self,
+        comm: Communicator,
+        *,
+        storage: StorageArea,
+        seed: int = 0,
+    ) -> None:
+        """Bind to ``comm`` with an externally reconstructed shard.
+
+        The restart/rejoin counterpart of :meth:`setup`: no partitioning
+        happens — ``storage`` was rebuilt from a snapshot manifest (or
+        handed over in a JOIN handshake) and its hot-set *order* is part of
+        the restored state, since selection permutations and epoch loaders
+        iterate it in insertion order.
+        """
+        self.comm = comm
+        self.seed = seed
+        self._tree = SeedTree(seed)
+        self.storage = storage
+
     def epoch_loader(self, epoch: int, batch_size: int) -> DataLoader:
         """Batches this worker trains on during the epoch."""
         if self.comm is None:

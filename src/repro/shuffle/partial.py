@@ -178,22 +178,36 @@ class PartialLocalShuffle(LocalShuffle):
         self.comm = comm
         self.scheduler = self._make_scheduler(comm)
         if old is not None:
-            self.scheduler.total_sent_samples = old.total_sent_samples
-            self.scheduler.total_recv_samples = old.total_recv_samples
-            self.scheduler.total_sent_bytes = old.total_sent_bytes
-            self.scheduler._arrival_epoch = old._arrival_epoch
-            self.scheduler._scores = old._scores
-            # Fault-recovery state survives the re-bind: the Q-deficit is
-            # owed by the *run*, not by one communicator incarnation, and
-            # the counters must keep aggregating across recoveries.
-            self.scheduler.resent_bytes = old.resent_bytes
-            self.scheduler.resends = old.resends
-            self.scheduler.crc_rejects = old.crc_rejects
-            self.scheduler.timeout_nacks = old.timeout_nacks
-            self.scheduler.stale_discards = old.stale_discards
-            self.scheduler.degraded_epochs = old.degraded_epochs
-            self.scheduler.q_deficit = old.q_deficit
-            self.scheduler.effective_q = old.effective_q
+            # Run-owned state survives the re-bind: the Q-deficit is owed by
+            # the *run*, not by one communicator incarnation, and the
+            # counters must keep aggregating across recoveries.  The field
+            # set is Scheduler.STATE_FIELDS — the same one a full-job
+            # snapshot persists across a crash/restart.
+            self.scheduler.load_state_dict(old.state_dict())
+
+    def adopt(
+        self,
+        comm: Communicator,
+        *,
+        storage,
+        seed: int = 0,
+        scheduler_state: dict | None = None,
+    ) -> None:
+        """Bind to ``comm`` with externally reconstructed state.
+
+        Used on crash-restart (storage rebuilt from a snapshot manifest)
+        and by a rejoining rank (storage handed over in the JOIN
+        handshake): like :meth:`setup` minus the partitioning, plus an
+        optional restore of the run-owned scheduler state (Q-deficit,
+        traffic totals) captured by :meth:`Scheduler.state_dict`.  The
+        ledger this strategy was constructed with is used as-is — callers
+        restore/seed it before adopting.
+        """
+        super().adopt(comm, storage=storage, seed=seed)
+        self.scheduler = self._make_scheduler(comm)
+        if scheduler_state is not None:
+            self.scheduler.load_state_dict(scheduler_state)
+        self._epoch_active = False
 
     def fast_forward(self, epochs: int) -> None:
         """Replay ``epochs`` exchanges so the shard matches a run that

@@ -1032,6 +1032,57 @@ class Scheduler:
             "effective_q": list(self.effective_q),
         }
 
+    # ------------------------------------------------------------- state carry
+    #: Fields that belong to the *run* rather than to one communicator
+    #: incarnation: traffic totals, per-sample bookkeeping, and the
+    #: fault-recovery counters including the Q-deficit.  The same set that
+    #: ``PartialLocalShuffle.attach_comm`` carries across a shrink/expand,
+    #: and the set a full-job snapshot must persist across a crash/restart.
+    STATE_FIELDS = (
+        "total_sent_samples",
+        "total_recv_samples",
+        "total_sent_bytes",
+        "_arrival_epoch",
+        "_scores",
+        "resent_bytes",
+        "resends",
+        "crc_rejects",
+        "timeout_nacks",
+        "stale_discards",
+        "degraded_epochs",
+        "q_deficit",
+        "effective_q",
+    )
+
+    def state_dict(self) -> dict:
+        """Run-owned exchange state as a picklable dict.
+
+        Only valid between epochs (no exchange in flight) — exactly when
+        snapshots are taken.  Dict/list fields are shallow-copied so a
+        snapshot is not mutated by subsequent epochs.
+        """
+        out = {}
+        for name in self.STATE_FIELDS:
+            value = getattr(self, name)
+            if isinstance(value, dict):
+                value = dict(value)
+            elif isinstance(value, list):
+                value = list(value)
+            out[name] = value
+        return out
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore run-owned exchange state saved by :meth:`state_dict`."""
+        for name in self.STATE_FIELDS:
+            if name not in state:
+                raise KeyError(f"scheduler state missing field {name!r}")
+            value = state[name]
+            if isinstance(value, dict):
+                value = dict(value)
+            elif isinstance(value, list):
+                value = list(value)
+            setattr(self, name, value)
+
     # ----------------------------------------------------------------- commit
     def clean_local_storage(self) -> None:
         """Install received samples, then retire the transmitted ones.

@@ -201,6 +201,32 @@ class StorageArea:
             self._cold_nbytes += sample.nbytes
             return True
 
+    def add_cold(self, sample: np.ndarray, label: int, gid: int) -> bool:
+        """Install a cold replica directly, without touching the hot map.
+
+        The snapshot-restore path re-creates a manifest's cold cache with
+        this instead of ``add`` + ``demote``: a gid can legitimately be
+        both hot and cold (demoting a stale duplicate leaves the newer hot
+        entry live), and the ``add`` would rebind ``sid_of(gid)`` to the
+        throwaway entry, unbinding the hot copy when it is demoted again.
+        Cold replicas are best-effort — returns False instead of raising
+        when the budget cannot hold the bytes."""
+        sample = np.asarray(sample)
+        size = sample.nbytes
+        with self._lock:
+            self._evict_cold_gid(gid)
+            if self.capacity_bytes is not None:
+                while (
+                    self._nbytes + self._cold_nbytes + size > self.capacity_bytes
+                    and self._cold
+                ):
+                    self._evict_cold_gid(next(iter(self._cold)))
+                if self._nbytes + self._cold_nbytes + size > self.capacity_bytes:
+                    return False
+            self._cold[int(gid)] = (sample, int(label))
+            self._cold_nbytes += size
+            return True
+
     def promote(self, gid: int) -> int:
         """Re-activate a cold replica as a hot entry; returns its new sid."""
         with self._lock:

@@ -1,10 +1,17 @@
-"""Crash-safe file helpers for the on-disk sample stores.
+"""Crash-safe file helpers for the on-disk sample stores and checkpoints.
 
 ``np.save(path, arr)`` writes in place: a crash (or an injected fault)
 mid-write leaves a torn ``.npy`` that poisons every later read.
 :func:`atomic_save` writes to a sibling temp file and ``os.replace``\\ s it
 over the target, so readers only ever observe the old content or the
 complete new content — never a partial file.
+
+Durability requires one more step than atomicity: the rename itself lives
+in the *directory*, and on POSIX a directory entry is metadata that needs
+its own fsync.  Without :func:`fsync_dir` after the rename, a power loss
+can roll the directory back to a state where the file simply never
+existed — the classic "atomic rename that vanished" bug.  Both writers
+here fsync the file *and* its directory.
 """
 
 from __future__ import annotations
@@ -14,16 +21,58 @@ from pathlib import Path
 
 import numpy as np
 
-__all__ = ["atomic_save"]
+__all__ = ["atomic_save", "atomic_write_bytes", "fsync_dir"]
+
+
+def fsync_dir(directory: str | os.PathLike) -> None:
+    """Flush a directory's entry table to stable storage.
+
+    Makes a just-renamed child durable: the rename is atomic without this,
+    but not persistent — power loss before the directory fsync can undo
+    it.  On platforms where directories cannot be opened for reading
+    (Windows), this is a no-op; ``os.replace`` durability is then the
+    filesystem's problem, as it is for every other program there.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except (NotImplementedError, OSError):
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: str | os.PathLike, data: bytes) -> Path:
+    """Write ``data`` to ``path`` atomically *and* durably.
+
+    Same temp-file + rename discipline as :func:`atomic_save`, for
+    arbitrary payloads (checkpoint pickles, commit markers): fsync the
+    temp file, rename it over the target, fsync the directory.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "wb") as f:
+            f.write(data)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, path)
+        fsync_dir(path.parent)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    return path
 
 
 def atomic_save(path: str | os.PathLike, array: np.ndarray) -> None:
-    """Persist ``array`` as ``.npy`` at ``path``, atomically.
+    """Persist ``array`` as ``.npy`` at ``path``, atomically and durably.
 
     The temp file lives next to the target (``<name>.tmp`` — outside any
     ``*.npy`` glob, so a leftover from a crash is never scanned as a
-    sample) and is fsync'd before the rename, so the visible file is
-    always complete even across a process crash mid-write.
+    sample) and is fsync'd before the rename; the containing directory is
+    fsync'd after it, so the visible file is always complete *and* still
+    there even across a power loss mid-write.
     """
     path = Path(path)
     tmp = path.with_name(path.name + ".tmp")
@@ -33,6 +82,7 @@ def atomic_save(path: str | os.PathLike, array: np.ndarray) -> None:
             f.flush()
             os.fsync(f.fileno())
         os.replace(tmp, path)
+        fsync_dir(path.parent)
     except BaseException:
         tmp.unlink(missing_ok=True)
         raise

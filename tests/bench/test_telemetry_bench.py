@@ -100,4 +100,6 @@ class TestScenarioSelection:
         )
 
     def test_scenarios_constant(self):
-        assert SCENARIOS == ("exchange", "epoch", "telemetry", "serve")
+        assert SCENARIOS == (
+            "exchange", "epoch", "telemetry", "serve", "robustness"
+        )

@@ -1,0 +1,178 @@
+"""Fuzz the shrink -> rejoin -> shrink state machine at the planner level.
+
+No SPMD worlds here: the ledger and the rebalance planner are pure
+functions of replicated state, so a single-process model can drive random
+kill/rejoin sequences through them and check the invariants the live
+system depends on after *every* step:
+
+* every gid has exactly one live hot holder, and it is the ledger's;
+* after a rejoin rebalance, hot counts hit ``rebalance_targets`` exactly;
+* hot + cold never exceeds the ``(1+Q)·N/M_live`` sample budget;
+* the whole trajectory is a deterministic function of the seed.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.elastic import ReplicaLedger
+from repro.elastic.rejoin import plan_rebalance, rebalance_targets
+
+N = 96
+M = 4
+Q = 0.5
+
+
+class PlannerModel:
+    """Replicated-state model: ledger + per-rank hot orders + cold sets."""
+
+    def __init__(self, n=N, m=M, q=Q):
+        self.n, self.m, self.q = n, m, q
+        self.live = list(range(m))
+        self.dead = []
+        self.ledger = ReplicaLedger()
+        self.hot = {r: [] for r in range(m)}
+        self.cold = {r: set() for r in range(m)}
+        for gid in range(n):
+            r = gid % m
+            self.ledger.holder[gid] = r
+            self.hot[r].append(gid)
+
+    def budget(self):
+        """Per-rank sample budget at the current live size."""
+        return math.ceil((1 + self.q) * self.n / len(self.live))
+
+    def kill(self, rank):
+        """Fail-stop: re-home the dead rank's hot gids (model of
+        ``ShardRecovery._assign`` — deterministic least-loaded, promote a
+        cold replica when the new home already has one)."""
+        self.live.remove(rank)
+        self.dead.append(rank)
+        lost = list(self.hot.pop(rank))
+        self.cold.pop(rank)
+        for gid in sorted(lost):
+            holders_cold = [r for r in self.live if gid in self.cold[r]]
+            pool = holders_cold or self.live
+            home = min(pool, key=lambda r: (len(self.hot[r]), r))
+            self.cold[home].discard(gid)
+            self.hot[home].append(gid)
+            self.ledger.reassign(gid, home)
+
+    def rejoin(self, rank):
+        """Heal: admit ``rank`` back and apply the planner's migration."""
+        self.live.append(rank)
+        self.live.sort()
+        self.hot[rank] = []
+        self.cold[rank] = set()
+        plan = plan_rebalance(self.ledger, self.live, self.hot, self.cold)
+        for gid, src, dst, promote in plan:
+            self.hot[src].remove(gid)
+            self.cold[src].add(gid)  # donor keeps the bytes cold
+            if promote:
+                self.cold[dst].discard(gid)
+            self.hot[dst].append(gid)
+            self.ledger.reassign(gid, dst)
+        self._evict_to_budget()
+        return plan
+
+    def _evict_to_budget(self):
+        cap = self.budget()
+        for r in self.live:
+            over = len(self.hot[r]) + len(self.cold[r]) - cap
+            if over > 0:
+                # Cold replicas are evictable, oldest-first in the live
+                # system; the set model just drops the smallest gids.
+                for gid in sorted(self.cold[r])[:over]:
+                    self.cold[r].discard(gid)
+
+    # ------------------------------------------------------------- invariants
+    def check(self):
+        held = {}
+        for r in self.live:
+            for gid in self.hot[r]:
+                assert gid not in held, (
+                    f"gid {gid} hot on both {held[gid]} and {r}"
+                )
+                held[gid] = r
+        assert len(held) == self.n, "some gid lost all hot copies"
+        for gid, r in held.items():
+            assert self.ledger.holder[gid] == r, (
+                f"ledger says {self.ledger.holder[gid]} holds {gid}, "
+                f"actual holder {r}"
+            )
+        assert self.ledger.missing_from(self.live) == []
+        cap = self.budget()
+        for r in self.live:
+            assert len(self.hot[r]) + len(self.cold[r]) <= cap, (
+                f"rank {r} over budget: {len(self.hot[r])} hot + "
+                f"{len(self.cold[r])} cold > {cap}"
+            )
+
+    def signature(self):
+        return (
+            tuple(self.live),
+            tuple((r, tuple(self.hot[r])) for r in sorted(self.hot)),
+            tuple((r, tuple(sorted(self.cold[r]))) for r in sorted(self.cold)),
+            tuple(sorted(self.ledger.holder.items())),
+        )
+
+
+def drive(seed, steps=12):
+    """One random kill/rejoin trajectory; returns the visited signatures."""
+    rng = random.Random(seed)
+    model = PlannerModel()
+    model.check()
+    sigs = [model.signature()]
+    for _ in range(steps):
+        can_kill = len(model.live) > 2
+        can_rejoin = bool(model.dead)
+        if can_kill and (not can_rejoin or rng.random() < 0.5):
+            model.kill(rng.choice(model.live))
+        elif can_rejoin:
+            rejoined = rng.choice(model.dead)
+            model.dead.remove(rejoined)
+            plan = model.rejoin(rejoined)
+            # After a rebalance the hot counts are *exactly* the targets.
+            targets = rebalance_targets(model.n, model.live)
+            counts = {r: len(model.hot[r]) for r in model.live}
+            assert counts == targets, (plan, counts, targets)
+        model.check()
+        sigs.append(model.signature())
+    return sigs
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_random_shrink_rejoin_sequences_keep_invariants(seed):
+    drive(seed)
+
+
+@pytest.mark.parametrize("seed", [0, 7, 13])
+def test_trajectory_is_deterministic(seed):
+    assert drive(seed) == drive(seed)
+
+
+def test_plan_is_pure_and_repeatable():
+    model = PlannerModel()
+    model.kill(1)
+    model.live.append(1)
+    model.live.sort()
+    model.hot[1] = []
+    model.cold[1] = set()
+    a = plan_rebalance(model.ledger, model.live, model.hot, model.cold)
+    b = plan_rebalance(model.ledger, model.live, model.hot, model.cold)
+    assert a == b
+    assert len(a) == rebalance_targets(N, model.live)[1]
+
+
+def test_everyone_dead_but_two_then_full_heal():
+    model = PlannerModel()
+    for r in (3, 2):
+        model.kill(r)
+        model.check()
+    for r in (2, 3):
+        model.rejoin(r)
+        model.check()
+    assert model.live == [0, 1, 2, 3]
+    counts = {r: len(model.hot[r]) for r in model.live}
+    assert counts == rebalance_targets(N, model.live)

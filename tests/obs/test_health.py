@@ -241,3 +241,56 @@ class TestSlowedRankEndToEnd:
     def test_no_false_positives_on_other_ranks(self, snapshot):
         flagged = {f.rank for f in detect_stragglers(snapshot)}
         assert flagged == {2}
+
+
+class TestFlightTimeline:
+    """`render_flight_timeline`: the post-mortem view of a self-healing run."""
+
+    def make_dump(self):
+        from repro.obs.telemetry import FLIGHT_SCHEMA
+
+        return {
+            "schema": FLIGHT_SCHEMA,
+            "reason": "lifecycle-complete",
+            "ranks": {
+                "0": [
+                    {"ts": 10.0, "kind": "lifecycle.checkpoint", "epoch": 1},
+                    {"ts": 10.5, "kind": "exchange.send", "peer": 1},
+                    {"ts": 12.0, "kind": "lifecycle.restart", "epoch": 2},
+                    {"ts": 13.0, "kind": "lifecycle.verified"},
+                ],
+                "1": [
+                    {"ts": 11.0, "kind": "rank.died", "point": "mid_exchange"},
+                    {"ts": 12.5, "kind": "elastic.recovered"},
+                ],
+            },
+        }
+
+    def test_events_merged_across_ranks_in_time_order(self):
+        from repro.obs.telemetry import render_flight_timeline
+
+        text = render_flight_timeline(self.make_dump())
+        order = [
+            "lifecycle.checkpoint", "rank.died", "lifecycle.restart",
+            "elastic.recovered", "lifecycle.verified",
+        ]
+        positions = [text.index(kind) for kind in order]
+        assert positions == sorted(positions), text
+        assert "lifecycle timeline: 5 event(s)" in text
+        assert "lifecycle-complete" in text
+
+    def test_non_lifecycle_events_filtered_out(self):
+        from repro.obs.telemetry import render_flight_timeline
+
+        assert "exchange.send" not in render_flight_timeline(self.make_dump())
+
+    def test_timestamps_rebased_to_first_event(self):
+        from repro.obs.telemetry import render_flight_timeline
+
+        text = render_flight_timeline(self.make_dump())
+        assert "+0.000s" in text and "+3.000s" in text
+
+    def test_empty_dump(self):
+        from repro.obs.telemetry import render_flight_timeline
+
+        assert "no lifecycle events" in render_flight_timeline({"ranks": {}})

@@ -256,3 +256,43 @@ class TestBenchScenario:
             ["chaos-train", "--flight-dir", "/tmp/fl"]
         )
         assert args.flight_dir == "/tmp/fl"
+
+
+class TestLifecycleTrain:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["lifecycle-train"])
+        assert args.kill == "" and args.rejoin == "" and args.restart_after == ""
+        assert not args.compare_clean and args.tolerance == 0.0
+
+    def test_parser_accepts_full_schedule(self):
+        args = build_parser().parse_args([
+            "lifecycle-train", "--kill", "1@1:mid_exchange",
+            "--rejoin", "1@3", "--restart-after", "1",
+            "--compare-clean", "--flight-dir", "/tmp/fl",
+        ])
+        assert args.kill == "1@1:mid_exchange"
+        assert args.rejoin == "1@3" and args.restart_after == "1"
+        assert args.compare_clean and args.flight_dir == "/tmp/fl"
+
+    def test_bad_schedule_exits_2(self, capsys):
+        # A rejoin for a rank that was never killed is a schedule error,
+        # caught before any training starts.
+        rc = main(["lifecycle-train", "--rejoin", "1@2"])
+        assert rc == 2
+        assert "bad lifecycle schedule" in capsys.readouterr().err
+
+    def test_crash_restart_run_verifies_and_compares_clean(
+        self, tmp_path, capsys
+    ):
+        rc = main([
+            "lifecycle-train", "--samples", "96", "--workers", "2",
+            "--epochs", "3", "--restart-after", "1",
+            "--snapshot-dir", str(tmp_path), "--compare-clean",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "lifecycle run: 2 segment(s), 1 restart(s)" in out
+        assert "verified=True" in out
+        assert "weights bit-identical: True" in out
+        # The two-phase snapshots are on disk where --snapshot-dir said.
+        assert any(p.name.endswith(".ok") for p in tmp_path.iterdir())

@@ -1,0 +1,74 @@
+"""Durability discipline of the atomic writers.
+
+A rename is atomic but not persistent: power loss before the parent
+directory's entry table reaches stable storage can undo it.  These tests
+pin the full fsync sequence — temp file first, then the parent directory
+after the rename — by recording what each fsync'd fd pointed at.
+"""
+
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.utils.fileio import atomic_save, atomic_write_bytes, fsync_dir
+
+
+@pytest.fixture
+def fsync_log(monkeypatch):
+    """Record the real path behind every os.fsync'd descriptor, in order."""
+    log = []
+    real_fsync = os.fsync
+
+    def spy(fd):
+        log.append(Path(os.readlink(f"/proc/self/fd/{fd}")))
+        real_fsync(fd)
+
+    monkeypatch.setattr(os, "fsync", spy)
+    return log
+
+
+class TestAtomicWriteBytes:
+    def test_fsyncs_file_then_parent_dir(self, tmp_path, fsync_log):
+        target = tmp_path / "payload.bin"
+        atomic_write_bytes(target, b"hello")
+        assert target.read_bytes() == b"hello"
+        assert len(fsync_log) == 2
+        assert fsync_log[0].name == "payload.bin.tmp"
+        assert fsync_log[1] == tmp_path  # the dir-fsync that makes it stick
+
+    def test_no_temp_left_behind(self, tmp_path):
+        atomic_write_bytes(tmp_path / "x.bin", b"data")
+        assert [p.name for p in tmp_path.iterdir()] == ["x.bin"]
+
+    def test_failed_write_cleans_temp(self, tmp_path, monkeypatch):
+        def boom(fd):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "fsync", boom)
+        with pytest.raises(OSError, match="disk full"):
+            atomic_write_bytes(tmp_path / "x.bin", b"data")
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestAtomicSave:
+    def test_fsyncs_file_then_parent_dir(self, tmp_path, fsync_log):
+        atomic_save(tmp_path / "a.npy", np.arange(3))
+        assert np.array_equal(np.load(tmp_path / "a.npy"), np.arange(3))
+        assert len(fsync_log) == 2
+        assert fsync_log[0].name == "a.npy.tmp"
+        assert fsync_log[1] == tmp_path
+
+
+class TestFsyncDir:
+    def test_fsyncs_the_directory_fd(self, tmp_path, fsync_log):
+        fsync_dir(tmp_path)
+        assert fsync_log == [tmp_path]
+
+    def test_unfsyncable_directory_is_a_noop(self, tmp_path, monkeypatch):
+        def no_dirs(path, flags):
+            raise OSError("directories not openable here")
+
+        monkeypatch.setattr(os, "open", no_dirs)
+        fsync_dir(tmp_path)  # must not raise
