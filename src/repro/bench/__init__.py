@@ -7,6 +7,7 @@ artifacts (``BENCH_exchange.json`` / ``BENCH_epoch.json``) the CI
 it and how to read the numbers.
 """
 
+from .backend import MIN_PROCS_SPEEDUP, bench_backend
 from .epoch import bench_epoch_loader
 from .exchange import bench_exchange, exchange_q_sweep
 from .runner import (
@@ -23,6 +24,7 @@ from .serve import bench_serve
 from .telemetry import FLIGHT_OVERHEAD_BUDGET, bench_telemetry
 
 __all__ = [
+    "bench_backend",
     "bench_exchange",
     "exchange_q_sweep",
     "bench_epoch_loader",
@@ -35,6 +37,7 @@ __all__ = [
     "SCENARIOS",
     "FLIGHT_OVERHEAD_BUDGET",
     "MAX_MIGRATION_SHARE",
+    "MIN_PROCS_SPEEDUP",
     "MIN_REJOIN_SPEED",
     "MIN_SERVE_FAIRNESS",
 ]

@@ -56,12 +56,13 @@ def _shard_checksum(storage: StorageArea) -> int:
 
 def _run_mode(
     *, batched: bool, ranks: int, samples: int, shape: tuple, q: float,
-    epochs: int, seed: int,
+    epochs: int, seed: int, backend: str | None = None,
 ) -> dict[str, Any]:
     result = run_spmd(
         _exchange_worker,
         ranks,
         args=(batched, q, samples, tuple(shape), epochs, seed),
+        backend=backend,
     )
     per_rank = list(result)
     world = result.world
@@ -95,15 +96,18 @@ def bench_exchange(
     q: float = 0.5,
     epochs: int = 3,
     seed: int = 0,
+    backend: str | None = None,
 ) -> dict[str, Any]:
     """Run the exchange in both modes and report the comparison.
 
     The two runs share seed and plan, so the resulting shards must be
     bit-identical (asserted via per-rank content checksums) — the speedup
-    is measured on provably equivalent work.
+    is measured on provably equivalent work.  ``backend`` selects the rank
+    host (``"threads"`` / ``"procs"``; ``None`` defers to ``REPRO_BACKEND``).
     """
     common = dict(
-        ranks=ranks, samples=samples, shape=shape, q=q, epochs=epochs, seed=seed
+        ranks=ranks, samples=samples, shape=shape, q=q, epochs=epochs, seed=seed,
+        backend=backend,
     )
     persample = _run_mode(batched=False, **common)
     batched = _run_mode(batched=True, **common)
@@ -112,8 +116,9 @@ def bench_exchange(
             "batched exchange diverged from the per-sample reference: "
             f"{batched['shard_checksums']} != {persample['shard_checksums']}"
         )
+    common.pop("backend")
     return {
-        "config": {**common, "shape": list(shape)},
+        "config": {**common, "shape": list(shape), "backend": backend},
         "modes": {"persample": persample, "batched": batched},
         "ratios": {
             # Both ratios are self-normalised within one run, so they are
@@ -142,13 +147,14 @@ def exchange_q_sweep(
     qs: tuple = (0.25, 0.5, 1.0),
     epochs: int = 2,
     seed: int = 0,
+    backend: str | None = None,
 ) -> list[dict[str, Any]]:
     """Batched-exchange wall time as a function of the exchange fraction Q."""
     rows = []
     for q in qs:
         r = _run_mode(
             batched=True, ranks=ranks, samples=samples, shape=shape,
-            q=q, epochs=epochs, seed=seed,
+            q=q, epochs=epochs, seed=seed, backend=backend,
         )
         rows.append(
             {

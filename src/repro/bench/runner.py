@@ -17,6 +17,7 @@ import json
 from pathlib import Path
 from typing import Any
 
+from .backend import MIN_PROCS_SPEEDUP, bench_backend
 from .epoch import bench_epoch_loader
 from .exchange import bench_exchange, exchange_q_sweep
 from .robustness import bench_robustness
@@ -34,9 +35,10 @@ EPOCH_ARTIFACT = "BENCH_epoch.json"
 TELEMETRY_ARTIFACT = "BENCH_telemetry.json"
 SERVE_ARTIFACT = "BENCH_serve.json"
 ROBUSTNESS_ARTIFACT = "BENCH_robustness_rejoin.json"
+BACKEND_ARTIFACT = "BENCH_backend.json"
 
 #: Selectable benchmark scenarios (``repro bench --scenario``).
-SCENARIOS = ("exchange", "epoch", "telemetry", "serve", "robustness")
+SCENARIOS = ("exchange", "epoch", "telemetry", "serve", "robustness", "backend")
 
 #: Deterministic floor on the copy ratio (per-sample path copies at least
 #: pickle + 2x CRC walks per payload; batched pays one gather).
@@ -66,6 +68,7 @@ _SMOKE = {
     "telemetry": dict(ranks=2, samples=96, epochs=2, repeats=3),
     "serve": dict(tenants=2, samples=96, shape=(3, 8, 8), requests=8, batch=6, workers=2),
     "robustness": dict(workers=3, samples=120, epochs=4, q=0.3),
+    "backend": dict(ranks=2, samples=64, shape=(32, 32), q=0.5, epochs=2),
 }
 _FULL = {
     "exchange": dict(ranks=4, samples=256, shape=(3, 32, 32), q=0.5, epochs=3),
@@ -74,6 +77,7 @@ _FULL = {
     "telemetry": dict(ranks=4, samples=256, epochs=3, repeats=5),
     "serve": dict(tenants=4, samples=512, shape=(3, 16, 16), requests=32, batch=8, workers=3),
     "robustness": dict(workers=4, samples=240, epochs=6, q=0.3),
+    "backend": dict(ranks=4, samples=192, shape=(3, 32, 32), q=0.5, epochs=3),
 }
 
 
@@ -104,7 +108,7 @@ def run_bench(
     if check:
         for name in (
             EXCHANGE_ARTIFACT, EPOCH_ARTIFACT, TELEMETRY_ARTIFACT,
-            SERVE_ARTIFACT, ROBUSTNESS_ARTIFACT,
+            SERVE_ARTIFACT, ROBUSTNESS_ARTIFACT, BACKEND_ARTIFACT,
         ):
             path = base / name
             if path.is_file():
@@ -112,7 +116,7 @@ def run_bench(
 
     params = _SMOKE if smoke else _FULL
     out.mkdir(parents=True, exist_ok=True)
-    exchange = epoch = telemetry = serve = robustness = None
+    exchange = epoch = telemetry = serve = robustness = backend = None
     if "exchange" in scenarios:
         exchange = bench_exchange(seed=seed, **params["exchange"])
         exchange["q_sweep"] = exchange_q_sweep(seed=seed, **params["q_sweep"])
@@ -141,12 +145,17 @@ def run_bench(
         (out / ROBUSTNESS_ARTIFACT).write_text(
             json.dumps(robustness, indent=2) + "\n"
         )
+    if "backend" in scenarios:
+        backend = bench_backend(seed=seed, **params["backend"])
+        backend["schema"] = "repro.bench.backend/v1"
+        backend["smoke"] = smoke
+        (out / BACKEND_ARTIFACT).write_text(json.dumps(backend, indent=2) + "\n")
 
     problems: list[str] = []
     if check:
         problems = check_regression(
             exchange, epoch, baselines, telemetry=telemetry, serve=serve,
-            robustness=robustness,
+            robustness=robustness, backend=backend,
         )
     return {
         "exchange": exchange,
@@ -154,6 +163,7 @@ def run_bench(
         "telemetry": telemetry,
         "serve": serve,
         "robustness": robustness,
+        "backend": backend,
         "problems": problems,
         "out_dir": str(out),
     }
@@ -189,6 +199,7 @@ def check_regression(
     telemetry: dict | None = None,
     serve: dict | None = None,
     robustness: dict | None = None,
+    backend: dict | None = None,
     tolerance: float = 0.2,
 ) -> list[str]:
     """Compare a fresh run against the committed baselines.
@@ -310,4 +321,33 @@ def check_regression(
                 f"{MAX_MIGRATION_SHARE:g} cap — the planner reshuffled "
                 "instead of repaying the joiner's share"
             )
+    if backend is not None:
+        # Correctness gates are unconditional; the speedup floor + baseline
+        # ratio comparison only bind with real cores to parallelise over.
+        if not backend.get("identical_shards"):
+            problems.append(
+                "backend: procs-backend shards diverged from the threads "
+                "reference — the shared-memory transport is not bit-faithful"
+            )
+        if not backend.get("shm_clean", True):
+            problems.append(
+                f"backend: leaked /dev/shm segments after the procs run: "
+                f"{backend.get('leaked_segments')}"
+            )
+        speedup = backend.get("ratios", {}).get("procs_speedup")
+        if speedup is None:
+            problems.append("backend: ratio 'procs_speedup' missing from current run")
+        elif backend.get("multicore"):
+            if speedup < MIN_PROCS_SPEEDUP:
+                problems.append(
+                    f"backend: procs_speedup {speedup:.3g} below the "
+                    f"{MIN_PROCS_SPEEDUP:g}x floor on a "
+                    f"{backend.get('cores')}-core machine — real cores are "
+                    "no longer beating the GIL on the exchange"
+                )
+            ref = baselines.get(BACKEND_ARTIFACT)
+            if ref is not None and ref.get("multicore"):
+                problems += _ratio_regressions(
+                    "backend", backend, ref, ("procs_speedup",), tolerance
+                )
     return problems

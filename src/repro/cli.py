@@ -91,6 +91,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_backend_arg(p) -> None:
+        # Shared by every subcommand that launches an SPMD world.  Default
+        # None defers to the REPRO_BACKEND environment variable (and then
+        # to "threads") inside repro.mpi.backends.
+        p.add_argument(
+            "--backend", choices=["threads", "procs"], default=None,
+            help="communicator backend hosting the ranks: 'threads' "
+            "(in-process, default) or 'procs' (forked processes with "
+            "shared-memory transport; uses real cores); default: "
+            "$REPRO_BACKEND or 'threads'",
+        )
+
     p_train = sub.add_parser("train", help="compare shuffling strategies on synthetic data")
     p_train.add_argument("--samples", type=int, default=1024)
     p_train.add_argument("--classes", type=int, default=8)
@@ -115,6 +127,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(one pid per rank; with several strategies, one file per strategy "
         "suffixed -<strategy>)",
     )
+    add_backend_arg(p_train)
 
     p_plan = sub.add_parser("plan", help="storage planning for a TOP500 machine")
     p_plan.add_argument("machine", nargs="?", default="Fugaku")
@@ -192,6 +205,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--tolerance", type=float, default=0.05,
         help="max |acc(elastic) - acc(clean)| allowed with --compare-clean",
     )
+    add_backend_arg(p_el)
 
     p_ch = sub.add_parser(
         "chaos-train",
@@ -245,6 +259,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="write flight-recorder dumps (fault post-mortems plus one "
         "end-of-run snapshot) as JSON files into DIR",
     )
+    add_backend_arg(p_ch)
 
     p_lc = sub.add_parser(
         "lifecycle-train",
@@ -304,6 +319,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="max |final accuracy delta| allowed with --compare-clean "
         "(default 0: the restarted run must be bit-identical)",
     )
+    add_backend_arg(p_lc)
 
     p_bench = sub.add_parser(
         "bench",
@@ -330,10 +346,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--seed", type=int, default=0, help="benchmark seed")
     p_bench.add_argument(
         "--scenario",
-        choices=["all", "exchange", "epoch", "telemetry", "serve", "robustness"],
+        choices=[
+            "all", "exchange", "epoch", "telemetry", "serve", "robustness",
+            "backend",
+        ],
         default="all",
         help="which benchmark to run (default: all)",
     )
+    add_backend_arg(p_bench)
 
     p_serve = sub.add_parser(
         "serve",
@@ -479,7 +499,7 @@ def _cmd_train(args) -> int:
     )
     result = run_comparison(
         spec=spec, config=config, workers=args.workers, strategies=args.strategies,
-        tracing=args.trace is not None,
+        tracing=args.trace is not None, backend=args.backend,
     )
     if args.trace is not None:
         from pathlib import Path
@@ -643,6 +663,7 @@ def _cmd_elastic_train(args) -> int:
     result = run_elastic(
         config=config, workers=args.workers, q=args.q, failures=args.kill,
         train_dataset=train_ds, labels=labels, val_X=val_X, val_y=val_y,
+        backend=args.backend,
     )
     rows = [
         [
@@ -672,6 +693,7 @@ def _cmd_elastic_train(args) -> int:
     clean = run_elastic(
         config=config, workers=args.workers, q=args.q, failures="",
         train_dataset=train_ds, labels=labels, val_X=val_X, val_y=val_y,
+        backend=args.backend,
     )
     delta = abs(result.final_accuracy - clean.final_accuracy)
     print(
@@ -710,6 +732,7 @@ def _cmd_chaos_train(args) -> int:
         exchange_deadline_s=args.exchange_deadline,
         resend_timeout_s=args.resend_timeout,
         train_dataset=train_ds, labels=labels, val_X=val_X, val_y=val_y,
+        backend=args.backend,
     )
     if args.flight_dir:
         # The world creates its FlightLog from this environment seam; any
@@ -830,6 +853,7 @@ def _cmd_lifecycle_train(args) -> int:
     common = dict(
         config=config, workers=args.workers, q=args.q,
         train_dataset=train_ds, labels=labels, val_X=val_X, val_y=val_y,
+        backend=args.backend,
     )
 
     def launch(lifecycle_plan, directory):
@@ -904,6 +928,16 @@ def _cmd_lifecycle_train(args) -> int:
 def _cmd_bench(args) -> int:
     from repro.bench import SCENARIOS, run_bench
 
+    if args.backend:
+        # The bench scenarios launch their SPMD worlds deep inside library
+        # code; the environment seam is how a CLI-wide backend choice
+        # reaches every run_spmd (the "backend" scenario still pins both
+        # backends explicitly for its comparison).
+        import os
+
+        from repro.mpi import REPRO_BACKEND_ENV
+
+        os.environ[REPRO_BACKEND_ENV] = args.backend
     scenarios = SCENARIOS if args.scenario == "all" else (args.scenario,)
     result = run_bench(
         smoke=args.smoke,
@@ -914,7 +948,7 @@ def _cmd_bench(args) -> int:
         scenarios=scenarios,
     )
     ex, ep, tel = result["exchange"], result["epoch"], result["telemetry"]
-    srv, rob = result["serve"], result["robustness"]
+    srv, rob, bk = result["serve"], result["robustness"], result["backend"]
     artifact_names = {"robustness": "robustness_rejoin"}
     artifacts = ", ".join(
         f"BENCH_{artifact_names.get(name, name)}.json" for name in scenarios
@@ -963,6 +997,18 @@ def _cmd_bench(args) -> int:
                 bit=rob["bit_identical"],
                 cap=rob["capacity_restored"],
                 qd=rob["q_deficit_final"],
+            )
+        )
+    if bk is not None:
+        print(
+            "backend: procs {speed:.2f}x vs threads on the batched exchange "
+            "({cores} core(s), speedup gate {gate}); shards identical={bit}, "
+            "/dev/shm clean={shm}".format(
+                speed=bk["ratios"]["procs_speedup"],
+                cores=bk["cores"],
+                gate="armed" if bk["multicore"] else "off (single core)",
+                bit=bk["identical_shards"],
+                shm=bk["shm_clean"],
             )
         )
     if args.check:

@@ -729,6 +729,7 @@ class Supervisor:
         tracing: bool = False,
         world_factory=None,
         max_restarts: int = 8,
+        backend: str | None = None,
     ) -> None:
         self.config = config
         self.workers = workers
@@ -744,6 +745,7 @@ class Supervisor:
         self.tracing = tracing
         self.world_factory = world_factory
         self.max_restarts = max_restarts
+        self.backend = backend
         if self.plan.max_epoch() >= config.epochs:
             raise ValueError(
                 f"lifecycle plan touches epoch {self.plan.max_epoch()} but "
@@ -803,7 +805,7 @@ class Supervisor:
         return run_spmd(
             worker, self.workers, copy_on_send=False,
             deadline_s=self.deadline_s, tracing=self.tracing,
-            world_factory=self.world_factory,
+            world_factory=self.world_factory, backend=self.backend,
         )
 
     def _load_latest(self, why: str) -> dict:
@@ -919,6 +921,7 @@ def run_lifecycle(
     deadline_s: float = 600.0,
     tracing: bool = False,
     world_factory=None,
+    backend: str | None = None,
 ) -> LifecycleResult:
     """Launch one supervised lifecycle run (the CLI/bench entry point)."""
     if plan is None:
@@ -930,6 +933,7 @@ def run_lifecycle(
         snapshot_dir=snapshot_dir, train_dataset=train_dataset, labels=labels,
         val_X=val_X, val_y=val_y, strategy_kwargs=strategy_kwargs,
         deadline_s=deadline_s, tracing=tracing, world_factory=world_factory,
+        backend=backend,
     ).run()
 
 
@@ -948,6 +952,7 @@ def resume_elastic_train(
     deadline_s: float = 600.0,
     tracing: bool = False,
     world_factory=None,
+    backend: str | None = None,
 ) -> LifecycleResult:
     """Restart a killed job from ``snapshot_dir``'s latest complete snapshot.
 
@@ -962,4 +967,5 @@ def resume_elastic_train(
         snapshot_dir=snapshot_dir, train_dataset=train_dataset, labels=labels,
         val_X=val_X, val_y=val_y, strategy_kwargs=strategy_kwargs,
         deadline_s=deadline_s, tracing=tracing, world_factory=world_factory,
+        backend=backend,
     ).run(resume=True)

@@ -364,6 +364,7 @@ def run_elastic(
     deadline_s: float = 600.0,
     tracing: bool = False,
     world_factory=None,
+    backend: str | None = None,
 ) -> ElasticRunResult:
     """Launch an elastic PLS training run with an injected failure schedule.
 
@@ -385,6 +386,7 @@ def run_elastic(
     results = run_spmd(
         worker_fn or worker, workers, copy_on_send=False,
         deadline_s=deadline_s, tracing=tracing, world_factory=world_factory,
+        backend=backend,
     )
     survivors = [r for r in results if isinstance(r, RunHistory)]
     dead = tuple(

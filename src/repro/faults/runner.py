@@ -110,6 +110,7 @@ def run_chaos_train(
     materialize: bool | None = None,
     deadline_s: float = 600.0,
     tracing: bool = False,
+    backend: str | None = None,
 ) -> ChaosRunResult:
     """Run elastic PLS training with ``profile``'s faults injected.
 
@@ -181,6 +182,7 @@ def run_chaos_train(
         deadline_s=deadline_s,
         tracing=tracing,
         world_factory=world_factory,
+        backend=backend,
     )
     retry_after = default_retrier().stats()
     return ChaosRunResult(

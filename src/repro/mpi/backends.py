@@ -1,0 +1,167 @@
+"""Backend registry for the SPMD launcher: how ranks are *hosted*.
+
+The simulated-MPI programming model (:class:`~repro.mpi.Communicator`,
+collectives, the reliable exchange, elastic shrink/rejoin) is backend
+independent; what a backend chooses is the execution substrate:
+
+``threads``
+    Every rank is an OS thread inside the calling process, sharing one
+    :class:`~repro.mpi.world.World` object directly.  Zero-copy, instant
+    startup, full fault-injection support — but one GIL, so compute-bound
+    ranks serialize.
+
+``procs``
+    Every rank is a forked ``multiprocessing`` process; the same ``World``
+    object lives in the launching (parent) process and rank processes drive
+    it through per-rank broker threads, with
+    :class:`~repro.mpi.codec.PackedBatch` payloads riding
+    ``multiprocessing.shared_memory`` segments managed by
+    :class:`~repro.mpi.shm_pool.SharedSegmentPool`.  Real cores, real
+    wall-clock speedup; see ``docs/backends.md`` for the capability matrix.
+
+The registry is deliberately in the style of ChainerMN's
+``create_communicator(name, ...)`` factory: backends are named entries whose
+implementation modules load lazily, so ``import repro.mpi`` never pays for a
+backend it does not use.  The default comes from the :data:`REPRO_BACKEND_ENV`
+environment variable (``threads`` when unset); every launch entry point
+(``run_spmd``, the train/bench CLIs) accepts an explicit backend name that
+overrides it.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from .world import World
+
+__all__ = [
+    "REPRO_BACKEND_ENV",
+    "DEFAULT_BACKEND",
+    "BackendSpec",
+    "register_backend",
+    "available_backends",
+    "resolve_backend_name",
+    "get_backend",
+    "create_world",
+]
+
+#: Environment variable consulted when no explicit backend is requested.
+REPRO_BACKEND_ENV = "REPRO_BACKEND"
+
+#: Backend used when neither the call site nor the environment names one.
+DEFAULT_BACKEND = "threads"
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """One registered backend: a name, a human blurb, and a lazy loader
+    returning the backend's ``run_spmd``-shaped launch function."""
+
+    name: str
+    description: str
+    loader: Callable[[], Callable[..., Any]]
+
+    def runner(self) -> Callable[..., Any]:
+        """Resolve (import) the backend's launch function."""
+        return self.loader()
+
+
+_REGISTRY: dict[str, BackendSpec] = {}
+
+
+def register_backend(
+    name: str,
+    loader: Callable[[], Callable[..., Any]],
+    *,
+    description: str = "",
+    replace: bool = False,
+) -> None:
+    """Register a backend under ``name``.
+
+    ``loader`` is called lazily, at launch time, and must return a callable
+    with the keyword signature of ``run_spmd`` (minus ``backend``).
+    Re-registering an existing name raises unless ``replace=True`` —
+    silently shadowing a built-in would change what every launch in the
+    process means.  The two built-ins are registered at import.
+    """
+    if name in _REGISTRY and not replace:
+        raise ValueError(
+            f"backend {name!r} is already registered; pass replace=True to "
+            "override it"
+        )
+    _REGISTRY[name] = BackendSpec(name=name, description=description, loader=loader)
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def resolve_backend_name(name: str | None = None) -> str:
+    """Resolve an explicit name, the :data:`REPRO_BACKEND_ENV` variable, or
+    the default — in that order — validating the result against the
+    registry."""
+    resolved = name or os.environ.get(REPRO_BACKEND_ENV) or DEFAULT_BACKEND
+    if resolved not in _REGISTRY:
+        raise ValueError(
+            f"unknown backend {resolved!r}; available: "
+            f"{', '.join(available_backends())}"
+        )
+    return resolved
+
+
+def get_backend(name: str | None = None) -> BackendSpec:
+    """The :class:`BackendSpec` for ``name`` (resolved per
+    :func:`resolve_backend_name`)."""
+    return _REGISTRY[resolve_backend_name(name)]
+
+
+def create_world(
+    backend: str | None = None,
+    size: int = 1,
+    *,
+    copy_on_send: bool = True,
+    deadline_s: float | None = None,
+    world_factory: Callable[..., World] | None = None,
+) -> World:
+    """Construct the :class:`~repro.mpi.world.World` a run on ``backend``
+    would host.
+
+    Both built-in backends host the world in the launching process (the
+    ``procs`` backend's rank processes reach it through brokers), so the
+    world object itself is backend independent; this factory exists so
+    callers can validate a backend name and build the matching world in one
+    step, and so future out-of-process worlds have a seam to differ in.
+    ``world_factory`` is the usual chaos-injection hook.
+    """
+    resolve_backend_name(backend)  # validate, raising on unknown names
+    make_world = world_factory if world_factory is not None else World
+    return make_world(size, copy_on_send=copy_on_send, deadline_s=deadline_s)
+
+
+def _load_threads() -> Callable[..., Any]:
+    """Loader for the in-process threaded backend (the historical default)."""
+    from .launcher import _run_spmd_threads
+
+    return _run_spmd_threads
+
+
+def _load_procs() -> Callable[..., Any]:
+    """Loader for the multi-process shared-memory backend."""
+    from .procs import run_spmd_procs
+
+    return run_spmd_procs
+
+
+register_backend(
+    "threads",
+    _load_threads,
+    description="ranks as OS threads in one process (zero-copy, one GIL)",
+)
+register_backend(
+    "procs",
+    _load_procs,
+    description="ranks as forked processes with shared-memory transport",
+)

@@ -82,6 +82,13 @@ class PeerFailure(MPIError):
         why = f" ({epitaph})" if epitaph else ""
         super().__init__(f"peer rank {rank} is dead{where}{why}")
 
+    def __reduce__(self):
+        # Default exception pickling replays ``args`` (the formatted
+        # message) into ``__init__``, mangling ``rank``; reconstruct from
+        # the real constructor arguments instead — these exceptions cross
+        # process boundaries under the ``procs`` backend.
+        return (PeerFailure, (self.rank, self.epitaph, self.op))
+
 
 class RankFailed(MPIError):
     """Raised by the launcher when one or more ranks terminated with an error.
@@ -95,3 +102,8 @@ class RankFailed(MPIError):
             f"rank {r}: {type(e).__name__}: {e}" for r, e in sorted(self.failures.items())
         )
         super().__init__(f"{len(self.failures)} rank(s) failed: {detail}")
+
+    def __reduce__(self):
+        # See PeerFailure.__reduce__: reconstruct from the constructor
+        # arguments so a pickle round-trip preserves ``failures``.
+        return (RankFailed, (self.failures,))

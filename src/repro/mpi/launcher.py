@@ -2,11 +2,18 @@
 
 ``run_spmd(fn, size)`` is this library's equivalent of
 ``mpiexec -n <size> python script.py``: it creates a shared
-:class:`~repro.mpi.world.World`, spawns one OS thread per rank, calls
+:class:`~repro.mpi.world.World`, spawns one rank per requested slot, calls
 ``fn(comm, *args)`` on each, and returns the per-rank return values.  If any
 rank raises, the world is aborted (unblocking every other rank) and a
 :class:`~repro.mpi.errors.RankFailed` carrying all per-rank exceptions is
 raised in the caller.
+
+*How* a rank is hosted is a pluggable backend (see
+:mod:`repro.mpi.backends`): the default ``threads`` backend runs each rank
+as an OS thread in this process, the ``procs`` backend as a forked
+``multiprocessing`` process with a shared-memory transport.  Select with
+``run_spmd(..., backend="procs")`` or the ``REPRO_BACKEND`` environment
+variable; the returned :class:`SpmdResult` has the same shape either way.
 """
 
 from __future__ import annotations
@@ -17,6 +24,7 @@ from typing import Any, Callable, Sequence
 
 from repro.obs.tracer import Tracer
 
+from . import backends as _backends
 from .communicator import Communicator
 from .errors import MPIAbort, RankDied, RankFailed, VerificationError
 from .world import World
@@ -48,6 +56,7 @@ def run_spmd(
     verify: bool = False,
     flight: bool = True,
     world_factory: Callable[..., World] | None = None,
+    backend: str | None = None,
 ) -> SpmdResult:
     """Execute ``fn(comm, *args)`` on ``size`` simulated ranks.
 
@@ -57,7 +66,7 @@ def run_spmd(
         The per-rank entry point.  Receives a :class:`Communicator` whose
         ``rank``/``size`` identify the caller.
     size:
-        Number of ranks (threads).
+        Number of ranks (threads or processes, per ``backend``).
     copy_on_send:
         Forwarded to :class:`World`; keep True unless profiling shows the
         copies matter and the program never mutates sent buffers.
@@ -86,7 +95,13 @@ def run_spmd(
     world_factory:
         Alternative :class:`World` constructor (same keyword signature);
         the seam through which :class:`~repro.faults.ChaosWorld` injects
-        message faults without the MPI layer knowing about chaos.
+        message faults without the MPI layer knowing about chaos.  Works on
+        both backends (the ``procs`` backend hosts the factory's world in
+        the parent process).
+    backend:
+        Which :mod:`repro.mpi.backends` entry hosts the ranks:
+        ``"threads"`` (default) or ``"procs"``.  ``None`` consults the
+        ``REPRO_BACKEND`` environment variable.
 
     Returns
     -------
@@ -94,6 +109,41 @@ def run_spmd(
         ``result[r]`` is rank *r*'s return value; ``result.world`` exposes
         traffic counters (``bytes_sent`` etc.) and ``result.tracers`` the
         per-rank event streams.
+    """
+    launch = _backends.get_backend(backend).runner()
+    return launch(
+        fn,
+        size,
+        args=args,
+        copy_on_send=copy_on_send,
+        deadline_s=deadline_s,
+        thread_name_prefix=thread_name_prefix,
+        tracing=tracing,
+        tracers=tracers,
+        verify=verify,
+        flight=flight,
+        world_factory=world_factory,
+    )
+
+
+def _run_spmd_threads(
+    fn: Callable[..., Any],
+    size: int,
+    *,
+    args: Sequence[Any] = (),
+    copy_on_send: bool = True,
+    deadline_s: float | None = 300.0,
+    thread_name_prefix: str = "rank",
+    tracing: bool = False,
+    tracers: Sequence[Tracer] | None = None,
+    verify: bool = False,
+    flight: bool = True,
+    world_factory: Callable[..., World] | None = None,
+) -> SpmdResult:
+    """The ``threads`` backend: one OS thread per rank, one shared world.
+
+    This is the historical ``run_spmd`` body, unchanged; ``run_spmd``
+    dispatches here by default.
     """
     if size < 1:
         raise ValueError(f"size must be >= 1, got {size}")

@@ -1,0 +1,1005 @@
+"""``procs`` backend: ranks as forked processes, shared-memory transport.
+
+The design keeps every behavioural contract of the threaded world by
+*hosting the world in the parent*:
+
+* ``run_spmd_procs`` constructs the real :class:`~repro.mpi.world.World`
+  (or the ``world_factory`` chaos world) in the launching process, exactly
+  as the ``threads`` backend does — rendezvous bookkeeping, the epitaph
+  channel, the chaos ``_deliver`` seam and the flight-recorder rings are
+  the very same objects and code paths.
+* Each rank runs ``fn(comm, *args)`` in a **forked** child process whose
+  :class:`~repro.mpi.Communicator` wraps a :class:`_ClientWorld` facade.
+  Every world call becomes one RPC over a per-rank duplex pipe.
+* In the parent, one **broker thread per rank** services that rank's RPCs
+  *in order*, calling the real world methods on the rank's behalf.  A
+  blocking call (``take_blocking``, a rendezvous) blocks the broker thread
+  just as it would block the rank's thread under the ``threads`` backend —
+  so all cross-rank blocking semantics hold by construction.
+
+Bulk payloads never ride the pipe: a :class:`~repro.mpi.codec.PackedBatch`
+packed through the pool travels as a :class:`_ShmRef` *handle envelope*
+(segment name + pool id), and both sides map the same
+``multiprocessing.shared_memory`` segment, managed by the
+parent-authoritative :class:`~repro.mpi.shm_pool.SharedSegmentPool` so the
+acquire/adopt/release ownership discipline — including the idempotent
+teardown adopt on abort paths — stays globally exact.  Control messages,
+plans and gradients are small and simply pickle through the pipe.
+
+Children are forked *before* the broker threads start (fork + threads do
+not mix), and the parent unlinks every shared segment on every exit path.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import pickle
+import threading
+import time
+from dataclasses import replace as _dc_replace
+from multiprocessing import resource_tracker, shared_memory
+from typing import Any, Callable, Sequence
+
+from repro.obs.tracer import Tracer
+
+from .codec import PackedBatch
+from .communicator import Communicator
+from .errors import MPIAbort, RankDied, RankFailed
+from .message import Checksummed, Message
+from .pool import PoolBuffer
+from .shm_pool import SharedSegmentPool, ShmPoolBuffer, quiet_close
+from .world import World
+
+__all__ = ["run_spmd_procs"]
+
+
+# --------------------------------------------------------------------------
+# Wire envelopes: what payloads look like on the pipe.
+# --------------------------------------------------------------------------
+
+
+class _ShmRef:
+    """Handle envelope for a pool-backed ``PackedBatch``: the payload stays
+    in its shared segment; only the coordinates cross the pipe."""
+
+    __slots__ = ("header", "buf_id", "name", "nbytes", "size_class")
+
+    def __init__(self, header: bytes, buf_id: int, name: str, nbytes: int, size_class: int):
+        self.header = header
+        self.buf_id = buf_id
+        self.name = name
+        self.nbytes = nbytes
+        self.size_class = size_class
+
+
+class _RawBatch:
+    """A ``PackedBatch`` *not* backed by the shared pool (e.g. a chaos-
+    corrupted copy) — its bytes are copied through the pipe."""
+
+    __slots__ = ("header", "payload")
+
+    def __init__(self, header: bytes, payload: bytes):
+        self.header = header
+        self.payload = payload
+
+
+def _encode(obj: Any) -> Any:
+    """Replace shared-pool ``PackedBatch`` payloads with handle envelopes
+    (recursing through ``Checksummed``/tuple/list/dict containers) so the
+    object graph pickles without copying bulk bytes."""
+    if isinstance(obj, PackedBatch):
+        buf = obj.buf
+        if isinstance(buf, ShmPoolBuffer):
+            return _ShmRef(
+                bytes(obj.header), buf.buf_id, buf.segment_name, buf.nbytes, buf.size_class
+            )
+        return _RawBatch(bytes(obj.header), bytes(obj.payload))
+    if isinstance(obj, Checksummed):
+        return _dc_replace(obj, payload=_encode(obj.payload))
+    if isinstance(obj, tuple):
+        items = [_encode(v) for v in obj]
+        if hasattr(obj, "_fields"):  # namedtuple
+            return type(obj)(*items)
+        return tuple(items)
+    if isinstance(obj, list):
+        return [_encode(v) for v in obj]
+    if isinstance(obj, dict):
+        return {k: _encode(v) for k, v in obj.items()}
+    return obj
+
+
+def _decode(obj: Any, make_batch: Callable[[Any], PackedBatch]) -> Any:
+    """Inverse of :func:`_encode`; ``make_batch`` rebuilds a ``PackedBatch``
+    from a :class:`_ShmRef` for whichever side (parent or rank) is decoding."""
+    if isinstance(obj, _ShmRef):
+        return make_batch(obj)
+    if isinstance(obj, _RawBatch):
+        raw = bytearray(obj.payload)
+        return PackedBatch(
+            header=obj.header, payload=memoryview(raw).toreadonly(), buf=raw
+        )
+    if isinstance(obj, Checksummed):
+        return _dc_replace(obj, payload=_decode(obj.payload, make_batch))
+    if isinstance(obj, tuple):
+        items = [_decode(v, make_batch) for v in obj]
+        if hasattr(obj, "_fields"):
+            return type(obj)(*items)
+        return tuple(items)
+    if isinstance(obj, list):
+        return [_decode(v, make_batch) for v in obj]
+    if isinstance(obj, dict):
+        return {k: _decode(v, make_batch) for k, v in obj.items()}
+    return obj
+
+
+def _pickle_safe(exc: BaseException) -> BaseException:
+    """``exc`` if it survives a pickle round-trip, else a ``RuntimeError``
+    carrying its type and message (exceptions cross the pipe by value)."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return RuntimeError(f"{type(exc).__name__}: {exc}")
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach a segment without registering it with the resource tracker.
+
+    The parent owns every segment's lifetime (create + unlink); a rank
+    process registering its attachment too would double-book the name in
+    the shared tracker and produce spurious leak warnings/KeyErrors at
+    exit.  Rank code is single-threaded, so briefly stubbing the tracker's
+    ``register`` around the attach is race-free.
+    """
+    original = resource_tracker.register
+    resource_tracker.register = lambda *a, **k: None  # type: ignore[assignment]
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original  # type: ignore[assignment]
+
+
+# --------------------------------------------------------------------------
+# Child side: the RPC client and the World facade rank code talks to.
+# --------------------------------------------------------------------------
+
+
+class _Rpc:
+    """Serialized request/reply channel over the rank's pipe end.
+
+    Rank code is single-threaded, the pipe is FIFO and the parent broker
+    replies in order, so a plain send-then-recv is a complete protocol.
+    ``cast`` is the fire-and-forget variant for hot-path accounting
+    (flight-ring appends, copy counters) where a round-trip per call would
+    distort what the flight recorder is trying to measure.
+    """
+
+    def __init__(self, conn) -> None:
+        self._conn = conn
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+
+    def call(self, method: str, *args: Any) -> Any:
+        """Invoke ``method`` in the parent and return (or raise) its result."""
+        rid = next(self._ids)
+        try:
+            with self._lock:
+                self._conn.send((rid, method, args))
+                reply = self._conn.recv()
+        except (EOFError, OSError) as exc:
+            raise MPIAbort(f"lost connection to world host: {exc}") from exc
+        _rid, ok, value = reply
+        if ok:
+            return value
+        raise value
+
+    def cast(self, method: str, *args: Any) -> None:
+        """Fire-and-forget invoke (ordered before any later ``call``)."""
+        try:
+            with self._lock:
+                self._conn.send((None, method, args))
+        except (EOFError, OSError):
+            pass
+
+
+class _SegmentCache:
+    """Per-process cache of attached shared-memory segments (attach once,
+    reuse for every buffer the segment ever backs)."""
+
+    def __init__(self) -> None:
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+
+    def attach(self, name: str) -> shared_memory.SharedMemory:
+        """Map ``name`` (idempotent), keeping the tracker out of it."""
+        seg = self._segments.get(name)
+        if seg is None:
+            seg = self._segments[name] = _attach_untracked(name)
+        return seg
+
+    def close_all(self) -> None:
+        """Unmap every attachment (called at rank-process exit); mappings
+        pinned by live zero-copy views are left for process teardown."""
+        for seg in self._segments.values():
+            quiet_close(seg)
+        self._segments.clear()
+
+
+class _ClientPool:
+    """Rank-process facade of the parent's :class:`SharedSegmentPool`.
+
+    Mirrors the ``BufferPool`` surface the codec and scheduler use; every
+    ownership transition is an RPC against the parent's authoritative
+    accounting, so double-release detection and idempotent teardown adopts
+    work across process boundaries.
+    """
+
+    name = "world-shm"
+
+    def __init__(self, rpc: _Rpc, cache: _SegmentCache) -> None:
+        self._rpc = rpc
+        self._cache = cache
+
+    def acquire(self, nbytes: int) -> ShmPoolBuffer:
+        """Acquire a segment-backed buffer from the parent pool."""
+        buf_id, name, nb, cls = self._rpc.call("pool_acquire", int(nbytes))
+        seg = self._cache.attach(name)
+        return ShmPoolBuffer(seg.buf, nb, cls, self, buf_id, name)
+
+    def ref_batch(self, ref: _ShmRef) -> PackedBatch:
+        """Rebuild a received ``PackedBatch`` view onto its shared segment."""
+        seg = self._cache.attach(ref.name)
+        buf = ShmPoolBuffer(seg.buf, ref.nbytes, ref.size_class, self, ref.buf_id, ref.name)
+        return PackedBatch(header=ref.header, payload=buf.readonly(), buf=buf)
+
+    def release(self, buf: PoolBuffer) -> None:
+        """Strict release by pool-global id (parent enforces the protocol)."""
+        self._rpc.call("pool_release", buf.buf_id)
+        buf.state = "released"
+
+    def adopt(self, buf: PoolBuffer) -> None:
+        """Strict ownership transfer out of the pool."""
+        self._rpc.call("pool_adopt", buf.buf_id)
+        buf.state = "adopted"
+
+    def adopt_if_in_use(self, buf: PoolBuffer) -> bool:
+        """Idempotent adopt for teardown paths; globally exactly-once."""
+        took = self._rpc.call("pool_try_adopt", buf.buf_id)
+        if took:
+            buf.state = "adopted"
+        return bool(took)
+
+    def stats(self) -> dict:
+        """Parent pool accounting snapshot."""
+        return self._rpc.call("pool_stats")
+
+    def in_use(self) -> int:
+        """Parent pool leak balance."""
+        return self._rpc.call("pool_in_use")
+
+    def free_buffers(self) -> int:
+        """Segments parked on the parent pool's free lists."""
+        return self._rpc.call("pool_free")
+
+    def assert_balanced(self) -> None:
+        """Raise (in the parent, propagated here) on a leaked buffer."""
+        self._rpc.call("pool_assert_balanced")
+
+
+class _PeekInfo:
+    """Lightweight stand-in for a peeked message (source/tag only — all a
+    probe reads)."""
+
+    __slots__ = ("source", "tag")
+
+    def __init__(self, source: int, tag: int) -> None:
+        self.source = source
+        self.tag = tag
+
+
+class _PollCond:
+    """Condition-variable stand-in for mailbox proxies: waiting rank code
+    sleeps one poll interval instead of blocking on a (remote) condition."""
+
+    def __enter__(self) -> "_PollCond":
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+    def wait(self, timeout: float | None = None) -> None:
+        """Sleep at most one poll interval."""
+        time.sleep(min(timeout if timeout is not None else 0.05, 0.05))
+
+    def notify_all(self) -> None:
+        """No-op (deliveries happen in the parent)."""
+
+
+class _ClientMailbox:
+    """RPC-backed view of one parent-side mailbox (peek / try_take)."""
+
+    def __init__(self, rpc: _Rpc, rank: int, world: "_ClientWorld") -> None:
+        self._rpc = rpc
+        self._rank = rank
+        self._world = world
+        self.cond = _PollCond()
+
+    def peek(self, source: int, tag: int):
+        """Source/tag of the first matching queued message, or ``None``."""
+        info = self._rpc.call("peek", self._rank, source, tag)
+        return None if info is None else _PeekInfo(*info)
+
+    def try_take(self, source: int, tag: int) -> Message | None:
+        """Non-blocking matched take, decoding any shared-segment payloads."""
+        wire = self._rpc.call("try_take", self._rank, source, tag)
+        return None if wire is None else self._world._wire_to_msg(wire)
+
+
+class _ClientFlightRecorder:
+    """Rank-side proxy of one flight-recorder ring (fire-and-forget appends)."""
+
+    def __init__(self, rpc: _Rpc, rank: int, enabled: bool) -> None:
+        self._rpc = rpc
+        self._rank = rank
+        self.enabled = enabled
+
+    def record(self, kind: str, **fields: Any) -> None:
+        """Append to the parent-side ring for this rank (no round-trip)."""
+        if self.enabled:
+            self._rpc.cast("flight_record", self._rank, kind, fields)
+
+
+class _ClientFlightLog:
+    """Rank-side proxy of the world's :class:`FlightLog`."""
+
+    def __init__(self, rpc: _Rpc, enabled: bool) -> None:
+        self._rpc = rpc
+        self._enabled = enabled
+        self._recorders: dict[int, _ClientFlightRecorder] = {}
+
+    @property
+    def enabled(self) -> bool:
+        """Whether ring appends are on (fixed at launch for rank processes)."""
+        return self._enabled
+
+    def set_enabled(self, flag: bool) -> None:
+        """Toggle appends in the parent and locally."""
+        self._enabled = bool(flag)
+        for rec in self._recorders.values():
+            rec.enabled = self._enabled
+        self._rpc.call("flight_set_enabled", self._enabled)
+
+    def for_rank(self, rank: int) -> _ClientFlightRecorder:
+        """The (cached) recorder proxy for ``rank``."""
+        rec = self._recorders.get(rank)
+        if rec is None:
+            rec = self._recorders[rank] = _ClientFlightRecorder(
+                self._rpc, rank, self._enabled
+            )
+        return rec
+
+    def dump(self, reason: str, *, key: object = None, extra: dict | None = None):
+        """Trigger a parent-side post-mortem dump (blocking, deduped by key)."""
+        return self._rpc.call("flight_dump", reason, key, extra)
+
+
+class _ClientTelemetry:
+    """Rank-side proxy of the world's telemetry aggregator (rank 0 ingests)."""
+
+    def __init__(self, rpc: _Rpc) -> None:
+        self._rpc = rpc
+
+    def ingest(self, rank: int, seq: int, metrics: dict) -> None:
+        """Forward one metrics snapshot into the parent aggregator."""
+        self._rpc.call("telemetry_ingest", rank, seq, dict(metrics))
+
+
+class _ClientChaos:
+    """Rank-side proxy of the chaos engine's epoch hook (present only when
+    the parent world is a ``ChaosWorld``, preserving the duck-typed seam)."""
+
+    def __init__(self, rpc: _Rpc) -> None:
+        self._rpc = rpc
+
+    def note_epoch(self, world_rank: int, epoch: int) -> None:
+        """Tell the parent engine which epoch this rank entered (synchronous,
+        so epoch-scoped fault clauses activate before the next send)."""
+        self._rpc.call("chaos_note_epoch", world_rank, epoch)
+
+
+class _ClientWorld:
+    """The World facade a rank process programs against.
+
+    Implements every attribute and method the :class:`Communicator`,
+    :class:`~repro.mpi.request.RecvRequest`, scheduler, elastic and
+    telemetry layers touch, each as an RPC against the real parent-hosted
+    world.  Blocking calls block in the parent broker with the same
+    semantics (abort/deadline/PeerFailure) as the threaded world.
+    """
+
+    def __init__(
+        self,
+        rpc: _Rpc,
+        rank: int,
+        size: int,
+        copy_on_send: bool,
+        flight_enabled: bool,
+        has_chaos: bool,
+        cache: _SegmentCache,
+    ) -> None:
+        self._rpc = rpc
+        self.rank = rank
+        self.size = size
+        self.copy_on_send = copy_on_send
+        self.pool = _ClientPool(rpc, cache)
+        self.flight = _ClientFlightLog(rpc, flight_enabled)
+        self.telemetry = _ClientTelemetry(rpc)
+        if has_chaos:
+            # Duck-typed: plain worlds must NOT have the attribute at all.
+            self.chaos = _ClientChaos(rpc)
+        self.mailboxes = [_ClientMailbox(rpc, r, self) for r in range(size)]
+
+    # ------------------------------------------------------------- messaging
+    def _wire_to_msg(self, wire: tuple) -> Message:
+        source, dest, tag, seq, enc = wire
+        payload = _decode(enc, self.pool.ref_batch)
+        return Message(source=source, dest=dest, tag=tag, payload=payload, seq=seq)
+
+    def post(self, msg: Message) -> None:
+        """Send: the parent constructs the authoritative ``Message`` (with a
+        parent-global sequence number) and runs the real delivery path —
+        including the chaos ``_deliver`` seam."""
+        self._rpc.call("post", msg.source, msg.dest, msg.tag, _encode(msg.payload))
+
+    def take_blocking(self, dest: int, source: int, tag: int) -> Message:
+        """Blocking matched receive (parks the parent broker, exactly like a
+        rank thread; PeerFailure/MPIAbort/MPITimeout propagate)."""
+        return self._wire_to_msg(self._rpc.call("take_blocking", dest, source, tag))
+
+    def check_alive(self) -> None:
+        """Raise MPIAbort/MPITimeout if the world is dead or over deadline."""
+        self._rpc.call("check_alive")
+
+    def count_copy(self, rank: int, nbytes: int) -> None:
+        """Charge a payload copy to the world's counters (fire-and-forget)."""
+        self._rpc.cast("count_copy", rank, nbytes)
+
+    # ------------------------------------------------------------ collectives
+    def rendezvous(self, key: tuple, rank: int, contribution: Any, group=None):
+        """Collective rendezvous; contributions round-trip through the wire
+        codec so pooled batches travel as segment handles."""
+        slots = self._rpc.call(
+            "rendezvous",
+            key,
+            rank,
+            _encode(contribution),
+            None if group is None else tuple(group),
+        )
+        return {r: _decode(v, self.pool.ref_batch) for r, v in slots.items()}
+
+    # ---------------------------------------------------------- fault channel
+    def abort(self, reason: str) -> None:
+        """Mark the world dead (wakes every blocked rank)."""
+        self._rpc.call("abort", reason)
+
+    def mark_dead(self, rank: int, reason: str = "rank died") -> None:
+        """Record a simulated node crash in the epitaph channel."""
+        self._rpc.call("mark_dead", rank, reason)
+
+    def dead_ranks(self) -> frozenset[int]:
+        """Snapshot of ranks that died as faults."""
+        return self._rpc.call("dead_ranks")
+
+    def is_dead(self, rank: int) -> bool:
+        """Whether ``rank`` has died as a fault."""
+        return self._rpc.call("is_dead", rank)
+
+    @property
+    def epitaphs(self) -> dict[int, str]:
+        """Snapshot of each dead rank's recorded reason."""
+        return self._rpc.call("epitaphs")
+
+    def flush_mailbox(self, rank: int) -> int:
+        """Discard a dead rank's queued messages; returns how many."""
+        return self._rpc.call("flush_mailbox", rank)
+
+    def announce_crash(self, reason: str) -> None:
+        """Soft full-job crash (cooperative unwind, not an abort)."""
+        self._rpc.call("announce_crash", reason)
+
+    # ------------------------------------------------------- elastic membership
+    def shrink_rendezvous(self, key: tuple, rank: int, group):
+        """Survivor consensus (ULFM-style shrink)."""
+        return self._rpc.call("shrink_rendezvous", key, rank, tuple(group))
+
+    def expand_rendezvous(self, key: tuple, rank: int, group, joiners):
+        """Re-admission consensus (the grow counterpart)."""
+        return self._rpc.call(
+            "expand_rendezvous", key, rank, tuple(group), tuple(joiners)
+        )
+
+    def request_join(self, rank: int) -> None:
+        """Knock: ask the live group to re-admit ``rank``."""
+        self._rpc.call("request_join", rank)
+
+    def join_requests(self) -> frozenset[int]:
+        """Ranks currently knocking."""
+        return self._rpc.call("join_requests")
+
+    def await_admission(self, rank: int):
+        """Block until an expand admits ``rank`` (None on cooperative crash)."""
+        return self._rpc.call("await_admission", rank)
+
+    # ------------------------------------------------------------------ flags
+    def _flag(self, name: str) -> Any:
+        flags = self._rpc.call("flags")
+        return flags[name]
+
+    @property
+    def aborted(self) -> bool:
+        """Whether the world was aborted."""
+        return self._flag("aborted")
+
+    @property
+    def abort_reason(self) -> str | None:
+        """The abort reason, if aborted."""
+        return self._flag("abort_reason")
+
+    @property
+    def crashed(self) -> bool:
+        """Whether a cooperative full-job crash was announced."""
+        return self._flag("crashed")
+
+    @property
+    def crash_reason(self) -> str | None:
+        """The announced crash reason, if any."""
+        return self._flag("crash_reason")
+
+    # ------------------------------------------------------------- accounting
+    def total_bytes_sent(self) -> int:
+        """World-wide bytes sent (parent counters)."""
+        return self._rpc.call("total_bytes_sent")
+
+    def total_bytes_copied(self) -> int:
+        """World-wide bytes copied (parent counters)."""
+        return self._rpc.call("total_bytes_copied")
+
+
+def _child_main(
+    conn,
+    rank: int,
+    size: int,
+    fn: Callable[..., Any],
+    args: tuple,
+    copy_on_send: bool,
+    verify: bool,
+    flight_enabled: bool,
+    has_chaos: bool,
+    tracing_enabled: bool,
+) -> None:
+    """Rank-process entry point: mirror the threads backend's per-rank
+    runner, reporting the outcome (and the tracer's events) over the pipe
+    as a final ``__exit__`` record."""
+    # Lazy import to keep module import light in the parent.
+    from .launcher import _check_pending
+
+    cache = _SegmentCache()
+    rpc = _Rpc(conn)
+    world = _ClientWorld(
+        rpc, rank, size, copy_on_send, flight_enabled, has_chaos, cache
+    )
+    tracer = Tracer(rank=rank, enabled=tracing_enabled)
+    if verify:
+        from repro.analysis.runtime import CheckedCommunicator as comm_cls
+    else:
+        comm_cls = Communicator
+    kind: str = "result"
+    payload: Any = None
+    try:
+        comm = comm_cls(world, rank, tracer=tracer)
+        value = fn(comm, *args)
+        _check_pending(comm, rank, verify)
+        kind, payload = "result", _encode(value)
+    except RankDied as exc:
+        # Simulated node crash: record + epitaph, world stays alive.
+        try:
+            world.flight.for_rank(rank).record("rank.died", reason=str(exc))
+            world.flight.dump(f"rank {rank} died: {exc}", key=("rank-died", rank))
+            world.mark_dead(rank, str(exc))
+        except Exception:
+            pass
+        kind, payload = "died", exc.reason
+    except MPIAbort as exc:
+        # Secondary failure caused by another rank's abort.
+        kind, payload = "abort", _pickle_safe(exc)
+    except BaseException as exc:  # noqa: BLE001 - must propagate everything
+        try:
+            world.flight.for_rank(rank).record(
+                "rank.failed", error=type(exc).__name__, detail=str(exc)
+            )
+            world.flight.dump(
+                f"rank {rank} raised {type(exc).__name__}",
+                key=("abort", type(exc).__name__),
+                extra={"rank": rank, "error": str(exc)},
+            )
+            world.abort(f"rank {rank} raised {type(exc).__name__}: {exc}")
+        except Exception:
+            pass
+        kind, payload = "failure", _pickle_safe(exc)
+    finally:
+        events = list(getattr(tracer, "_events", ()))
+        try:
+            conn.send((None, "__exit__", (kind, payload, events)))
+        except Exception:
+            pass
+        try:
+            conn.close()
+        except Exception:
+            pass
+        cache.close_all()
+
+
+# --------------------------------------------------------------------------
+# Parent side: per-rank broker threads servicing the RPCs.
+# --------------------------------------------------------------------------
+
+
+class _RunState:
+    """Per-rank outcome collection shared by the broker threads."""
+
+    def __init__(self, size: int, world: World) -> None:
+        self.lock = threading.Lock()
+        self.outcomes: list[tuple | None] = [None] * size
+        self.world = world
+
+    def finish(self, rank: int, outcome: tuple) -> None:
+        """A rank reported its final (kind, payload, tracer-events) record."""
+        with self.lock:
+            self.outcomes[rank] = outcome
+
+    def lost(self, rank: int) -> None:
+        """A rank's pipe died without a final record: a hard process death.
+        Abort the world so surviving ranks unwind instead of hanging."""
+        abort = False
+        with self.lock:
+            if self.outcomes[rank] is None:
+                self.outcomes[rank] = ("lost", None, [])
+                abort = True
+        if abort and not self.world.aborted:
+            self.world.abort(f"rank {rank} process terminated unexpectedly")
+
+
+class _Broker:
+    """One rank's parent-side servant: executes that rank's world calls,
+    in order, on its own thread — the thread *is* the rank as far as the
+    world's blocking semantics are concerned."""
+
+    def __init__(
+        self,
+        rank: int,
+        conn,
+        world: World,
+        pool: SharedSegmentPool,
+        state: _RunState,
+    ) -> None:
+        self._rank = rank
+        self._conn = conn
+        self._world = world
+        self._pool = pool
+        self._state = state
+
+    def _ref_batch(self, ref: _ShmRef) -> PackedBatch:
+        """Rebuild a ``PackedBatch`` on the parent's canonical pool handle
+        (so chaos corruption and accounting see real payload bytes)."""
+        buf = self._pool.handle(ref.buf_id)
+        return PackedBatch(header=ref.header, payload=buf.readonly(), buf=buf)
+
+    def _msg_to_wire(self, msg: Message) -> tuple:
+        return (msg.source, msg.dest, msg.tag, msg.seq, _encode(msg.payload))
+
+    def run(self) -> None:
+        """Service RPCs until the rank reports its outcome or its pipe dies."""
+        conn = self._conn
+        while True:
+            try:
+                req = conn.recv()
+            except (EOFError, OSError):
+                self._state.lost(self._rank)
+                return
+            rid, method, args = req
+            if method == "__exit__":
+                self._state.finish(self._rank, args)
+                try:
+                    conn.close()
+                except Exception:
+                    pass
+                return
+            try:
+                value = self._dispatch(method, args)
+                reply = (rid, True, value)
+            except BaseException as exc:  # noqa: BLE001 - ship errors to the rank
+                reply = (rid, False, _pickle_safe(exc))
+            if rid is None:
+                continue
+            try:
+                conn.send(reply)
+            except (EOFError, OSError):
+                self._state.lost(self._rank)
+                return
+
+    def _dispatch(self, method: str, args: tuple) -> Any:
+        """Execute one RPC against the real world/pool."""
+        w, p = self._world, self._pool
+        if method == "post":
+            source, dest, tag, enc = args
+            w.post(
+                Message(
+                    source=source,
+                    dest=dest,
+                    tag=tag,
+                    payload=_decode(enc, self._ref_batch),
+                )
+            )
+            return None
+        if method == "take_blocking":
+            dest, source, tag = args
+            return self._msg_to_wire(w.take_blocking(dest, source, tag))
+        if method == "try_take":
+            rank, source, tag = args
+            msg = w.mailboxes[rank].try_take(source, tag)
+            return None if msg is None else self._msg_to_wire(msg)
+        if method == "peek":
+            rank, source, tag = args
+            msg = w.mailboxes[rank].peek(source, tag)
+            return None if msg is None else (msg.source, msg.tag)
+        if method == "check_alive":
+            return w.check_alive()
+        if method == "count_copy":
+            rank, nbytes = args
+            return w.count_copy(rank, nbytes)
+        if method == "rendezvous":
+            key, rank, enc, group = args
+            slots = w.rendezvous(key, rank, _decode(enc, self._ref_batch), group=group)
+            return {r: _encode(v) for r, v in slots.items()}
+        if method == "abort":
+            return w.abort(args[0])
+        if method == "mark_dead":
+            return w.mark_dead(args[0], args[1])
+        if method == "dead_ranks":
+            return w.dead_ranks()
+        if method == "is_dead":
+            return w.is_dead(args[0])
+        if method == "epitaphs":
+            return dict(w.epitaphs)
+        if method == "flush_mailbox":
+            return w.flush_mailbox(args[0])
+        if method == "announce_crash":
+            return w.announce_crash(args[0])
+        if method == "shrink_rendezvous":
+            key, rank, group = args
+            return w.shrink_rendezvous(key, rank, group)
+        if method == "expand_rendezvous":
+            key, rank, group, joiners = args
+            return w.expand_rendezvous(key, rank, group, joiners)
+        if method == "request_join":
+            return w.request_join(args[0])
+        if method == "join_requests":
+            return w.join_requests()
+        if method == "await_admission":
+            return w.await_admission(args[0])
+        if method == "flags":
+            return {
+                "aborted": w.aborted,
+                "abort_reason": w.abort_reason,
+                "crashed": w.crashed,
+                "crash_reason": w.crash_reason,
+            }
+        if method == "total_bytes_sent":
+            return w.total_bytes_sent()
+        if method == "total_bytes_copied":
+            return w.total_bytes_copied()
+        if method == "pool_acquire":
+            return p.acquire_handle(args[0])
+        if method == "pool_release":
+            return p.release_id(args[0])
+        if method == "pool_adopt":
+            return p.adopt_id(args[0])
+        if method == "pool_try_adopt":
+            return p.adopt_if_in_use_id(args[0])
+        if method == "pool_stats":
+            return p.stats()
+        if method == "pool_in_use":
+            return p.in_use()
+        if method == "pool_free":
+            return p.free_buffers()
+        if method == "pool_assert_balanced":
+            return p.assert_balanced()
+        if method == "flight_record":
+            rank, kind, fields = args
+            return w.flight.for_rank(rank).record(kind, **fields)
+        if method == "flight_dump":
+            reason, key, extra = args
+            value = w.flight.dump(reason, key=key, extra=extra)
+            try:
+                pickle.dumps(value)
+                return value
+            except Exception:
+                return None
+        if method == "flight_set_enabled":
+            return w.flight.set_enabled(args[0])
+        if method == "telemetry_ingest":
+            rank, seq, metrics = args
+            return w.telemetry.ingest(rank, seq, metrics)
+        if method == "chaos_note_epoch":
+            rank, epoch = args
+            return w.chaos.note_epoch(rank, epoch)
+        raise ValueError(f"unknown backend RPC {method!r}")
+
+
+def _await_children(procs: list, world: World, deadline_s: float | None) -> None:
+    """Wait for every rank process, enforcing the wall-clock budget with a
+    small grace over the world's own deadline (so in-protocol MPITimeouts
+    fire first; the hard terminate is for ranks stuck outside an RPC)."""
+    deadline = None if deadline_s is None else time.monotonic() + deadline_s + 5.0
+    for proc in procs:
+        while proc.is_alive():
+            if deadline is not None and time.monotonic() >= deadline:
+                break
+            proc.join(timeout=0.2)
+    alive = [p for p in procs if p.is_alive()]
+    if alive:
+        if not world.aborted:
+            world.abort(
+                f"procs backend deadline exceeded with {len(alive)} rank "
+                "process(es) still running"
+            )
+        time.sleep(0.5)
+        for proc in alive:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in alive:
+            proc.join(timeout=5.0)
+
+
+def _assemble(
+    state: _RunState,
+    procs: list,
+    rank_tracers: Sequence[Tracer],
+    world: World,
+    pool: SharedSegmentPool,
+) -> tuple[list, dict]:
+    """Turn per-rank outcome records into (results, failures), merging each
+    rank's tracer events into the parent-side tracers."""
+    results: list[Any] = [None] * len(procs)
+    failures: dict[int, BaseException] = {}
+    for r, outcome in enumerate(state.outcomes):
+        if outcome is None or outcome[0] == "lost":
+            if world.aborted:
+                failures.setdefault(r, MPIAbort(world.abort_reason or "aborted"))
+            else:
+                failures[r] = RuntimeError(
+                    f"rank {r} process died unexpectedly "
+                    f"(exitcode {procs[r].exitcode})"
+                )
+            continue
+        kind, payload, events = outcome
+        try:
+            rank_tracers[r]._events.extend(events)
+        except Exception:
+            pass
+        if kind == "result":
+            results[r] = _decode(payload, lambda ref: _copy_out(ref, pool))
+        elif kind == "died":
+            results[r] = RankDied(payload)
+        elif kind == "abort":
+            failures.setdefault(r, payload)
+        else:
+            failures[r] = payload
+    return results, failures
+
+
+def _copy_out(ref: _ShmRef, pool: SharedSegmentPool) -> PackedBatch:
+    """Materialise a returned shared-segment batch into private bytes (the
+    segments are unlinked when the run ends, so results must not view them)."""
+    buf = pool.handle(ref.buf_id)
+    raw = bytearray(buf.readonly())
+    return PackedBatch(header=ref.header, payload=memoryview(raw).toreadonly(), buf=raw)
+
+
+def run_spmd_procs(
+    fn: Callable[..., Any],
+    size: int,
+    *,
+    args: Sequence[Any] = (),
+    copy_on_send: bool = True,
+    deadline_s: float | None = 300.0,
+    thread_name_prefix: str = "rank",
+    tracing: bool = False,
+    tracers: Sequence[Tracer] | None = None,
+    verify: bool = False,
+    flight: bool = True,
+    world_factory: Callable[..., World] | None = None,
+) -> "Any":
+    """The ``procs`` backend's launch function (same contract as
+    ``run_spmd``): host the world in this process, fork one rank process
+    per slot, broker their world calls, and assemble an ``SpmdResult``.
+
+    Shared-memory segments are unlinked on **every** exit path — normal
+    return, rank kill, exception, deadline — plus an ``atexit`` backstop in
+    the pool itself.
+    """
+    from .launcher import SpmdResult
+
+    if size < 1:
+        raise ValueError(f"size must be >= 1, got {size}")
+    if tracers is not None and len(tracers) != size:
+        raise ValueError(f"need {size} tracers, got {len(tracers)}")
+    ctx = multiprocessing.get_context("fork")
+    make_world = world_factory if world_factory is not None else World
+    world = make_world(size, copy_on_send=copy_on_send, deadline_s=deadline_s)
+    if not flight:
+        world.flight.set_enabled(False)
+    rank_tracers = (
+        list(tracers)
+        if tracers is not None
+        else [Tracer(rank=r, enabled=tracing) for r in range(size)]
+    )
+    pool = SharedSegmentPool(name="world-shm")
+    # The world's pool *is* the shared pool in this backend, so stats and
+    # leak assertions read from one authoritative place.
+    world.pool = pool
+    has_chaos = getattr(world, "chaos", None) is not None
+    pipes = [ctx.Pipe() for _ in range(size)]
+    procs: list = []
+    try:
+        # Fork every child BEFORE starting broker threads: forking a
+        # multi-threaded process can deadlock the child on inherited locks.
+        for r in range(size):
+            proc = ctx.Process(
+                target=_child_main,
+                args=(
+                    pipes[r][1],
+                    r,
+                    size,
+                    fn,
+                    tuple(args),
+                    copy_on_send,
+                    verify,
+                    bool(world.flight.enabled),
+                    has_chaos,
+                    bool(rank_tracers[r].enabled),
+                ),
+                name=f"{thread_name_prefix}{r}",
+                daemon=True,
+            )
+            procs.append(proc)
+        for proc in procs:
+            proc.start()
+        for _parent_end, child_end in pipes:
+            child_end.close()
+        state = _RunState(size, world)
+        brokers = [
+            threading.Thread(
+                target=_Broker(r, pipes[r][0], world, pool, state).run,
+                name=f"{thread_name_prefix}{r}-broker",
+                daemon=True,
+            )
+            for r in range(size)
+        ]
+        for broker in brokers:
+            broker.start()
+        _await_children(procs, world, deadline_s)
+        for broker in brokers:
+            broker.join(timeout=10.0)
+        results, failures = _assemble(state, procs, rank_tracers, world, pool)
+        if failures:
+            primary = {
+                r: e for r, e in failures.items() if not isinstance(e, MPIAbort)
+            } or failures
+            raise RankFailed(primary)
+        return SpmdResult(results, world, rank_tracers)
+    finally:
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+        pool.shutdown()

@@ -69,6 +69,7 @@ def run_comparison(
     deadline_s: float = 600.0,
     strategy_kwargs: dict | None = None,
     tracing: bool = False,
+    backend: str | None = None,
 ) -> ExperimentResult:
     """Train every strategy on identical data/model/seed; return the curves.
 
@@ -102,7 +103,7 @@ def run_comparison(
 
         results = run_spmd(
             worker, workers, copy_on_send=False, deadline_s=deadline_s,
-            tracing=tracing,
+            tracing=tracing, backend=backend,
         )
         histories[name] = results[0]
         if tracing:
@@ -119,6 +120,7 @@ def run_pretrain_finetune(
     workers: int,
     strategies: list[str],
     deadline_s: float = 600.0,
+    backend: str | None = None,
 ) -> tuple[ExperimentResult, ExperimentResult]:
     """Figure 8's protocol: pretrain with each shuffling strategy upstream,
     transfer the backbone, fine-tune downstream with *global* shuffling.
@@ -157,7 +159,10 @@ def run_pretrain_finetune(
             )
             return history, (model.state_dict() if comm.rank == 0 else None)
 
-        results = run_spmd(up_worker, workers, copy_on_send=False, deadline_s=deadline_s)
+        results = run_spmd(
+            up_worker, workers, copy_on_send=False, deadline_s=deadline_s,
+            backend=backend,
+        )
         up_histories[name], backbone_state = results[0]
 
         def down_worker(comm, state):
@@ -176,7 +181,7 @@ def run_pretrain_finetune(
 
         results = run_spmd(
             down_worker, workers, args=(backbone_state,),
-            copy_on_send=False, deadline_s=deadline_s,
+            copy_on_send=False, deadline_s=deadline_s, backend=backend,
         )
         down_histories[name] = results[0]
 

@@ -101,5 +101,6 @@ class TestScenarioSelection:
 
     def test_scenarios_constant(self):
         assert SCENARIOS == (
-            "exchange", "epoch", "telemetry", "serve", "robustness"
+            "exchange", "epoch", "telemetry", "serve", "robustness",
+            "backend",
         )

@@ -1,0 +1,108 @@
+"""Backend registry resolution and the procs backend's run_spmd contract."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import (
+    DEFAULT_BACKEND,
+    REPRO_BACKEND_ENV,
+    World,
+    available_backends,
+    create_world,
+    get_backend,
+    resolve_backend_name,
+    run_spmd,
+)
+from repro.mpi.backends import register_backend
+
+
+def test_both_backends_registered():
+    names = available_backends()
+    assert "threads" in names and "procs" in names
+
+
+def test_resolution_order(monkeypatch):
+    monkeypatch.delenv(REPRO_BACKEND_ENV, raising=False)
+    assert resolve_backend_name(None) == DEFAULT_BACKEND
+    monkeypatch.setenv(REPRO_BACKEND_ENV, "procs")
+    assert resolve_backend_name(None) == "procs"
+    # An explicit choice beats the environment.
+    assert resolve_backend_name("threads") == "threads"
+
+
+def test_unknown_backend_rejected(monkeypatch):
+    with pytest.raises(ValueError, match="unknown backend"):
+        get_backend("smoke-signals")
+    monkeypatch.setenv(REPRO_BACKEND_ENV, "carrier-pigeon")
+    with pytest.raises(ValueError, match="unknown backend"):
+        resolve_backend_name(None)
+
+
+def test_register_backend_rejects_duplicates():
+    with pytest.raises(ValueError, match="already registered"):
+        register_backend("threads", lambda: None)
+
+
+def test_create_world_returns_world():
+    world = create_world("threads", size=2)
+    assert isinstance(world, World)
+    assert world.size == 2
+
+
+def test_procs_collectives_match_threads():
+    def worker(comm):
+        total = comm.allreduce(comm.rank)
+        gathered = comm.allgather(comm.rank * 10)
+        arr = comm.bcast(np.arange(4, dtype=np.float32) if comm.rank == 0 else None)
+        return total, gathered, arr.tolist()
+
+    by_backend = {}
+    for backend in ("threads", "procs"):
+        results = list(run_spmd(worker, 2, backend=backend))
+        by_backend[backend] = results
+        assert results == [(1, [0, 10], [0.0, 1.0, 2.0, 3.0])] * 2
+    assert by_backend["threads"] == by_backend["procs"]
+
+
+def test_procs_p2p_roundtrip():
+    def worker(comm):
+        if comm.rank == 0:
+            comm.send(np.full((8,), 7, dtype=np.int64), dest=1, tag=3)
+            return None
+        msg = comm.recv(source=0, tag=3)
+        return int(msg.sum())
+
+    results = list(run_spmd(worker, 2, backend="procs"))
+    assert results == [None, 56]
+
+
+def test_procs_env_default(monkeypatch):
+    monkeypatch.setenv(REPRO_BACKEND_ENV, "procs")
+
+    def worker(comm):
+        import os
+
+        # Under procs every rank is a real process distinct from the parent.
+        return os.getpid()
+
+    result = run_spmd(worker, 2)
+    pids = set(result)
+    import os
+
+    assert len(pids) == 2 and os.getpid() not in pids
+
+
+def test_procs_world_factory(monkeypatch):
+    created = []
+
+    def factory(size, copy_on_send, deadline_s):
+        world = World(size, copy_on_send=copy_on_send, deadline_s=deadline_s)
+        created.append(world)
+        return world
+
+    def worker(comm):
+        return comm.allreduce(1)
+
+    result = run_spmd(worker, 2, backend="procs", world_factory=factory)
+    assert list(result) == [2, 2]
+    assert created and result.world is created[0]

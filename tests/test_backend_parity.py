@@ -1,0 +1,166 @@
+"""Backend parity: threads and procs must be observationally identical.
+
+A representative slice of the scheduler / elastic / chaos behavior runs
+under both backends through one parametrized fixture; every numerical
+outcome must match the threads reference bit-for-bit, because the
+backends differ only in where ranks execute, never in what they compute.
+The abort test additionally pins the shared-memory cleanup contract: a
+rank failing mid-run must not leave ``/dev/shm`` segments behind.
+"""
+
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.mpi import PeerFailure, RankDied, RankFailed, run_spmd
+from repro.mpi.shm_pool import live_segments
+from repro.shuffle import Scheduler, StorageArea
+
+
+@pytest.fixture(params=["threads", "procs"])
+def backend(request):
+    """Run the test under each communicator backend."""
+    return request.param
+
+
+# Threads-reference results, computed once per workload and compared
+# against whatever the parametrized backend produced.
+_REFERENCE: dict = {}
+
+
+def _once(key, thunk):
+    if key not in _REFERENCE:
+        _REFERENCE[key] = thunk()
+    return _REFERENCE[key]
+
+
+def _exchange_worker(comm, batched, samples, q, seed):
+    storage = StorageArea()
+    rng = np.random.default_rng(seed + comm.rank)
+    for _ in range(samples):
+        storage.add(rng.random((16, 16)).astype(np.float32), int(rng.integers(0, 8)))
+    sched = Scheduler(storage, comm, fraction=q, seed=seed, batched=batched)
+    for epoch in range(2):
+        sched.run_exchange(epoch)
+    acc = 0
+    for _sid, sample, label in storage.items():
+        acc ^= zlib.crc32(np.ascontiguousarray(sample).tobytes() + bytes([label % 251]))
+    return acc, sched.total_sent_samples, sched.total_sent_bytes
+
+
+@pytest.mark.parametrize("batched", [False, True], ids=["persample", "batched"])
+def test_exchange_parity(backend, batched):
+    def run(bk):
+        result = run_spmd(
+            _exchange_worker, 2, args=(batched, 32, 0.5, 7), backend=bk
+        )
+        return list(result)
+
+    got = run(backend)
+    ref = _once(
+        ("exchange", batched),
+        lambda: got if backend == "threads" else run("threads"),
+    )
+    assert got == ref
+
+
+def test_dead_peer_epitaph_crosses_backends(backend):
+    def worker(comm):
+        if comm.rank == 1:
+            raise RankDied("node lost")
+        try:
+            comm.recv(source=1, tag=9)
+        except PeerFailure as exc:
+            return (exc.rank, exc.epitaph)
+        return None
+
+    result = run_spmd(worker, 2, backend=backend)
+    assert result[0] == (1, "node lost")
+    assert isinstance(result[1], RankDied)
+    assert set(result.world.dead_ranks()) == {1}
+
+
+def _abort_worker(comm, samples, q, seed):
+    storage = StorageArea()
+    rng = np.random.default_rng(seed + comm.rank)
+    for _ in range(samples):
+        storage.add(rng.random((16, 16)).astype(np.float32), int(rng.integers(0, 8)))
+    sched = Scheduler(storage, comm, fraction=q, seed=seed, batched=True)
+    sched.run_exchange(0)
+    if comm.rank == 1:
+        raise ValueError("injected mid-run failure")
+    comm.barrier()
+    sched.run_exchange(1)
+    return True
+
+
+def test_abort_mid_exchange_cleans_segments(backend):
+    with pytest.raises(RankFailed) as info:
+        run_spmd(_abort_worker, 2, args=(32, 0.5, 3), backend=backend)
+    assert isinstance(info.value.failures[1], ValueError)
+    # The launcher's exit path must have unlinked every shared-memory
+    # segment even though buffers were in flight when rank 1 died.
+    assert live_segments() == []
+
+
+def test_elastic_kill_parity(backend):
+    from repro.data import SyntheticSpec
+    from repro.elastic import run_elastic
+    from repro.train import TrainConfig
+    from repro.train.experiments import make_experiment_data
+
+    spec = SyntheticSpec(n_samples=120, n_classes=4, n_features=16, seed=0)
+    config = TrainConfig(
+        model="mlp", in_shape=(16,), num_classes=4, epochs=3,
+        batch_size=8, base_lr=0.05, partition="class_sorted", seed=0,
+    )
+    train_ds, labels, val_X, val_y = make_experiment_data(spec)
+
+    def run(bk):
+        result = run_elastic(
+            config=config, workers=3, q=0.3, failures="1@1:mid_exchange",
+            train_dataset=train_ds, labels=labels, val_X=val_X, val_y=val_y,
+            backend=bk,
+        )
+        return (
+            result.final_accuracy,
+            tuple(r["dead_ranks"] for r in result.recoveries),
+            result.history.stats.get("final_workers"),
+        )
+
+    got = run(backend)
+    ref = _once(
+        "elastic-kill", lambda: got if backend == "threads" else run("threads")
+    )
+    assert got == ref
+
+
+def test_chaos_corruption_parity(backend):
+    from repro.data import SyntheticSpec
+    from repro.faults import run_chaos_train
+    from repro.train import TrainConfig
+    from repro.train.experiments import make_experiment_data
+
+    spec = SyntheticSpec(n_samples=96, n_classes=4, n_features=16, seed=0)
+    config = TrainConfig(
+        model="mlp", in_shape=(16,), num_classes=4, epochs=2,
+        batch_size=8, base_lr=0.05, partition="class_sorted", seed=0,
+    )
+    train_ds, labels, val_X, val_y = make_experiment_data(spec)
+
+    def run(bk):
+        result = run_chaos_train(
+            config=config, workers=2, q=0.3, profile="corrupt:p=0.1", seed=1,
+            train_dataset=train_ds, labels=labels, val_X=val_X, val_y=val_y,
+            backend=bk,
+        )
+        # The chaos engine must see identical payload bytes on both
+        # backends, so the injection counts match, not just the accuracy.
+        return (result.final_accuracy, dict(result.injected))
+
+    got = run(backend)
+    ref = _once(
+        "chaos-corrupt", lambda: got if backend == "threads" else run("threads")
+    )
+    assert got == ref

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
-"""Docs CI checks: markdown link integrity + docstring presence.
+"""Docs CI checks: link integrity, docstrings, CLI <-> docs agreement.
 
-Two independent checks, both fatal on failure:
+Three independent checks, all fatal on failure:
 
 1. **Links** — every relative markdown link in ``README.md`` and
    ``docs/*.md`` must resolve to an existing file (anchors stripped;
@@ -12,6 +12,11 @@ Two independent checks, both fatal on failure:
 2. **Docstrings** — every public module, class, function and method in
    ``src/repro/mpi/`` and ``src/repro/shuffle/`` (the hot-path packages
    this guide documents) must carry a docstring.
+
+3. **CLI coverage** — every ``repro <subcommand>`` mentioned in the docs
+   (inside code spans or fenced blocks) must exist in ``src/repro/cli.py``,
+   and every subcommand the CLI registers must be mentioned somewhere in
+   the docs, so the command surface and its documentation cannot drift.
 
 Usage: ``python tools/check_docs.py`` (exit 0 = clean).
 """
@@ -98,8 +103,73 @@ def check_docstrings() -> list[str]:
     return problems
 
 
+def _cli_subcommands() -> set[str]:
+    """Subcommand names registered in ``cli.py`` via ``add_parser("name")``."""
+    tree = ast.parse((REPO / "src/repro/cli.py").read_text(encoding="utf-8"))
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "add_parser"
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            names.add(node.args[0].value)
+    return names
+
+
+# ``repro <sub>`` (optionally via ``python -m repro``) inside code spans or
+# fenced blocks.  Only documentation *code* counts as a command claim;
+# prose mentioning "repro toolkit" does not.
+_CLI_MENTION = re.compile(r"(?:python -m )?\brepro ([a-z][a-z0-9-]+)")
+
+
+def _documented_subcommands() -> dict[str, list[str]]:
+    """Map subcommand name -> ``file:line`` locations where docs mention it."""
+    mentions: dict[str, list[str]] = {}
+    for md in MARKDOWN:
+        in_fence = False
+        for lineno, line in enumerate(
+            md.read_text(encoding="utf-8").splitlines(), 1
+        ):
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            # Inside a fence the whole line is code; outside, only the
+            # backtick code spans are.
+            spans = [line] if in_fence else re.findall(r"`([^`]+)`", line)
+            for span in spans:
+                for name in _CLI_MENTION.findall(span):
+                    mentions.setdefault(name, []).append(
+                        f"{md.relative_to(REPO)}:{lineno}"
+                    )
+    return mentions
+
+
+def check_cli_coverage() -> list[str]:
+    """Fail on docs naming unknown subcommands, or CLI subcommands no doc
+    ever mentions."""
+    problems: list[str] = []
+    registered = _cli_subcommands()
+    documented = _documented_subcommands()
+    for name, where in sorted(documented.items()):
+        if name not in registered:
+            problems.append(
+                f"{where[0]}: docs mention `repro {name}` but cli.py "
+                "registers no such subcommand"
+            )
+    for name in sorted(registered - set(documented)):
+        problems.append(
+            f"src/repro/cli.py: subcommand `repro {name}` is not mentioned "
+            "in README.md or docs/ — document it or remove it"
+        )
+    return problems
+
+
 def main() -> int:
-    problems = check_links() + check_docstrings()
+    problems = check_links() + check_docstrings() + check_cli_coverage()
     for p in problems:
         print(p)
     n_md = len(MARKDOWN)
@@ -107,7 +177,11 @@ def main() -> int:
     if problems:
         print(f"\n{len(problems)} problem(s) across {n_md} markdown / {n_py} python files")
         return 1
-    print(f"docs OK: {n_md} markdown files linked, {n_py} python files documented")
+    n_cmd = len(_cli_subcommands())
+    print(
+        f"docs OK: {n_md} markdown files linked, {n_py} python files "
+        f"documented, {n_cmd} CLI subcommands covered"
+    )
     return 0
 
 
